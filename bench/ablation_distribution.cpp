@@ -1,0 +1,77 @@
+// Ablation (paper §IV-A, Vortex challenge 4): work-item distribution.
+// The same kernels compiled with two mappings — grid-stride (adjacent lanes
+// process adjacent items: coalesced) vs blocked (each hardware thread owns
+// a contiguous chunk: uncoalesced) — showing how "mapping influences memory
+// access patterns and pipeline unit stalls".
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "runtime/vortex_device.hpp"
+#include "suite/suite.hpp"
+
+using namespace fgpu;
+
+int main() {
+  Log::level() = LogLevel::kOff;
+  printf("Work-item distribution ablation: grid-stride vs blocked mapping\n");
+  printf("(soft GPU C4/W8/T8; identical kernels and results, different mapping)\n\n");
+  printf("%-14s %14s %14s %9s %22s\n", "benchmark", "grid-stride", "blocked", "slowdown",
+         "DRAM reads (gs/blk)");
+
+  for (const char* name : {"vecadd", "saxpy", "nearn", "streamcluster", "blackscholes"}) {
+    uint64_t cycles[2] = {0, 0};
+    uint64_t dram_reads[2] = {0, 0};
+    bool ok = true;
+    for (int pass = 0; pass < 2; ++pass) {
+      codegen::Options options;
+      options.distribution = pass == 0 ? codegen::WorkDistribution::kGridStride
+                                       : codegen::WorkDistribution::kBlocked;
+      vcl::VortexDevice device(vortex::Config::with(4, 8, 8), fpga::stratix10_sx2800(), options);
+      auto bench = suite::make_benchmark(name);
+      const auto run = suite::run_benchmark(device, bench);
+      ok &= run.ok();
+      cycles[pass] = run.total_cycles;
+      dram_reads[pass] = run.last.dram.reads;
+    }
+    if (!ok) {
+      printf("%-14s failed (results must be identical under both mappings)\n", name);
+      continue;
+    }
+    printf("%-14s %14llu %14llu %8.2fx %12llu/%llu\n", name, (unsigned long long)cycles[0],
+           (unsigned long long)cycles[1],
+           static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]),
+           (unsigned long long)dram_reads[0], (unsigned long long)dram_reads[1]);
+  }
+  printf("\n-> The blocked mapping issues 4x the line requests per warp access,\n"
+         "   but each lane then re-hits its own line on later iterations, so\n"
+         "   total fills stay equal and the MSHR-bound memory pipeline hides\n"
+         "   the difference. Repeating with a 512 B L1D (lane working set no\n"
+         "   longer fits) shows the same insensitivity:\n\n");
+
+  printf("%-14s %14s %14s %9s  (L1D = 512 B)\n", "benchmark", "grid-stride", "blocked",
+         "slowdown");
+  for (const char* name : {"vecadd", "saxpy", "nearn"}) {
+    uint64_t cycles[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+      codegen::Options options;
+      options.distribution = pass == 0 ? codegen::WorkDistribution::kGridStride
+                                       : codegen::WorkDistribution::kBlocked;
+      vortex::Config config = vortex::Config::with(4, 8, 8);
+      config.l1d.size_bytes = 512;
+      config.l1d.ways = 2;
+      vcl::VortexDevice device(config, fpga::stratix10_sx2800(), options);
+      auto bench = suite::make_benchmark(name);
+      const auto run = suite::run_benchmark(device, bench);
+      cycles[pass] = run.ok() ? run.total_cycles : 0;
+    }
+    printf("%-14s %14llu %14llu %8.2fx\n", name, (unsigned long long)cycles[0],
+           (unsigned long long)cycles[1],
+           cycles[0] ? static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]) : 0.0);
+  }
+  printf("\n-> On this microarchitecture the MSHR-limited LSU dominates both\n"
+         "   mappings (the same mechanism behind Fig. 7), so distribution choice\n"
+         "   is nearly free here - evidence that the adaptive-mapping research\n"
+         "   the paper proposes (SIV-A challenge 4) must target the LSU/MSHR\n"
+         "   design point, not just coalescing.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table I: benchmark coverage of the soft-GPU (Vortex) flow vs
+// the Intel-HLS-like flow over the 28-benchmark suite. The paper's result:
+// Vortex runs all 28; the HLS flow fails lbm / backprop / b+tree / dwt2d /
+// lud ("Not enough BRAM") and hybridsort ("Atomics").
+#include <cstdio>
+#include <string>
+
+#include "common/log.hpp"
+#include "runtime/hls_device.hpp"
+#include "runtime/vortex_device.hpp"
+#include "suite/suite.hpp"
+
+using namespace fgpu;
+
+namespace {
+
+const char* paper_expected(const std::string& name) {
+  if (name == "lbm" || name == "backprop" || name == "b+tree" || name == "dwt2d" ||
+      name == "lud") {
+    return "Not enough BRAM";
+  }
+  if (name == "hybridsort") return "Atomics";
+  return "";
+}
+
+}  // namespace
+
+int main() {
+  Log::level() = LogLevel::kOff;
+  printf("Table I — Benchmark Coverage (left: Vortex soft GPU, right: Intel-HLS-like)\n");
+  printf("Soft GPU: C4/W8/T8 on %s; HLS: %s\n\n", fpga::stratix10_sx2800().name.c_str(),
+         fpga::stratix10_mx2100().name.c_str());
+  printf("%-16s | %-8s | %-8s | %-18s | %-18s\n", "Benchmark", "Vortex", "IntelSDK",
+         "Reason to fail", "Paper");
+  printf("-----------------+----------+----------+--------------------+-------------------\n");
+
+  int vortex_pass = 0, hls_pass = 0, matches = 0;
+  for (const auto& name : suite::all_benchmark_names()) {
+    const auto bench = suite::make_benchmark(name);
+
+    vcl::VortexDevice vortex_dev(vortex::Config::with(4, 8, 8));
+    const auto vx = suite::run_benchmark(vortex_dev, bench);
+    vcl::HlsDevice hls_dev;
+    const auto hls = suite::run_benchmark(hls_dev, bench);
+
+    vortex_pass += vx.ok();
+    hls_pass += hls.ok();
+    const std::string expected = paper_expected(name);
+    const bool match = vx.ok() && (hls.ok() ? expected.empty() : hls.fail_reason == expected);
+    matches += match;
+    printf("%-16s | %-8s | %-8s | %-18s | %-18s %s\n", name.c_str(), vx.ok() ? "O" : "X",
+           hls.ok() ? "O" : "X", hls.ok() ? "" : hls.fail_reason.c_str(),
+           expected.empty() ? "O" : expected.c_str(), match ? "" : "  <-- MISMATCH");
+  }
+  printf("\nVortex: %d/28 pass   Intel-HLS-like: %d/28 pass (paper: 28 and 22)\n", vortex_pass,
+         hls_pass);
+  printf("Rows matching the paper's Table I: %d/28\n", matches);
+  return matches == 28 ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+// Vortex-style soft-GPU ISA: RV32IM + F + A subset, extended with the four
+// SIMT-control instructions the paper describes (Section II-D):
+//
+//   SPLIT  — marks a divergent branch; pushes reconvergence state on the
+//            warp's IPDOM stack and deactivates the not-taken threads.
+//   JOIN   — marks the reconvergence point; pops the IPDOM stack.
+//   PRED   — loop-exit predication; deactivates finished threads and exits
+//            the loop once no thread remains active.
+//   TMC    — thread-mask control; sets the warp's active-thread mask.
+//
+// plus WSPAWN (warp spawn) and BAR (barrier), which the Vortex software
+// stack uses for work-group scheduling and OpenCL barriers.
+//
+// Divergence-control semantics (a documented simplification of Vortex's
+// scheme that preserves its cost model — extra instructions and IPDOM
+// stack traffic on divergence — while keeping a single PC per warp):
+//
+//   SPLIT rs1, else_off   (custom-1, J-type immediate range)
+//     taken    = tmask & (lane value of rs1 != 0)
+//     nottaken = tmask & ~taken
+//     if nottaken empty:        push UNIFORM;                 fall through
+//     elif taken empty:         push UNIFORM;                 jump else
+//     else: push RESTORE{tmask}; push ELSE{nottaken, pc_else};
+//           tmask = taken;                                    fall through
+//
+//   JOIN merge_off        (J-type custom-2)
+//     pop:
+//       UNIFORM        -> jump merge
+//       ELSE{m, pc}    -> tmask = m; jump pc  (start the else side)
+//       RESTORE{m}     -> tmask = m; jump merge
+//
+//   PRED rs1, exit_off    (custom-2 funct-distinguished, J-type range)
+//     alive = tmask & (rs1 != 0)
+//     if alive empty: jump exit (tmask unchanged; compiler restores with TMC)
+//     else tmask = alive; fall through
+//
+//   TMC rs1               tmask = first-active-lane value of rs1
+//   WSPAWN rs1, rs2       spawn rs1 warps at pc rs2, each with tmask=1
+//   BAR rs1, rs2          block warp on barrier id rs1 until rs2 warps arrive
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bits.hpp"
+
+namespace fgpu::arch {
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+enum class Op : uint16_t {
+  kInvalid = 0,
+  // RV32I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall,
+  kCsrrw, kCsrrs, kCsrrc,
+  // RV32M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // RV32A (subset used by OpenCL atomics)
+  kLrW, kScW, kAmoswapW, kAmoaddW, kAmoandW, kAmoorW, kAmoxorW, kAmominW, kAmomaxW,
+  // RV32F (subset)
+  kFlw, kFsw,
+  kFaddS, kFsubS, kFmulS, kFdivS, kFsqrtS,
+  kFsgnjS, kFsgnjnS, kFsgnjxS, kFminS, kFmaxS,
+  kFcvtWS, kFcvtWuS, kFcvtSW, kFcvtSWu,
+  kFmvXW, kFmvWX, kFclassS,
+  kFeqS, kFltS, kFleS,
+  kFmaddS, kFmsubS, kFnmsubS, kFnmaddS,
+  // Vortex SIMT extension
+  kTmc, kWspawn, kSplit, kJoin, kPred, kBar,
+  kCount,
+};
+
+constexpr int kNumOps = static_cast<int>(Op::kCount);
+
+// Instruction encoding formats.
+enum class Format : uint8_t {
+  kR,       // rd, rs1, rs2          (funct7 | funct3)
+  kR4,      // rd, rs1, rs2, rs3     (fused multiply-add)
+  kI,       // rd, rs1, imm12
+  kIShift,  // rd, rs1, shamt5       (funct7 | funct3)
+  kS,       // rs1, rs2, imm12       (stores)
+  kB,       // rs1, rs2, imm13       (branches; also SPLIT/PRED with rs2=0)
+  kU,       // rd, imm20             (lui/auipc)
+  kJ,       // rd, imm21             (jal; also JOIN with rd=0)
+  kJr,      // rs1, imm21            (SPLIT/PRED: J-type range, rs1 in rd slot)
+  kCsr,     // rd, rs1, csr12
+  kAmo,     // rd, rs1, rs2          (funct5 | aq/rl in [26:25])
+  kSys,     // no operands (ecall/fence)
+};
+
+// Functional-unit class; drives issue/latency modelling in the simulator
+// and the per-op area cost in the HLS area model.
+enum class FuClass : uint8_t { kAlu, kMulDiv, kFpu, kLsu, kSfu, kBranch, kCsr, kSimt };
+
+struct OpInfo {
+  Op op = Op::kInvalid;
+  const char* name = "";
+  Format fmt = Format::kSys;
+  uint8_t opcode = 0;  // low 7 bits
+  uint8_t funct3 = 0;
+  uint8_t funct7 = 0;   // or funct5<<2 for AMO, funct2 for R4
+  bool match_f3 = true;   // decode must match funct3
+  bool match_f7 = false;  // decode must match funct7
+  uint8_t rs2sel = 0;     // fixed rs2 field (FCVT/FSQRT selectors)
+  bool match_rs2 = false;
+  FuClass fu = FuClass::kAlu;
+  uint8_t latency = 1;  // execute latency in cycles (simulator)
+};
+
+// Returns the static descriptor for `op`.
+const OpInfo& op_info(Op op);
+
+// Looks up an op by mnemonic (lower-case, e.g. "addi", "fadd.s", "split").
+std::optional<Op> op_by_name(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Decoded instruction
+// ---------------------------------------------------------------------------
+
+struct Instr {
+  Op op = Op::kInvalid;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  uint8_t rs3 = 0;
+  int32_t imm = 0;  // sign-extended branch/jump/load offset, or CSR number
+
+  bool operator==(const Instr&) const = default;
+};
+
+// Encodes a decoded instruction into a 32-bit word. Asserts that immediates
+// fit their fields (the assembler validates ranges before calling this).
+uint32_t encode(const Instr& instr);
+
+// Decodes a 32-bit word; returns nullopt for unknown encodings.
+std::optional<Instr> decode(uint32_t word);
+
+// Renders an instruction in assembler syntax, e.g. "addi x5, x0, 42".
+std::string to_string(const Instr& instr);
+
+// Register names: x-register ABI name ("zero", "ra", "sp", "t0", ...) and
+// plain f-register names ("f0".."f31").
+const char* xreg_name(unsigned index);
+const char* freg_name(unsigned index);
+std::optional<unsigned> xreg_by_name(const std::string& name);
+std::optional<unsigned> freg_by_name(const std::string& name);
+
+// True if `op` reads/writes the FP register file in rd/rs slots.
+bool writes_freg(Op op);
+bool reads_freg_rs1(Op op);
+bool reads_freg_rs2(Op op);
+bool reads_freg_rs3(Op op);
+
+// ---------------------------------------------------------------------------
+// CSRs (Vortex-style machine-information registers)
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kCsrThreadId = 0xCC0;    // lane index within the warp
+constexpr uint32_t kCsrWarpId = 0xCC1;      // warp index within the core
+constexpr uint32_t kCsrCoreId = 0xCC2;      // core index within the cluster
+constexpr uint32_t kCsrTmask = 0xCC3;       // current active-thread mask
+constexpr uint32_t kCsrNumThreads = 0xFC0;  // threads per warp (T)
+constexpr uint32_t kCsrNumWarps = 0xFC1;    // warps per core (W)
+constexpr uint32_t kCsrNumCores = 0xFC2;    // cores (C)
+constexpr uint32_t kCsrCycle = 0xC00;
+constexpr uint32_t kCsrInstret = 0xC02;
+
+// ---------------------------------------------------------------------------
+// Memory map shared by the kernel ABI, runtime and simulator
+// ---------------------------------------------------------------------------
+
+// Code is loaded at kCodeBase; the runtime writes the kernel-argument block
+// at kArgBase (mirroring Vortex's KERNEL_ARG_DEV_MEM_ADDR); device buffers
+// are allocated from kHeapBase; per-hardware-thread stacks grow down from
+// kStackTop; kLocalBase maps the per-core shared (OpenCL __local) memory.
+constexpr uint32_t kCodeBase = 0x0001'0000;
+constexpr uint32_t kArgBase = 0x1000'0000;
+constexpr uint32_t kHeapBase = 0x2000'0000;
+constexpr uint32_t kStackTop = 0x6000'0000;
+constexpr uint32_t kStackSizePerThread = 0x1'0000;  // 64 KiB
+constexpr uint32_t kLocalBase = 0x7000'0000;
+constexpr uint32_t kLocalSize = 0x0004'0000;  // 256 KiB per core
+
+// ECALL convention (a7 = function, a0.. = args); the simulator forwards
+// these to a host handler, mirroring how the Vortex runtime implements
+// OpenCL printf via a host communication function (Section IV-A).
+constexpr uint32_t kEcallPutChar = 2;   // a0 = character
+constexpr uint32_t kEcallPrintInt = 3;  // a0 = value
+constexpr uint32_t kEcallPrintFlt = 4;  // a0 = float bits
+constexpr uint32_t kEcallPrintStr = 5;  // a0 = device address of NUL string
+
+}  // namespace fgpu::arch

@@ -1,0 +1,25 @@
+// Kernel-launch ABI between the runtime and generated soft-GPU binaries.
+//
+// The runtime writes this block at arch::kArgBase before starting the
+// cluster (the equivalent of Vortex's KERNEL_ARG upload); the dispatch
+// prologue emitted by codegen reads it. All fields are 32-bit words.
+#pragma once
+
+#include <cstdint>
+
+namespace fgpu::codegen::abi {
+
+constexpr uint32_t kDims = 0;          // NDRange dimensionality
+constexpr uint32_t kGlobal0 = 4;       // global sizes [0..2]
+constexpr uint32_t kLocal0 = 16;       // local sizes [0..2]
+constexpr uint32_t kNumGroups0 = 28;   // groups per dim [0..2]
+constexpr uint32_t kTotalItems = 40;   // product of global sizes
+constexpr uint32_t kLocalTotal = 44;   // product of local sizes
+constexpr uint32_t kNbw = 48;          // participating warps per core (barrier kernels)
+constexpr uint32_t kTotalGroups = 52;  // product of group counts
+constexpr uint32_t kArgs = 56;         // kernel arguments, 4 bytes each
+                                       // (scalar bits or buffer device address)
+
+constexpr uint32_t arg_offset(uint32_t param_index) { return kArgs + 4 * param_index; }
+
+}  // namespace fgpu::codegen::abi

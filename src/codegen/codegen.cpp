@@ -1,0 +1,1146 @@
+#include "codegen/codegen.hpp"
+
+#include <array>
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "codegen/abi.hpp"
+#include "codegen/minstr.hpp"
+#include "codegen/regalloc.hpp"
+#include "common/bits.hpp"
+#include "kir/passes.hpp"
+#include "vasm/builder.hpp"
+
+namespace fgpu::codegen {
+namespace {
+
+using arch::Op;
+using kir::BinOp;
+using kir::Expr;
+using kir::ExprKind;
+using kir::ExprPtr;
+using kir::Scalar;
+using kir::SpecialReg;
+using kir::Stmt;
+using kir::StmtKind;
+using kir::UnOp;
+
+// Physical registers with fixed roles (see regalloc.hpp for the reserved set).
+constexpr int kSp = 2;        // per-lane stack pointer
+constexpr int kArgBaseReg = 3;  // kernel-argument block base
+constexpr int kA0 = 10, kA7 = 17;  // ECALL argument/function registers
+constexpr int kScratch0 = 29, kScratch1 = 30, kScratch2 = 31;
+
+// An evaluated expression: virtual register + whether codegen owns it (may
+// bind it to a variable without copying).
+struct Value {
+  int vreg = -1;
+  bool owned = false;
+};
+
+class Lowering {
+ public:
+  Lowering(const kir::Kernel& kernel, const Options& options, bool barrier_mode)
+      : kernel_(kernel), options_(options), barrier_mode_(barrier_mode) {}
+
+  Result<MFunction> run() {
+    scan_used_specials(kernel_.body);
+    emit_entry();
+    emit_warp_prologue();
+    if (barrier_mode_) {
+      emit_group_dispatch();
+    } else {
+      emit_grid_stride_dispatch();
+    }
+    if (!error_.is_ok()) return error_;
+    return std::move(fn_);
+  }
+
+ private:
+  // ---- tiny emit helpers on the machine IR ----------------------------
+  void op_r(Op op, int rd, int rs1, int rs2, int rs3 = -1) {
+    MInstr m;
+    m.op = op;
+    m.rd = rd;
+    m.rs1 = rs1;
+    m.rs2 = rs2;
+    m.rs3 = rs3;
+    fn_.code.push_back(m);
+  }
+  void op_i(Op op, int rd, int rs1, int32_t imm) {
+    MInstr m;
+    m.op = op;
+    m.rd = rd;
+    m.rs1 = rs1;
+    m.imm = imm;
+    fn_.code.push_back(m);
+  }
+  void op_s(Op op, int rs1, int rs2, int32_t imm) {
+    MInstr m;
+    m.op = op;
+    m.rs1 = rs1;
+    m.rs2 = rs2;
+    m.imm = imm;
+    fn_.code.push_back(m);
+  }
+  void jump(int label) {
+    MInstr m;
+    m.op = Op::kJal;
+    m.rd = 0;
+    m.target = label;
+    fn_.code.push_back(m);
+  }
+  // Conditional branch to `label`. B-type reach is only +-4 KiB and kernel
+  // bodies routinely exceed it, so we emit the inverted branch over an
+  // unconditional JAL (+-1 MiB reach), the standard far-branch expansion.
+  void branch(Op op, int rs1, int rs2, int label) {
+    Op inverted = op;
+    switch (op) {
+      case Op::kBeq: inverted = Op::kBne; break;
+      case Op::kBne: inverted = Op::kBeq; break;
+      case Op::kBlt: inverted = Op::kBge; break;
+      case Op::kBge: inverted = Op::kBlt; break;
+      case Op::kBltu: inverted = Op::kBgeu; break;
+      case Op::kBgeu: inverted = Op::kBltu; break;
+      default: break;
+    }
+    const int skip = fn_.make_label();
+    MInstr m;
+    m.op = inverted;
+    m.rs1 = rs1;
+    m.rs2 = rs2;
+    m.target = skip;
+    fn_.code.push_back(m);
+    jump(label);
+    fn_.label(skip);
+  }
+  void split(int rs1, int else_label) {
+    MInstr m;
+    m.op = Op::kSplit;
+    m.rs1 = rs1;
+    m.target = else_label;
+    fn_.code.push_back(m);
+  }
+  void pred(int rs1, int exit_label) {
+    MInstr m;
+    m.op = Op::kPred;
+    m.rs1 = rs1;
+    m.target = exit_label;
+    fn_.code.push_back(m);
+  }
+  void join(int merge_label) {
+    MInstr m;
+    m.op = Op::kJoin;
+    m.target = merge_label;
+    fn_.code.push_back(m);
+  }
+  void li(int rd, int32_t value) {
+    MInstr m;
+    m.is_li = true;
+    m.rd = rd;
+    m.imm = value;
+    fn_.code.push_back(m);
+  }
+  void la(int rd, int label) {
+    MInstr m;
+    m.is_la = true;
+    m.rd = rd;
+    m.target = label;
+    fn_.code.push_back(m);
+  }
+  void csr_read(int rd, uint32_t csr) { op_i(Op::kCsrrs, rd, 0, static_cast<int32_t>(csr)); }
+  void mv_int(int rd, int rs) { op_i(Op::kAddi, rd, rs, 0); }
+  void mv_float(int rd, int rs) { op_r(Op::kFsgnjS, rd, rs, rs); }
+  int fresh() { return fn_.new_vreg(); }
+
+  void fail(const std::string& message) {
+    if (error_.is_ok()) {
+      error_ = Status(ErrorKind::kCompileError, kernel_.name + ": " + message);
+    }
+  }
+
+  // ---- prologue / dispatch --------------------------------------------
+
+  // Entry code runs on warp 0 / lane 0 of every core. Uses only physical
+  // scratch registers: the stack pointer is not set up yet, so nothing here
+  // may be spillable.
+  void emit_entry() {
+    warp_main_ = fn_.make_label();
+    li(kArgBaseReg, static_cast<int32_t>(arch::kArgBase));
+    if (barrier_mode_) {
+      op_i(Op::kLw, kScratch0, kArgBaseReg, static_cast<int32_t>(abi::kNbw));
+    } else {
+      csr_read(kScratch0, arch::kCsrNumWarps);
+    }
+    la(kScratch1, warp_main_);
+    op_r(Op::kWspawn, 0, kScratch0, kScratch1);
+    fn_.label(warp_main_);
+    // Spawned warps enter here with only lane 0 active and empty registers:
+    // give lane 0 the argument-block base before the activation code uses it.
+    li(kArgBaseReg, static_cast<int32_t>(arch::kArgBase));
+
+    // Activate this warp's lanes. For barrier dispatch, warps beyond the
+    // participating count retire immediately and partial warps mask off the
+    // lanes past the work-group size.
+    const int exit_label = fn_.make_label();
+    if (barrier_mode_) {
+      csr_read(kScratch0, arch::kCsrWarpId);
+      op_i(Op::kLw, kScratch1, kArgBaseReg, static_cast<int32_t>(abi::kNbw));
+      const int cont = fn_.make_label();
+      branch(Op::kBlt, kScratch0, kScratch1, cont);
+      op_r(Op::kTmc, 0, 0, 0);  // tmc zero: warp exit
+      fn_.label(cont);
+      // count = min(local_total - warp_id * NT, NT); tmask = ~0 >> (32 - count)
+      op_i(Op::kLw, kScratch1, kArgBaseReg, static_cast<int32_t>(abi::kLocalTotal));
+      csr_read(kScratch2, arch::kCsrNumThreads);
+      op_r(Op::kMul, kScratch0, kScratch0, kScratch2);
+      op_r(Op::kSub, kScratch1, kScratch1, kScratch0);  // remaining items
+      const int clamped = fn_.make_label();
+      branch(Op::kBge, kScratch2, kScratch1, clamped);
+      mv_int(kScratch1, kScratch2);
+      fn_.label(clamped);
+      li(kScratch0, 32);
+      op_r(Op::kSub, kScratch0, kScratch0, kScratch1);
+      li(kScratch2, -1);
+      op_r(Op::kSrl, kScratch2, kScratch2, kScratch0);
+      op_r(Op::kTmc, 0, kScratch2, 0);
+    } else {
+      csr_read(kScratch0, arch::kCsrNumThreads);
+      li(kScratch1, 32);
+      op_r(Op::kSub, kScratch1, kScratch1, kScratch0);
+      li(kScratch2, -1);
+      op_r(Op::kSrl, kScratch2, kScratch2, kScratch1);
+      op_r(Op::kTmc, 0, kScratch2, 0);
+    }
+    (void)exit_label;
+
+    // Registers are per lane: everything computed before the TMC above only
+    // exists in lane 0 of warp 0. Re-materialize the argument-block base so
+    // every active lane of every warp has it.
+    li(kArgBaseReg, static_cast<int32_t>(arch::kArgBase));
+
+    // Per-lane stack pointer: sp = kStackTop - (hwtid + 1) * kStackSize.
+    csr_read(kScratch0, arch::kCsrCoreId);
+    csr_read(kScratch1, arch::kCsrNumWarps);
+    op_r(Op::kMul, kScratch0, kScratch0, kScratch1);
+    csr_read(kScratch1, arch::kCsrWarpId);
+    op_r(Op::kAdd, kScratch0, kScratch0, kScratch1);
+    csr_read(kScratch1, arch::kCsrNumThreads);
+    op_r(Op::kMul, kScratch0, kScratch0, kScratch1);
+    csr_read(kScratch1, arch::kCsrThreadId);
+    op_r(Op::kAdd, kScratch0, kScratch0, kScratch1);  // hwtid
+    op_i(Op::kAddi, kScratch0, kScratch0, 1);
+    li(kScratch1, static_cast<int32_t>(arch::kStackSizePerThread));
+    op_r(Op::kMul, kScratch0, kScratch0, kScratch1);
+    li(kSp, static_cast<int32_t>(arch::kStackTop));
+    op_r(Op::kSub, kSp, kSp, kScratch0);
+  }
+
+  // Loads kernel parameters and launch geometry into long-lived vregs.
+  void emit_warp_prologue() {
+    // Materialize __local array base addresses here, under the full lane
+    // mask: values cached in registers must never be first computed inside
+    // divergent control flow, or inactive lanes would read garbage later.
+    for (size_t slot = 0; slot < kernel_.locals.size(); ++slot) {
+      local_base_vreg(static_cast<int>(slot));
+    }
+    for (size_t i = 0; i < kernel_.params.size(); ++i) {
+      const int bits = fresh();
+      op_i(Op::kLw, bits, kArgBaseReg, static_cast<int32_t>(abi::arg_offset(static_cast<uint32_t>(i))));
+      if (!kernel_.params[i].is_buffer && kernel_.params[i].elem == Scalar::kF32) {
+        const int f = fresh();
+        op_r(Op::kFmvWX, f, bits, -1);
+        param_vreg_[static_cast<int>(i)] = f;
+      } else {
+        param_vreg_[static_cast<int>(i)] = bits;
+      }
+    }
+    // Geometry specials used anywhere in the kernel (uniform, loop-invariant).
+    for (int d = 0; d < 3; ++d) {
+      if (uses_special(SpecialReg::kGlobalSize, d) || needs_decomposition()) {
+        global_size_[d] = load_geometry(abi::kGlobal0 + 4 * static_cast<uint32_t>(d));
+      }
+      if (uses_special(SpecialReg::kLocalSize, d) || uses_special(SpecialReg::kLocalId, d) ||
+          uses_special(SpecialReg::kGroupId, d) || barrier_mode_) {
+        local_size_[d] = load_geometry(abi::kLocal0 + 4 * static_cast<uint32_t>(d));
+      }
+      if (uses_special(SpecialReg::kNumGroups, d) || barrier_mode_) {
+        num_groups_[d] = load_geometry(abi::kNumGroups0 + 4 * static_cast<uint32_t>(d));
+      }
+    }
+  }
+
+  int load_geometry(uint32_t offset) {
+    const int v = fresh();
+    op_i(Op::kLw, v, kArgBaseReg, static_cast<int32_t>(offset));
+    return v;
+  }
+
+  int compute_hwtid() {
+    const int v = fresh();
+    const int t = fresh();
+    csr_read(v, arch::kCsrCoreId);
+    csr_read(t, arch::kCsrNumWarps);
+    op_r(Op::kMul, v, v, t);
+    csr_read(t, arch::kCsrWarpId);
+    op_r(Op::kAdd, v, v, t);
+    csr_read(t, arch::kCsrNumThreads);
+    op_r(Op::kMul, v, v, t);
+    csr_read(t, arch::kCsrThreadId);
+    op_r(Op::kAdd, v, v, t);
+    return v;
+  }
+
+  // Grid-stride dispatch: every hardware thread walks the flattened NDRange
+  // with stride C*W*T (PoCL-style work-item loop, "flat collapsing").
+  // The blocked variant gives each hardware thread one contiguous chunk
+  // instead — same results, very different memory coalescing (paper §IV-A
+  // challenge 4; see bench/ablation_distribution).
+  void emit_grid_stride_dispatch() {
+    const int total = fresh();
+    op_i(Op::kLw, total, kArgBaseReg, static_cast<int32_t>(abi::kTotalItems));
+    const int nthreads = fresh();
+    const int t = fresh();
+    csr_read(nthreads, arch::kCsrNumCores);
+    csr_read(t, arch::kCsrNumWarps);
+    op_r(Op::kMul, nthreads, nthreads, t);
+    csr_read(t, arch::kCsrNumThreads);
+    op_r(Op::kMul, nthreads, nthreads, t);
+
+    const int item = compute_hwtid();
+    int stride = nthreads;  // grid-stride default
+    int limit = total;
+    if (options_.distribution == WorkDistribution::kBlocked) {
+      // chunk = ceil(total / nthreads); item = hwtid * chunk;
+      // limit = min(item + chunk, total); stride = 1.
+      const int chunk = fresh();
+      op_r(Op::kAdd, chunk, total, nthreads);
+      op_i(Op::kAddi, chunk, chunk, -1);
+      op_r(Op::kDivu, chunk, chunk, nthreads);
+      op_r(Op::kMul, item, item, chunk);
+      const int end = fresh();
+      op_r(Op::kAdd, end, item, chunk);
+      const int over = fresh();
+      op_r(Op::kSlt, over, total, end);
+      // end = min(end, total) via branchless blend.
+      const int blended = blend_int(normalize_bool(over), total, end);
+      limit = blended;
+      const int one = fresh();
+      li(one, 1);
+      stride = one;
+    }
+
+    const int loop_top = fn_.make_label();
+    const int loop_exit = fn_.make_label();
+    fn_.label(loop_top);
+    const int alive = fresh();
+    op_r(Op::kSlt, alive, item, limit);
+    pred(alive, loop_exit);
+
+    bind_grid_stride_specials(item);
+    lower_block(kernel_.body);
+
+    op_r(Op::kAdd, item, item, stride);
+    jump(loop_top);
+    fn_.label(loop_exit);
+    op_r(Op::kTmc, 0, 0, 0);
+  }
+
+  // Work-group dispatch: groups round-robin over cores; local items map to
+  // the core's lanes; BAR synchronizes the group's warps.
+  void emit_group_dispatch() {
+    nbw_vreg_ = fresh();
+    op_i(Op::kLw, nbw_vreg_, kArgBaseReg, static_cast<int32_t>(abi::kNbw));
+    const int total_groups = fresh();
+    op_i(Op::kLw, total_groups, kArgBaseReg, static_cast<int32_t>(abi::kTotalGroups));
+    const int ncores = fresh();
+    csr_read(ncores, arch::kCsrNumCores);
+
+    // lid_linear = warp_id * NT + lane (per lane, fixed for the kernel).
+    const int lidlin = fresh();
+    const int t = fresh();
+    csr_read(lidlin, arch::kCsrWarpId);
+    csr_read(t, arch::kCsrNumThreads);
+    op_r(Op::kMul, lidlin, lidlin, t);
+    csr_read(t, arch::kCsrThreadId);
+    op_r(Op::kAdd, lidlin, lidlin, t);
+
+    const int group = fresh();
+    csr_read(group, arch::kCsrCoreId);
+
+    const int loop_top = fn_.make_label();
+    const int loop_exit = fn_.make_label();
+    fn_.label(loop_top);
+    branch(Op::kBge, group, total_groups, loop_exit);
+
+    bind_group_specials(group, lidlin);
+    lower_block(kernel_.body);
+
+    // End-of-group barrier: the next group reuses __local memory.
+    emit_barrier();
+    op_r(Op::kAdd, group, group, ncores);
+    jump(loop_top);
+    fn_.label(loop_exit);
+    op_r(Op::kTmc, 0, 0, 0);
+  }
+
+  void emit_barrier() {
+    const int id = fresh();
+    li(id, 0);
+    op_r(Op::kBar, 0, id, nbw_vreg_);
+  }
+
+  // ---- special-value binding -------------------------------------------
+
+  void scan_used_specials(const std::vector<kir::StmtPtr>& block) {
+    for (const auto& s : block) {
+      for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+        if (*e) scan_expr(*e);
+      }
+      for (const auto& arg : s->print_args) scan_expr(arg);
+      scan_used_specials(s->body);
+      scan_used_specials(s->else_body);
+    }
+  }
+  void scan_expr(const ExprPtr& e) {
+    if (e->kind == ExprKind::kSpecial) {
+      used_specials_[key(e->special, e->index)] = true;
+    }
+    for (const auto& arg : e->args) scan_expr(arg);
+  }
+  static int key(SpecialReg reg, int dim) { return static_cast<int>(reg) * 4 + dim; }
+  bool uses_special(SpecialReg reg, int dim) const {
+    auto it = used_specials_.find(key(reg, dim));
+    return it != used_specials_.end() && it->second;
+  }
+  bool needs_decomposition() const {
+    // Any use beyond get_global_id(0)/get_global_size requires deriving the
+    // multi-dimensional indices from the flattened item number.
+    for (int d = 0; d < 3; ++d) {
+      if (uses_special(SpecialReg::kLocalId, d) || uses_special(SpecialReg::kGroupId, d) ||
+          uses_special(SpecialReg::kNumGroups, d)) {
+        return true;
+      }
+    }
+    return uses_special(SpecialReg::kGlobalId, 1) || uses_special(SpecialReg::kGlobalId, 2);
+  }
+
+  void bind_grid_stride_specials(int item) {
+    special_vreg_.clear();
+    int gid[3] = {-1, -1, -1};
+    if (needs_decomposition()) {
+      gid[0] = fresh();
+      op_r(Op::kRemu, gid[0], item, global_size_[0]);
+      const int r1 = fresh();
+      op_r(Op::kDivu, r1, item, global_size_[0]);
+      gid[1] = fresh();
+      op_r(Op::kRemu, gid[1], r1, global_size_[1]);
+      gid[2] = fresh();
+      op_r(Op::kDivu, gid[2], r1, global_size_[1]);
+    } else {
+      gid[0] = item;
+      gid[1] = gid[2] = -1;
+    }
+    for (int d = 0; d < 3; ++d) {
+      if (uses_special(SpecialReg::kGlobalId, d) && gid[d] >= 0) {
+        special_vreg_[key(SpecialReg::kGlobalId, d)] = gid[d];
+      }
+      if (uses_special(SpecialReg::kGlobalSize, d)) {
+        special_vreg_[key(SpecialReg::kGlobalSize, d)] = global_size_[d];
+      }
+      if (uses_special(SpecialReg::kLocalSize, d)) {
+        special_vreg_[key(SpecialReg::kLocalSize, d)] = local_size_[d];
+      }
+      if (uses_special(SpecialReg::kNumGroups, d)) {
+        special_vreg_[key(SpecialReg::kNumGroups, d)] = num_groups_[d];
+      }
+      if (uses_special(SpecialReg::kLocalId, d)) {
+        const int v = fresh();
+        op_r(Op::kRemu, v, gid[d], local_size_[d]);
+        special_vreg_[key(SpecialReg::kLocalId, d)] = v;
+      }
+      if (uses_special(SpecialReg::kGroupId, d)) {
+        const int v = fresh();
+        op_r(Op::kDivu, v, gid[d], local_size_[d]);
+        special_vreg_[key(SpecialReg::kGroupId, d)] = v;
+      }
+    }
+  }
+
+  void bind_group_specials(int group, int lidlin) {
+    special_vreg_.clear();
+    // Group indices.
+    int grp[3];
+    grp[0] = fresh();
+    op_r(Op::kRemu, grp[0], group, num_groups_[0]);
+    const int r1 = fresh();
+    op_r(Op::kDivu, r1, group, num_groups_[0]);
+    grp[1] = fresh();
+    op_r(Op::kRemu, grp[1], r1, num_groups_[1]);
+    grp[2] = fresh();
+    op_r(Op::kDivu, grp[2], r1, num_groups_[1]);
+    // Local indices from the linear lane id.
+    int lid[3];
+    lid[0] = fresh();
+    op_r(Op::kRemu, lid[0], lidlin, local_size_[0]);
+    const int r2 = fresh();
+    op_r(Op::kDivu, r2, lidlin, local_size_[0]);
+    lid[1] = fresh();
+    op_r(Op::kRemu, lid[1], r2, local_size_[1]);
+    lid[2] = fresh();
+    op_r(Op::kDivu, lid[2], r2, local_size_[1]);
+
+    for (int d = 0; d < 3; ++d) {
+      special_vreg_[key(SpecialReg::kLocalId, d)] = lid[d];
+      special_vreg_[key(SpecialReg::kGroupId, d)] = grp[d];
+      if (local_size_[d] >= 0) special_vreg_[key(SpecialReg::kLocalSize, d)] = local_size_[d];
+      if (num_groups_[d] >= 0) special_vreg_[key(SpecialReg::kNumGroups, d)] = num_groups_[d];
+      if (global_size_[d] >= 0) special_vreg_[key(SpecialReg::kGlobalSize, d)] = global_size_[d];
+      if (uses_special(SpecialReg::kGlobalId, d)) {
+        const int v = fresh();
+        op_r(Op::kMul, v, grp[d], local_size_[d]);
+        op_r(Op::kAdd, v, v, lid[d]);
+        special_vreg_[key(SpecialReg::kGlobalId, d)] = v;
+      }
+    }
+  }
+
+  // ---- expression lowering ----------------------------------------------
+
+  // Normalizes an i32 value to 0/1.
+  int normalize_bool(int reg) {
+    const int v = fresh();
+    op_r(Op::kSltu, v, 0, reg);
+    return v;
+  }
+
+  // Branchless lane-wise select on integer registers:
+  //   result = b ^ ((a ^ b) & -(cond != 0))
+  int blend_int(int cond01, int a, int b) {
+    const int mask = fresh();
+    op_r(Op::kSub, mask, 0, cond01);
+    const int diff = fresh();
+    op_r(Op::kXor, diff, a, b);
+    op_r(Op::kAnd, diff, diff, mask);
+    const int out = fresh();
+    op_r(Op::kXor, out, b, diff);
+    return out;
+  }
+
+  Value eval(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kConstInt: {
+        const int v = fresh();
+        li(v, e->ival);
+        return {v, true};
+      }
+      case ExprKind::kConstFloat: {
+        const int bits = fresh();
+        li(bits, static_cast<int32_t>(f2u(e->fval)));
+        const int f = fresh();
+        op_r(Op::kFmvWX, f, bits, -1);
+        return {f, true};
+      }
+      case ExprKind::kVar: {
+        auto it = var_vreg_.find(e->var);
+        if (it == var_vreg_.end()) {
+          fail("use of unbound variable '" + e->var + "'");
+          return {fresh(), true};
+        }
+        return {it->second, false};
+      }
+      case ExprKind::kParam:
+        return {param_vreg_.at(e->index), false};
+      case ExprKind::kSpecial: {
+        auto it = special_vreg_.find(key(e->special, e->index));
+        if (it == special_vreg_.end()) {
+          fail("work-item special not bound (dimension beyond launch?)");
+          return {fresh(), true};
+        }
+        return {it->second, false};
+      }
+      case ExprKind::kBinary:
+        return eval_binary(e);
+      case ExprKind::kUnary:
+        return eval_unary(e);
+      case ExprKind::kSelect: {
+        const Value c = eval(e->a());
+        const Value a = eval(e->b());
+        const Value b = eval(e->c());
+        const int c01 = normalize_bool(c.vreg);
+        if (e->type == Scalar::kF32) {
+          const int ai = fresh(), bi = fresh();
+          op_r(Op::kFmvXW, ai, a.vreg, -1);
+          op_r(Op::kFmvXW, bi, b.vreg, -1);
+          const int blended = blend_int(c01, ai, bi);
+          const int out = fresh();
+          op_r(Op::kFmvWX, out, blended, -1);
+          return {out, true};
+        }
+        return {blend_int(c01, a.vreg, b.vreg), true};
+      }
+      case ExprKind::kCast: {
+        const Value a = eval(e->a());
+        const int out = fresh();
+        if (e->type == Scalar::kF32) {
+          op_r(Op::kFcvtSW, out, a.vreg, -1);
+        } else {
+          op_r(Op::kFcvtWS, out, a.vreg, -1);
+        }
+        return {out, true};
+      }
+      case ExprKind::kCall: {
+        if (e->call != kir::Builtin::kSqrt) {
+          fail("unexpanded builtin reached codegen");
+          return {fresh(), true};
+        }
+        const Value a = eval(e->args[0]);
+        const int out = fresh();
+        op_r(Op::kFsqrtS, out, a.vreg, -1);
+        return {out, true};
+      }
+      case ExprKind::kLoad: {
+        const int addr = eval_address(e->index, e->is_local, e->a());
+        const int out = fresh();
+        op_i(e->type == Scalar::kF32 ? Op::kFlw : Op::kLw, out, addr, 0);
+        return {out, true};
+      }
+    }
+    fail("unreachable expression kind");
+    return {fresh(), true};
+  }
+
+  // Computes &buffer[index] into a vreg.
+  int eval_address(int buffer, bool is_local, const ExprPtr& index) {
+    const Value idx = eval(index);
+    const int scaled = fresh();
+    op_i(Op::kSlli, scaled, idx.vreg, 2);
+    const int base = is_local ? local_base_vreg(buffer) : param_vreg_.at(buffer);
+    const int addr = fresh();
+    op_r(Op::kAdd, addr, base, scaled);
+    return addr;
+  }
+
+  int local_base_vreg(int slot) {
+    auto it = local_base_.find(slot);
+    if (it != local_base_.end()) return it->second;
+    uint32_t offset = 0;
+    for (int i = 0; i < slot; ++i) {
+      offset += kernel_.locals[static_cast<size_t>(i)].size * 4;
+    }
+    const int v = fresh();
+    li(v, static_cast<int32_t>(arch::kLocalBase + offset));
+    local_base_[slot] = v;
+    return v;
+  }
+
+  Value eval_binary(const ExprPtr& e) {
+    const bool flt = e->a()->type == Scalar::kF32;
+    // Logical short-circuit is not observable without side effects; both
+    // operands are pure here (loads in conditions evaluate eagerly in SIMT).
+    const Value a = eval(e->a());
+    const Value b = eval(e->b());
+    const int out = fresh();
+    if (flt) {
+      switch (e->bin) {
+        case BinOp::kAdd: op_r(Op::kFaddS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kSub: op_r(Op::kFsubS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kMul: op_r(Op::kFmulS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kDiv: op_r(Op::kFdivS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kMin: op_r(Op::kFminS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kMax: op_r(Op::kFmaxS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kLt: op_r(Op::kFltS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kLe: op_r(Op::kFleS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kGt: op_r(Op::kFltS, out, b.vreg, a.vreg); return {out, true};
+        case BinOp::kGe: op_r(Op::kFleS, out, b.vreg, a.vreg); return {out, true};
+        case BinOp::kEq: op_r(Op::kFeqS, out, a.vreg, b.vreg); return {out, true};
+        case BinOp::kNe: {
+          op_r(Op::kFeqS, out, a.vreg, b.vreg);
+          const int inv = fresh();
+          op_i(Op::kXori, inv, out, 1);
+          return {inv, true};
+        }
+        default:
+          fail("invalid float binary op");
+          return {out, true};
+      }
+    }
+    switch (e->bin) {
+      case BinOp::kAdd: op_r(Op::kAdd, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kSub: op_r(Op::kSub, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kMul: op_r(Op::kMul, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kDiv: op_r(Op::kDiv, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kRem: op_r(Op::kRem, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kAnd: op_r(Op::kAnd, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kOr: op_r(Op::kOr, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kXor: op_r(Op::kXor, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kShl: op_r(Op::kSll, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kShr: op_r(Op::kSra, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kLt: op_r(Op::kSlt, out, a.vreg, b.vreg); return {out, true};
+      case BinOp::kGt: op_r(Op::kSlt, out, b.vreg, a.vreg); return {out, true};
+      case BinOp::kLe: {
+        op_r(Op::kSlt, out, b.vreg, a.vreg);
+        const int inv = fresh();
+        op_i(Op::kXori, inv, out, 1);
+        return {inv, true};
+      }
+      case BinOp::kGe: {
+        op_r(Op::kSlt, out, a.vreg, b.vreg);
+        const int inv = fresh();
+        op_i(Op::kXori, inv, out, 1);
+        return {inv, true};
+      }
+      case BinOp::kEq: {
+        op_r(Op::kSub, out, a.vreg, b.vreg);
+        const int z = fresh();
+        op_i(Op::kSltiu, z, out, 1);
+        return {z, true};
+      }
+      case BinOp::kNe: {
+        op_r(Op::kSub, out, a.vreg, b.vreg);
+        const int z = fresh();
+        op_r(Op::kSltu, z, 0, out);
+        return {z, true};
+      }
+      case BinOp::kLAnd: {
+        const int na = normalize_bool(a.vreg);
+        const int nb = normalize_bool(b.vreg);
+        op_r(Op::kAnd, out, na, nb);
+        return {out, true};
+      }
+      case BinOp::kLOr: {
+        op_r(Op::kOr, out, a.vreg, b.vreg);
+        return {normalize_bool(out), true};
+      }
+      case BinOp::kMin: {
+        const int c = fresh();
+        op_r(Op::kSlt, c, a.vreg, b.vreg);
+        return {blend_int(c, a.vreg, b.vreg), true};
+      }
+      case BinOp::kMax: {
+        const int c = fresh();
+        op_r(Op::kSlt, c, b.vreg, a.vreg);
+        return {blend_int(c, a.vreg, b.vreg), true};
+      }
+    }
+    fail("unreachable binary op");
+    return {out, true};
+  }
+
+  Value eval_unary(const ExprPtr& e) {
+    const Value a = eval(e->a());
+    const int out = fresh();
+    switch (e->un) {
+      case UnOp::kNeg:
+        if (e->type == Scalar::kF32) {
+          op_r(Op::kFsgnjnS, out, a.vreg, a.vreg);
+        } else {
+          op_r(Op::kSub, out, 0, a.vreg);
+        }
+        return {out, true};
+      case UnOp::kNot:
+        op_i(Op::kSltiu, out, a.vreg, 1);
+        return {out, true};
+      case UnOp::kAbs:
+        if (e->type == Scalar::kF32) {
+          op_r(Op::kFsgnjxS, out, a.vreg, a.vreg);
+          return {out, true};
+        } else {
+          const int m = fresh();
+          op_i(Op::kSrai, m, a.vreg, 31);
+          const int x = fresh();
+          op_r(Op::kXor, x, a.vreg, m);
+          op_r(Op::kSub, out, x, m);
+          return {out, true};
+        }
+      case UnOp::kBitcastI2F:
+        op_r(Op::kFmvWX, out, a.vreg, -1);
+        return {out, true};
+      case UnOp::kBitcastF2I:
+        op_r(Op::kFmvXW, out, a.vreg, -1);
+        return {out, true};
+    }
+    fail("unreachable unary op");
+    return {out, true};
+  }
+
+  // ---- statement lowering -------------------------------------------------
+
+  void lower_block(const std::vector<kir::StmtPtr>& block) {
+    for (const auto& s : block) lower_stmt(*s);
+  }
+
+  void bind_var(const std::string& name, const Value& value, Scalar type) {
+    if (value.owned) {
+      var_vreg_[name] = value.vreg;
+      var_type_[name] = type;
+      return;
+    }
+    // Copy shared vregs (params/specials/other vars) so later mutation of
+    // the variable cannot clobber them.
+    const int copy = fresh();
+    if (type == Scalar::kF32) {
+      mv_float(copy, value.vreg);
+    } else {
+      mv_int(copy, value.vreg);
+    }
+    var_vreg_[name] = copy;
+    var_type_[name] = type;
+  }
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kLet: {
+        const Value v = eval(s.a);
+        bind_var(s.var, v, s.a->type);
+        return;
+      }
+      case StmtKind::kAssign: {
+        const Value v = eval(s.a);
+        auto it = var_vreg_.find(s.var);
+        if (it == var_vreg_.end()) {
+          fail("assignment to unbound variable '" + s.var + "'");
+          return;
+        }
+        if (s.a->type == Scalar::kF32) {
+          mv_float(it->second, v.vreg);
+        } else {
+          mv_int(it->second, v.vreg);
+        }
+        return;
+      }
+      case StmtKind::kStore: {
+        const Value value = eval(s.b);
+        const int addr = eval_address(s.buffer, s.is_local, s.a);
+        op_s(s.b->type == Scalar::kF32 ? Op::kFsw : Op::kSw, addr, value.vreg, 0);
+        return;
+      }
+      case StmtKind::kIf:
+        lower_if(s);
+        return;
+      case StmtKind::kFor:
+        lower_for(s);
+        return;
+      case StmtKind::kWhile:
+        lower_while(s);
+        return;
+      case StmtKind::kBarrier:
+        if (!barrier_mode_) {
+          fail("barrier outside work-group dispatch");
+          return;
+        }
+        emit_barrier();
+        return;
+      case StmtKind::kAtomic:
+        lower_atomic(s);
+        return;
+      case StmtKind::kPrint:
+        lower_print(s);
+        return;
+    }
+  }
+
+  void lower_if(const Stmt& s) {
+    const Value cond = eval(s.a);
+    const bool uniform = options_.uniform_branch_opt && !s.divergent;
+    if (uniform) {
+      const int else_label = fn_.make_label();
+      const int merge = fn_.make_label();
+      branch(Op::kBeq, cond.vreg, 0, else_label);
+      lower_block(s.body);
+      jump(merge);
+      fn_.label(else_label);
+      lower_block(s.else_body);
+      fn_.label(merge);
+      return;
+    }
+    // Divergent: SPLIT/JOIN protocol (see arch/isa.hpp).
+    const int else_label = fn_.make_label();
+    const int merge = fn_.make_label();
+    split(cond.vreg, else_label);
+    lower_block(s.body);
+    join(merge);
+    fn_.label(else_label);
+    lower_block(s.else_body);
+    join(merge);
+    fn_.label(merge);
+  }
+
+  void lower_for(const Stmt& s) {
+    const Value begin = eval(s.a);
+    // The induction variable is mutable: bind a fresh copy.
+    bind_var(s.var, Value{begin.vreg, begin.owned}, Scalar::kI32);
+    const int iv = var_vreg_.at(s.var);
+
+    const bool uniform = options_.uniform_branch_opt && !s.divergent;
+    const int loop_top = fn_.make_label();
+    const int loop_exit = fn_.make_label();
+    if (uniform) {
+      fn_.label(loop_top);
+      const Value end = eval(s.b);
+      branch(Op::kBge, iv, end.vreg, loop_exit);
+      lower_block(s.body);
+      const Value step = eval(s.c);
+      op_r(Op::kAdd, iv, iv, step.vreg);
+      jump(loop_top);
+      fn_.label(loop_exit);
+      return;
+    }
+    // Divergent trip counts: PRED loop with thread-mask save/restore.
+    const int saved = fresh();
+    csr_read(saved, arch::kCsrTmask);
+    fn_.label(loop_top);
+    const Value end = eval(s.b);
+    const int alive = fresh();
+    op_r(Op::kSlt, alive, iv, end.vreg);
+    pred(alive, loop_exit);
+    lower_block(s.body);
+    const Value step = eval(s.c);
+    op_r(Op::kAdd, iv, iv, step.vreg);
+    jump(loop_top);
+    fn_.label(loop_exit);
+    op_r(Op::kTmc, 0, saved, 0);
+  }
+
+  void lower_while(const Stmt& s) {
+    const bool uniform = options_.uniform_branch_opt && !s.divergent;
+    const int loop_top = fn_.make_label();
+    const int loop_exit = fn_.make_label();
+    if (uniform) {
+      fn_.label(loop_top);
+      const Value cond = eval(s.a);
+      branch(Op::kBeq, cond.vreg, 0, loop_exit);
+      lower_block(s.body);
+      jump(loop_top);
+      fn_.label(loop_exit);
+      return;
+    }
+    const int saved = fresh();
+    csr_read(saved, arch::kCsrTmask);
+    fn_.label(loop_top);
+    const Value cond = eval(s.a);
+    const int alive = normalize_bool(cond.vreg);
+    pred(alive, loop_exit);
+    lower_block(s.body);
+    jump(loop_top);
+    fn_.label(loop_exit);
+    op_r(Op::kTmc, 0, saved, 0);
+  }
+
+  void lower_atomic(const Stmt& s) {
+    Op op = Op::kAmoaddW;
+    switch (s.atomic) {
+      case kir::AtomicOp::kAdd: op = Op::kAmoaddW; break;
+      case kir::AtomicOp::kMin: op = Op::kAmominW; break;
+      case kir::AtomicOp::kMax: op = Op::kAmomaxW; break;
+      case kir::AtomicOp::kAnd: op = Op::kAmoandW; break;
+      case kir::AtomicOp::kOr: op = Op::kAmoorW; break;
+      case kir::AtomicOp::kXor: op = Op::kAmoxorW; break;
+      case kir::AtomicOp::kExchange: op = Op::kAmoswapW; break;
+      case kir::AtomicOp::kCmpxchg:
+        fail("atomic_cmpxchg is not supported by the soft-GPU backend");
+        return;
+    }
+    const Value value = eval(s.b);
+    const int addr = eval_address(s.buffer, s.is_local, s.a);
+    const int rd = s.result_var.empty() ? 0 : fresh();
+    op_r(op, rd, addr, value.vreg);
+    if (!s.result_var.empty()) {
+      var_vreg_[s.result_var] = rd;
+      var_type_[s.result_var] = Scalar::kI32;
+    }
+  }
+
+  void lower_print(const Stmt& s) {
+    size_t arg_index = 0;
+    const std::string& fmt = s.text;
+    auto ecall = [&](uint32_t function) {
+      li(kA7, static_cast<int32_t>(function));
+      fn_.code.push_back(MInstr{.op = Op::kEcall});
+    };
+    for (size_t p = 0; p < fmt.size(); ++p) {
+      if (fmt[p] == '%' && p + 1 < fmt.size() && fmt[p + 1] != '%') {
+        const char spec = fmt[++p];
+        if (arg_index >= s.print_args.size()) continue;
+        const Value v = eval(s.print_args[arg_index++]);
+        if (spec == 'f') {
+          op_r(Op::kFmvXW, kA0, v.vreg, -1);
+          ecall(arch::kEcallPrintFlt);
+        } else {
+          mv_int(kA0, v.vreg);
+          ecall(arch::kEcallPrintInt);
+        }
+        continue;
+      }
+      char ch = fmt[p];
+      if (ch == '%' && p + 1 < fmt.size()) ch = fmt[++p];  // literal %%
+      li(kA0, ch);
+      ecall(arch::kEcallPutChar);
+    }
+  }
+
+ public:
+  const Status& error() const { return error_; }
+
+ private:
+  const kir::Kernel& kernel_;
+  Options options_;
+  bool barrier_mode_;
+  MFunction fn_;
+  Status error_;
+
+  int warp_main_ = -1;
+  int nbw_vreg_ = -1;
+
+  std::unordered_map<int, int> param_vreg_;
+  std::unordered_map<int, int> local_base_;
+  std::unordered_map<std::string, int> var_vreg_;
+  std::unordered_map<std::string, Scalar> var_type_;
+  std::unordered_map<int, int> special_vreg_;
+  std::unordered_map<int, bool> used_specials_;
+  int global_size_[3] = {-1, -1, -1};
+  int local_size_[3] = {-1, -1, -1};
+  int num_groups_[3] = {-1, -1, -1};
+};
+
+// ---------------------------------------------------------------------------
+// Emission: machine IR + allocation -> encoded program
+// ---------------------------------------------------------------------------
+
+Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
+                                   CompiledKernel& meta) {
+  vasm::AsmBuilder builder;
+  std::vector<vasm::AsmBuilder::Label> labels;
+  labels.reserve(static_cast<size_t>(fn.num_labels));
+  for (int i = 0; i < fn.num_labels; ++i) labels.push_back(builder.make_label());
+
+  if (alloc.num_spill_slots * 4 >= 2048) {
+    return Result<vasm::Program>(ErrorKind::kCompileError,
+                                 "spill frame exceeds 2 KiB (too much register pressure)");
+  }
+
+  for (const MInstr& m : fn.code) {
+    if (m.is_label()) {
+      builder.bind(labels[static_cast<size_t>(m.bind_label)]);
+      continue;
+    }
+    // Resolve registers; spilled sources load into scratch registers first.
+    int next_int_scratch = kScratch0;
+    int next_float_scratch = kScratch0;  // f29..f31
+    struct Spill {
+      int phys;
+      int slot;
+      bool flt;
+    };
+    std::optional<Spill> rd_spill;
+    auto resolve = [&](int reg, bool flt, bool is_def) -> int {
+      if (reg < 0) return 0;
+      if (!is_virtual(reg)) return phys_index(reg);
+      auto assigned = alloc.assignment.find(reg);
+      if (assigned != alloc.assignment.end()) return phys_index(assigned->second);
+      const int slot = alloc.spill_slot.at(reg);
+      const int scratch = flt ? next_float_scratch++ : next_int_scratch++;
+      assert(scratch <= kScratch2 && "ran out of spill scratch registers");
+      if (is_def) {
+        rd_spill = Spill{scratch, slot, flt};
+      } else {
+        builder.emit_i(flt ? Op::kFlw : Op::kLw, static_cast<unsigned>(scratch), kSp, slot * 4);
+      }
+      return scratch;
+    };
+
+    if (m.is_li) {
+      const int rd = resolve(m.rd, false, true);
+      builder.li(static_cast<unsigned>(rd), m.imm);
+      if (rd_spill) builder.emit_s(Op::kSw, kSp, static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
+      continue;
+    }
+    if (m.is_la) {
+      const int rd = resolve(m.rd, false, true);
+      builder.la(static_cast<unsigned>(rd), labels[static_cast<size_t>(m.target)]);
+      if (rd_spill) builder.emit_s(Op::kSw, kSp, static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
+      continue;
+    }
+
+    const Op op = m.op;
+    const int rs1 = resolve(m.rs1, slot_rs1_float(op), false);
+    const int rs2 = resolve(m.rs2, slot_rs2_float(op), false);
+    const int rs3 = resolve(m.rs3, slot_rs3_float(op), false);
+    const int rd = resolve(m.rd, slot_rd_float(op), true);
+
+    const auto& info = arch::op_info(op);
+    if (info.fu == arch::FuClass::kSimt) ++meta.simt_instructions;
+    if (info.fu == arch::FuClass::kLsu) ++meta.mem_instructions;
+
+    if (m.target >= 0) {
+      const auto label = labels[static_cast<size_t>(m.target)];
+      switch (op) {
+        case Op::kJal:
+          builder.emit_jal(static_cast<unsigned>(rd), label);
+          break;
+        case Op::kSplit:
+          builder.emit_split(static_cast<unsigned>(rs1), label);
+          break;
+        case Op::kPred:
+          builder.emit_pred(static_cast<unsigned>(rs1), label);
+          break;
+        case Op::kJoin:
+          builder.emit_join(label);
+          break;
+        default:  // conditional branches
+          builder.emit_branch(op, static_cast<unsigned>(rs1), static_cast<unsigned>(rs2), label);
+          break;
+      }
+    } else {
+      arch::Instr instr;
+      instr.op = op;
+      instr.rd = static_cast<uint8_t>(rd);
+      instr.rs1 = static_cast<uint8_t>(rs1);
+      instr.rs2 = static_cast<uint8_t>(rs2);
+      instr.rs3 = static_cast<uint8_t>(rs3);
+      instr.imm = m.imm;
+      builder.emit(instr);
+    }
+    if (rd_spill) {
+      builder.emit_s(rd_spill->flt ? Op::kFsw : Op::kSw, kSp,
+                     static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
+    }
+  }
+  builder.mark_symbol(".end");
+  // Fetch runs ahead of issue; pad so the prefetcher beyond the final
+  // instruction still sees valid (warp-retiring) encodings.
+  for (int i = 0; i < 4; ++i) builder.tmc(0);
+  return builder.finalize(arch::kCodeBase);
+}
+
+}  // namespace
+
+Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& options) {
+  if (auto st = kir::verify(kernel); !st.is_ok()) return st;
+
+  // Clone so pass rewrites and annotations do not leak into the input.
+  kir::Kernel lowered = kir::clone_kernel(kernel);
+  kir::expand_builtins(lowered);
+  kir::const_fold(lowered);
+  const bool barrier_mode = options.force_group_dispatch || lowered.has_barrier();
+  kir::analyze_divergence(lowered, /*group_id_uniform=*/barrier_mode);
+
+  Lowering lowering(lowered, options, barrier_mode);
+  auto fn = lowering.run();
+  if (!fn.is_ok()) return fn.status();
+
+  const Allocation alloc = allocate_registers(*fn);
+
+  CompiledKernel result;
+  result.barrier_dispatch = barrier_mode;
+  result.spill_slots = alloc.num_spill_slots;
+  auto program = emit_program(*fn, alloc, result);
+  if (!program.is_ok()) return program.status();
+  result.program = program.take();
+  result.instruction_count = result.program.words.size();
+  return result;
+}
+
+}  // namespace fgpu::codegen

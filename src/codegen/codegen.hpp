@@ -1,0 +1,60 @@
+// The soft-GPU kernel compiler: KIR -> Vortex ISA binary.
+//
+// This is the stand-in for the extended PoCL + LLVM pipeline of the paper's
+// Fig. 5. It performs the same jobs that pipeline performs for Vortex:
+//   * work scheduling that reflects the hardware (a grid-stride dispatch
+//     loop for ordinary kernels; work-group-per-core dispatch with BAR
+//     synchronization for kernels containing barriers),
+//   * divergence lowering onto the SPLIT/JOIN/PRED/TMC extension,
+//     using plain scalar branches where divergence analysis proves a
+//     condition warp-uniform (the compiler optimization opportunity the
+//     paper highlights in §IV-A),
+//   * register allocation with spilling to the per-thread stack, and
+//   * lowering of atomics and OpenCL printf onto AMO instructions and the
+//     host ECALL interface respectively (§IV-A challenge 2).
+#pragma once
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+#include "vasm/program.hpp"
+
+namespace fgpu::codegen {
+
+// How work items map to hardware threads for kernels without barriers —
+// the paper's §IV-A challenge 4 ("identifying the optimal work item
+// distribution on Vortex hardware ... mapping influences memory access
+// patterns and pipeline unit stalls").
+enum class WorkDistribution : uint8_t {
+  // Lane l handles items l, l+N, l+2N... — adjacent lanes touch adjacent
+  // addresses (coalesced), the PoCL-style default.
+  kGridStride,
+  // Each hardware thread handles one contiguous chunk — adjacent lanes sit
+  // a chunk apart (uncoalesced), the CPU-friendly mapping.
+  kBlocked,
+};
+
+struct Options {
+  // Use scalar branches for warp-uniform conditions instead of SPLIT/JOIN.
+  // Off = every branch pays the divergence-control cost (ablation knob).
+  bool uniform_branch_opt = true;
+  // Force the work-group (barrier-style) dispatch even without barriers.
+  bool force_group_dispatch = false;
+  WorkDistribution distribution = WorkDistribution::kGridStride;
+};
+
+struct CompiledKernel {
+  vasm::Program program;
+  bool barrier_dispatch = false;  // work-group-per-core mapping used
+  int spill_slots = 0;
+  size_t instruction_count = 0;
+  // Static instruction mix (for the Fig. 4/5 flow traces and area hints).
+  size_t simt_instructions = 0;  // split/join/pred/tmc/wspawn/bar
+  size_t mem_instructions = 0;
+};
+
+// Compiles one kernel. The input is transformed (builtin expansion,
+// constant folding, divergence analysis) on a copy; the caller's kernel is
+// not modified.
+Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& options = {});
+
+}  // namespace fgpu::codegen

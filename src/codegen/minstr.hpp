@@ -1,0 +1,63 @@
+// Virtual-register machine IR: the output of KIR lowering and the input to
+// register allocation. Mirrors the MC layer of the Vortex LLVM backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.hpp"
+
+namespace fgpu::codegen {
+
+// Register operand encoding:
+//   0..31    physical integer registers x0..x31
+//   32..63   physical float registers f0..f31
+//   >= 64    virtual registers (even = created as int, parity irrelevant;
+//            float-ness of each operand slot is derived from the opcode)
+constexpr int kPhysFloatBase = 32;
+constexpr int kFirstVirtual = 64;
+
+inline bool is_virtual(int reg) { return reg >= kFirstVirtual; }
+inline bool is_phys_float(int reg) { return reg >= kPhysFloatBase && reg < kFirstVirtual; }
+inline int phys_index(int reg) { return reg < kPhysFloatBase ? reg : reg - kPhysFloatBase; }
+
+struct MInstr {
+  arch::Op op = arch::Op::kInvalid;
+  int rd = -1;
+  int rs1 = -1;
+  int rs2 = -1;
+  int rs3 = -1;
+  int32_t imm = 0;
+
+  int target = -1;      // label id for control flow (branch/jal/split/pred/join)
+  int bind_label = -1;  // >= 0: label marker pseudo-instruction (no code)
+
+  bool is_li = false;  // load-immediate pseudo (expands to lui+addi)
+  bool is_la = false;  // load-label-address pseudo (expands to auipc+addi)
+
+  bool is_label() const { return bind_label >= 0; }
+};
+
+struct MFunction {
+  std::vector<MInstr> code;
+  int num_labels = 0;
+  int next_vreg = kFirstVirtual;
+
+  int make_label() { return num_labels++; }
+  int new_vreg() { return next_vreg++; }
+
+  void label(int l) {
+    MInstr m;
+    m.bind_label = l;
+    code.push_back(m);
+  }
+};
+
+// Which operand slots of `op` are float registers.
+inline bool slot_rd_float(arch::Op op) { return arch::writes_freg(op); }
+inline bool slot_rs1_float(arch::Op op) { return arch::reads_freg_rs1(op); }
+inline bool slot_rs2_float(arch::Op op) { return arch::reads_freg_rs2(op); }
+inline bool slot_rs3_float(arch::Op op) { return arch::reads_freg_rs3(op); }
+
+}  // namespace fgpu::codegen

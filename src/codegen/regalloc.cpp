@@ -1,0 +1,137 @@
+#include "codegen/regalloc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fgpu::codegen {
+namespace {
+
+struct UseInfo {
+  int first = -1;
+  int last = -1;
+  bool is_float = false;
+
+  void touch(int pos, bool flt) {
+    if (first < 0) first = pos;
+    last = std::max(last, pos);
+    is_float = is_float || flt;
+  }
+};
+
+}  // namespace
+
+std::vector<Interval> compute_intervals(const MFunction& fn) {
+  std::unordered_map<int, UseInfo> uses;
+  std::vector<int> label_pos(static_cast<size_t>(fn.num_labels), -1);
+
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    const MInstr& m = fn.code[i];
+    if (m.is_label()) {
+      label_pos[static_cast<size_t>(m.bind_label)] = static_cast<int>(i);
+      continue;
+    }
+    const int pos = static_cast<int>(i);
+    auto touch = [&](int reg, bool flt) {
+      if (is_virtual(reg)) uses[reg].touch(pos, flt);
+    };
+    touch(m.rd, slot_rd_float(m.op));
+    touch(m.rs1, slot_rs1_float(m.op));
+    touch(m.rs2, slot_rs2_float(m.op));
+    touch(m.rs3, slot_rs3_float(m.op));
+  }
+
+  // Extend intervals across backward branches until fixpoint, so values
+  // defined before a loop and used inside remain live through all
+  // iterations (and values defined in iteration N survive into N+1).
+  struct BackEdge {
+    int from;
+    int to;
+  };
+  std::vector<BackEdge> back_edges;
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    const MInstr& m = fn.code[i];
+    if (m.is_label() || m.target < 0) continue;
+    const int t = label_pos[static_cast<size_t>(m.target)];
+    assert(t >= 0 && "branch to unbound label");
+    if (t <= static_cast<int>(i)) back_edges.push_back({static_cast<int>(i), t});
+  }
+  // Only values defined before the loop header and still used at or after it
+  // can be live across iterations (codegen re-defines in-body temporaries at
+  // the top of every iteration, so they never cross the back edge).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [vreg, info] : uses) {
+      (void)vreg;
+      for (const auto& edge : back_edges) {
+        if (info.first < edge.to && info.last >= edge.to && info.last < edge.from) {
+          info.last = edge.from;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Interval> intervals;
+  intervals.reserve(uses.size());
+  for (const auto& [vreg, info] : uses) {
+    intervals.push_back(Interval{vreg, info.first, info.last, info.is_float});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  return intervals;
+}
+
+Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config) {
+  Allocation alloc;
+  auto intervals = compute_intervals(fn);
+
+  // Allocate int and float classes independently.
+  for (const bool want_float : {false, true}) {
+    const auto& pool = want_float ? config.float_regs : config.int_regs;
+    struct Active {
+      Interval interval;
+      int phys;
+    };
+    std::vector<Active> active;
+    std::vector<int> free_regs(pool.rbegin(), pool.rend());  // pop_back yields pool order
+
+    for (const auto& interval : intervals) {
+      if (interval.is_float != want_float) continue;
+      // Expire finished intervals.
+      for (size_t i = 0; i < active.size();) {
+        if (active[i].interval.end < interval.start) {
+          free_regs.push_back(active[i].phys);
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      if (!free_regs.empty()) {
+        const int phys = free_regs.back();
+        free_regs.pop_back();
+        alloc.assignment[interval.vreg] =
+            want_float ? phys + kPhysFloatBase : phys;
+        active.push_back({interval, phys});
+        continue;
+      }
+      // Spill the interval that ends last (it blocks the register longest).
+      auto furthest = std::max_element(
+          active.begin(), active.end(),
+          [](const Active& a, const Active& b) { return a.interval.end < b.interval.end; });
+      if (furthest != active.end() && furthest->interval.end > interval.end) {
+        // Steal its register; spill the old owner.
+        alloc.assignment[interval.vreg] =
+            want_float ? furthest->phys + kPhysFloatBase : furthest->phys;
+        alloc.assignment.erase(furthest->interval.vreg);
+        alloc.spill_slot[furthest->interval.vreg] = alloc.num_spill_slots++;
+        furthest->interval = interval;
+      } else {
+        alloc.spill_slot[interval.vreg] = alloc.num_spill_slots++;
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace fgpu::codegen

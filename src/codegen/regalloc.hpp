@@ -1,0 +1,50 @@
+// Linear-scan register allocation over the virtual-register machine IR.
+//
+// Intervals are computed on the linearized instruction list and extended
+// across backward branches (the conservative classic fix for loops), then
+// allocated greedily; intervals that do not fit are spilled to the
+// per-thread stack and rewritten through reserved scratch registers at
+// emission time.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/minstr.hpp"
+
+namespace fgpu::codegen {
+
+struct Allocation {
+  // vreg -> physical register (x index, or f index + kPhysFloatBase).
+  std::unordered_map<int, int> assignment;
+  // vreg -> stack slot (4-byte units from sp). Disjoint from `assignment`.
+  std::unordered_map<int, int> spill_slot;
+  int num_spill_slots = 0;
+
+  bool is_spilled(int vreg) const { return spill_slot.contains(vreg); }
+};
+
+struct RegAllocConfig {
+  // Allocatable physical registers. Defaults reserve: x0 zero, x1 (unused),
+  // x2 sp, x3 arg-block base, x4 hw-thread id, x10/x17 (ecall a0/a7),
+  // x29-x31 spill scratch; f29-f31 spill scratch.
+  std::vector<int> int_regs = {5,  6,  7,  8,  9,  11, 12, 13, 14, 15, 16,
+                               18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28};
+  std::vector<int> float_regs = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14,
+                                 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28};
+};
+
+// Computes an allocation for `fn`. Float-ness of each vreg is inferred from
+// the operand slots it appears in (a vreg must be used consistently).
+Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config = {});
+
+// Live interval of each vreg (exposed for tests).
+struct Interval {
+  int vreg = -1;
+  int start = 0;
+  int end = 0;
+  bool is_float = false;
+};
+std::vector<Interval> compute_intervals(const MFunction& fn);
+
+}  // namespace fgpu::codegen

@@ -1,0 +1,45 @@
+// Bit-manipulation helpers shared by the ISA encoder/decoder, caches and
+// the simulator datapath.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace fgpu {
+
+// Extracts bits [lo, lo+len) of `value`.
+constexpr uint32_t bits(uint32_t value, unsigned lo, unsigned len) {
+  return (value >> lo) & ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u));
+}
+
+// Returns `value` with `field`'s low `len` bits placed at bit `lo`.
+constexpr uint32_t place(uint32_t field, unsigned lo, unsigned len) {
+  return (field & ((len >= 32) ? 0xFFFFFFFFu : ((1u << len) - 1u))) << lo;
+}
+
+// Sign-extends the low `width` bits of `value`.
+constexpr int32_t sign_extend(uint32_t value, unsigned width) {
+  const uint32_t m = 1u << (width - 1);
+  return static_cast<int32_t>((value ^ m) - m);
+}
+
+constexpr bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2_floor(uint64_t v) {
+  return v == 0 ? 0 : 63 - static_cast<unsigned>(std::countl_zero(v));
+}
+
+constexpr unsigned log2_ceil(uint64_t v) {
+  return v <= 1 ? 0 : log2_floor(v - 1) + 1;
+}
+
+constexpr uint64_t align_up(uint64_t v, uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+// Bit-casts between float and its IEEE-754 binary32 representation; the
+// simulator register file stores all lanes as uint32_t.
+inline uint32_t f2u(float f) { return std::bit_cast<uint32_t>(f); }
+inline float u2f(uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace fgpu

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Simulation components log through this so tests
+// can silence output and benches can enable trace-level compilation-flow
+// dumps (used to reproduce the paper's Fig. 1/2/3/5 pipeline diagrams as
+// textual traces).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fgpu {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel l) { return static_cast<int>(l) >= static_cast<int>(level()); }
+
+  template <typename... Args>
+  static void write(LogLevel l, const char* fmt, Args&&... args) {
+    if (!enabled(l)) return;
+    std::fprintf(stderr, "[%s] ", prefix(l));
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    }
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* prefix(LogLevel l) {
+    switch (l) {
+      case LogLevel::kTrace: return "trace";
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      default: return "?";
+    }
+  }
+};
+
+#define FGPU_LOG(LVL, ...) ::fgpu::Log::write(::fgpu::LogLevel::LVL, __VA_ARGS__)
+
+}  // namespace fgpu

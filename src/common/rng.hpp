@@ -1,0 +1,57 @@
+// Deterministic PRNG (xoshiro128**) for workload generation. Benchmarks and
+// property tests must be reproducible across runs and platforms, so we do
+// not use std::mt19937's distribution functions (distribution output is
+// implementation-defined); we implement our own uniform helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace fgpu {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to fill the state.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = static_cast<uint32_t>((z ^ (z >> 31)) & 0xFFFFFFFFu);
+    }
+  }
+
+  uint32_t next_u32() {
+    const uint32_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint32_t t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint32_t next_below(uint32_t bound) { return next_u32() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int32_t next_range(int32_t lo, int32_t hi) {
+    return lo + static_cast<int32_t>(next_below(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  // Uniform float in [0, 1).
+  float next_float() { return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f); }
+
+  // Uniform float in [lo, hi).
+  float next_float(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  bool next_bool() { return (next_u32() & 1u) != 0; }
+
+ private:
+  static uint32_t rotl(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+  uint32_t state_[4];
+};
+
+}  // namespace fgpu

@@ -1,0 +1,112 @@
+// Lightweight Status / Result types used across the library.
+//
+// We avoid exceptions on hot paths (simulator ticks, schedulers) and use
+// Status/Result for fallible API boundaries (compilation, synthesis,
+// runtime object creation), in the spirit of the C++ Core Guidelines'
+// advice to make error handling explicit and cheap.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fgpu {
+
+// Error category for a failed operation. The categories mirror the failure
+// modes the paper reports: HLS synthesis failures (resource overflow,
+// unsupported features) vs. runtime/compile errors.
+enum class ErrorKind {
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,       // feature not supported by a backend (e.g. atomics on HLS)
+  kResourceExceeded,  // FPGA fitter failure ("Not enough BRAM")
+  kCompileError,      // kernel compiler rejected the input
+  kRuntimeError,      // execution-time failure
+  kInternal,
+};
+
+inline const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kInvalidArgument: return "invalid-argument";
+    case ErrorKind::kNotFound: return "not-found";
+    case ErrorKind::kUnsupported: return "unsupported";
+    case ErrorKind::kResourceExceeded: return "resource-exceeded";
+    case ErrorKind::kCompileError: return "compile-error";
+    case ErrorKind::kRuntimeError: return "runtime-error";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorKind kind, std::string message)
+      : error_(Error{kind, std::move(message)}) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorKind kind() const {
+    assert(error_.has_value());
+    return error_->kind;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return error_ ? error_->message : kEmpty;
+  }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(fgpu::to_string(error_->kind)) + ": " + error_->message;
+  }
+
+ private:
+  struct Error {
+    ErrorKind kind;
+    std::string message;
+  };
+  std::optional<Error> error_;
+};
+
+// Result<T>: either a value or a Status error. Minimal expected<T> stand-in.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.is_ok() && "Result constructed from OK status");
+  }
+  Result(ErrorKind kind, std::string message)
+      : status_(kind, std::move(message)) {}
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+  T& value() {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fgpu

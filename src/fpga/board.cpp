@@ -1,0 +1,61 @@
+#include "fpga/board.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fgpu::fpga {
+
+std::string AreaReport::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "ALUTs=%llu FFs=%llu BRAMs=%llu DSPs=%llu",
+                static_cast<unsigned long long>(aluts), static_cast<unsigned long long>(ffs),
+                static_cast<unsigned long long>(brams), static_cast<unsigned long long>(dsps));
+  return buf;
+}
+
+double Board::utilization(const AreaReport& area) const {
+  const double u_alut = static_cast<double>(area.aluts) / static_cast<double>(capacity.aluts);
+  const double u_ff = static_cast<double>(area.ffs) / static_cast<double>(capacity.ffs);
+  const double u_bram = static_cast<double>(area.brams) / static_cast<double>(capacity.brams);
+  const double u_dsp = static_cast<double>(area.dsps) / static_cast<double>(capacity.dsps);
+  return std::max({u_alut, u_ff, u_bram, u_dsp});
+}
+
+std::string Board::bottleneck_resource(const AreaReport& area) const {
+  const double u_alut = static_cast<double>(area.aluts) / static_cast<double>(capacity.aluts);
+  const double u_ff = static_cast<double>(area.ffs) / static_cast<double>(capacity.ffs);
+  const double u_bram = static_cast<double>(area.brams) / static_cast<double>(capacity.brams);
+  const double u_dsp = static_cast<double>(area.dsps) / static_cast<double>(capacity.dsps);
+  const double worst = std::max({u_alut, u_ff, u_bram, u_dsp});
+  if (worst == u_bram) return "BRAM";
+  if (worst == u_alut) return "ALUT";
+  if (worst == u_ff) return "FF";
+  return "DSP";
+}
+
+const Board& stratix10_sx2800() {
+  static const Board board = [] {
+    Board b;
+    b.name = "Stratix10-SX2800";
+    // 933,120 ALMs; each ALM provides two ALUTs and four FFs.
+    b.capacity = AreaReport{933'120ull * 2, 933'120ull * 4, 11'721, 5'760};
+    b.dram = mem::DramConfig::ddr4();
+    b.heterogeneous_memory = false;
+    return b;
+  }();
+  return board;
+}
+
+const Board& stratix10_mx2100() {
+  static const Board board = [] {
+    Board b;
+    b.name = "Stratix10-MX2100";
+    b.capacity = AreaReport{702'720ull * 2, 702'720ull * 4, 6'847, 3'960};
+    b.dram = mem::DramConfig::hbm2();
+    b.heterogeneous_memory = true;
+    return b;
+  }();
+  return board;
+}
+
+}  // namespace fgpu::fpga

@@ -1,0 +1,64 @@
+// FPGA board database and area-report types.
+//
+// The two boards are the paper's evaluation targets (§III): the Intel
+// Stratix 10 SX2800 (DDR4 off-chip memory, used for Vortex) and the
+// Stratix 10 MX2100 (HBM2, used for the Intel FPGA SDK flow). Capacities
+// are the public device numbers; the MX2100's 6,847 M20K blocks reproduce
+// the paper's utilization percentages exactly (12,898 BRAM = 188%,
+// 9,882 = 144%, 5,694 = 83%).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/dram.hpp"
+
+namespace fgpu::fpga {
+
+struct AreaReport {
+  uint64_t aluts = 0;
+  uint64_t ffs = 0;
+  uint64_t brams = 0;  // M20K blocks
+  uint64_t dsps = 0;
+
+  AreaReport& operator+=(const AreaReport& other) {
+    aluts += other.aluts;
+    ffs += other.ffs;
+    brams += other.brams;
+    dsps += other.dsps;
+    return *this;
+  }
+  friend AreaReport operator+(AreaReport a, const AreaReport& b) { return a += b; }
+  friend AreaReport operator*(AreaReport a, uint64_t k) {
+    a.aluts *= k;
+    a.ffs *= k;
+    a.brams *= k;
+    a.dsps *= k;
+    return a;
+  }
+
+  std::string to_string() const;
+};
+
+struct Board {
+  std::string name;
+  AreaReport capacity;
+  mem::DramConfig dram;
+  // HBM2 boards have a heterogeneous memory system; the paper reports that
+  // the Intel SDK fails to synthesize global atomics against it (§III-A,
+  // hybridsort).
+  bool heterogeneous_memory = false;
+  double hls_kernel_clock_mhz = 300.0;  // typical AOC kernel Fmax
+  double soft_gpu_clock_mhz = 200.0;    // "peak clock of over 200 MHz" (§II-C)
+
+  double utilization(const AreaReport& area) const;          // worst resource, 1.0 == full
+  std::string bottleneck_resource(const AreaReport& area) const;
+  bool fits(const AreaReport& area) const { return utilization(area) <= 1.0; }
+};
+
+// Intel Stratix 10 SX 2800: 933,120 ALMs, 11,721 M20Ks, 5,760 DSPs, DDR4.
+const Board& stratix10_sx2800();
+// Intel Stratix 10 MX 2100: 702,720 ALMs, 6,847 M20Ks, 3,960 DSPs, HBM2.
+const Board& stratix10_mx2100();
+
+}  // namespace fgpu::fpga

@@ -1,0 +1,517 @@
+#include "hls/compiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+namespace fgpu::hls {
+namespace {
+
+using kir::BinOp;
+using kir::Expr;
+using kir::ExprKind;
+using kir::ExprPtr;
+using kir::Scalar;
+using kir::SpecialReg;
+using kir::Stmt;
+using kir::StmtKind;
+
+// ---------------------------------------------------------------------------
+// Access-pattern analysis: affine derivative of an index expression with
+// respect to get_global_id(0) across adjacent work items. Let-bound
+// variables are substituted through `defs` (single-assignment only).
+// ---------------------------------------------------------------------------
+
+using VarDefs = std::unordered_map<std::string, ExprPtr>;
+
+std::optional<int64_t> gid_coefficient(const ExprPtr& e, const VarDefs& defs, int depth = 0) {
+  if (depth > 32) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::kConstInt:
+    case ExprKind::kConstFloat:
+    case ExprKind::kParam:
+      return 0;
+    case ExprKind::kSpecial:
+      switch (e->special) {
+        case SpecialReg::kGlobalId:
+          return e->index == 0 ? 1 : 0;  // adjacent items differ in dim 0
+        case SpecialReg::kLocalId:
+          return e->index == 0 ? 1 : 0;
+        default:
+          return 0;  // group ids and sizes are uniform across a group
+      }
+    case ExprKind::kVar: {
+      auto it = defs.find(e->var);
+      if (it == defs.end()) return std::nullopt;  // mutated or loop variable
+      return gid_coefficient(it->second, defs, depth + 1);
+    }
+    case ExprKind::kBinary: {
+      const auto a = gid_coefficient(e->a(), defs, depth + 1);
+      const auto b = gid_coefficient(e->b(), defs, depth + 1);
+      if (!a || !b) return std::nullopt;
+      switch (e->bin) {
+        case BinOp::kAdd: return *a + *b;
+        case BinOp::kSub: return *a - *b;
+        case BinOp::kMul:
+          // Affine only if one side is invariant; the scale is then
+          // coefficient * invariant-value, which we cannot evaluate without
+          // runtime values — any nonzero scaled coefficient means strided.
+          if (*a == 0 && *b == 0) return 0;
+          if (*a == 0 || *b == 0) {
+            // k * gid-affine: report "some stride > 1" as 2 (magnitude is
+            // irrelevant to the classification).
+            if (e->a()->kind == ExprKind::kConstInt && *a == 0) return e->a()->ival * *b;
+            if (e->b()->kind == ExprKind::kConstInt && *b == 0) return e->b()->ival * *a;
+            return 2;
+          }
+          return std::nullopt;
+        case BinOp::kShl:
+          if (*b == 0 && e->b()->kind == ExprKind::kConstInt) return *a << e->b()->ival;
+          return std::nullopt;
+        default:
+          // Division/modulo/compare of a gid-dependent value: irregular
+          // unless independent of gid entirely.
+          if (*a == 0 && *b == 0) return 0;
+          return std::nullopt;
+      }
+    }
+    case ExprKind::kUnary:
+      if (e->un == kir::UnOp::kNeg) {
+        const auto a = gid_coefficient(e->a(), defs, depth + 1);
+        if (a) return -*a;
+        return std::nullopt;
+      }
+      {
+        const auto a = gid_coefficient(e->a(), defs, depth + 1);
+        if (a && *a == 0) return 0;
+        return std::nullopt;
+      }
+    case ExprKind::kCast:
+    case ExprKind::kSelect:
+    case ExprKind::kCall:
+    case ExprKind::kLoad: {
+      // Data-dependent indices are irregular unless gid-independent.
+      for (const auto& arg : e->args) {
+        const auto c = gid_coefficient(arg, defs, depth + 1);
+        if (!c || *c != 0) return std::nullopt;
+      }
+      return e->kind == ExprKind::kLoad ? std::optional<int64_t>(std::nullopt)
+                                        : std::optional<int64_t>(0);
+    }
+  }
+  return std::nullopt;
+}
+
+
+// Node count of an index expression with let-substitution (bounded).
+uint64_t substituted_size(const ExprPtr& e, const VarDefs& defs, int depth = 0) {
+  if (depth > 16) return 1;
+  if (e->kind == ExprKind::kVar) {
+    auto it = defs.find(e->var);
+    if (it != defs.end()) return substituted_size(it->second, defs, depth + 1);
+    return 1;
+  }
+  uint64_t n = 1;
+  for (const auto& arg : e->args) n += substituted_size(arg, defs, depth + 1);
+  return n;
+}
+
+AccessPattern classify(const ExprPtr& index, const VarDefs& defs) {
+  const auto coeff = gid_coefficient(index, defs);
+  if (!coeff) return AccessPattern::kIrregular;
+  if (*coeff == 0 || *coeff == 1) return AccessPattern::kConsecutive;
+  return AccessPattern::kStrided;
+}
+
+// ---------------------------------------------------------------------------
+// DFG census
+// ---------------------------------------------------------------------------
+
+struct Census {
+  DfgSummary summary;
+  VarDefs defs;
+  const kir::Kernel* kernel = nullptr;
+
+  uint64_t expr_latency(const ExprPtr& e) {
+    uint64_t child = 0;
+    for (const auto& arg : e->args) child = std::max(child, expr_latency(arg));
+    uint64_t own = 1;
+    switch (e->kind) {
+      case ExprKind::kBinary:
+        if (e->type == Scalar::kF32 || e->a()->type == Scalar::kF32) {
+          own = (e->bin == BinOp::kDiv) ? 28 : 6;
+        } else {
+          own = (e->bin == BinOp::kMul) ? 3 : (e->bin == BinOp::kDiv || e->bin == BinOp::kRem) ? 24 : 1;
+        }
+        break;
+      case ExprKind::kCall:
+        own = e->call == kir::Builtin::kSqrt ? 20 : 8;
+        break;
+      case ExprKind::kLoad:
+        own = e->is_local ? 3 : (e->pipelined ? 12 : 6);
+        break;
+      default:
+        own = 1;
+        break;
+    }
+    return child + own;
+  }
+
+  void count_expr(const ExprPtr& e, bool in_loop) {
+    switch (e->kind) {
+      case ExprKind::kBinary:
+        if (e->a()->type == Scalar::kF32) {
+          switch (e->bin) {
+            case BinOp::kMul: ++summary.fp_mul; break;
+            case BinOp::kDiv: ++summary.fp_div; break;
+            default: ++summary.fp_add; break;
+          }
+        } else {
+          switch (e->bin) {
+            case BinOp::kMul: ++summary.int_mul; break;
+            case BinOp::kDiv:
+            case BinOp::kRem: ++summary.int_div; break;
+            default: ++summary.int_alu; break;
+          }
+        }
+        break;
+      case ExprKind::kUnary:
+      case ExprKind::kSelect:
+        if (e->type == Scalar::kF32) {
+          ++summary.fp_misc;
+        } else {
+          ++summary.int_alu;
+        }
+        break;
+      case ExprKind::kCast:
+        ++summary.fp_misc;
+        break;
+      case ExprKind::kCall:
+        if (e->call == kir::Builtin::kSqrt) {
+          ++summary.fp_sqrt;
+        } else {
+          ++summary.fp_misc;
+        }
+        break;
+      case ExprKind::kLoad: {
+        if (e->is_local) {
+          ++summary.local_ports;
+        } else {
+          AccessSite site;
+          site.site = e.get();
+          site.buffer = e->index;
+          site.is_store = false;
+          site.pipelined = e->pipelined;
+          site.in_loop = in_loop;
+          site.pattern = classify(e->a(), defs);
+          site.index_ops = static_cast<uint32_t>(std::min<uint64_t>(substituted_size(e->a(), defs), 24));
+          site.buffer_name = kernel->params[static_cast<size_t>(e->index)].name;
+          summary.sites.push_back(site);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (const auto& arg : e->args) count_expr(arg, in_loop);
+  }
+
+  void count_store(const Stmt& s, bool in_loop) {
+    if (s.is_local) {
+      ++summary.local_ports;
+      return;
+    }
+    AccessSite site;
+    site.site = &s;
+    site.buffer = s.buffer;
+    site.is_store = true;
+    site.in_loop = in_loop;
+    site.pattern = classify(s.a, defs);
+    site.index_ops = static_cast<uint32_t>(std::min<uint64_t>(substituted_size(s.a, defs), 24));
+    site.buffer_name = kernel->params[static_cast<size_t>(s.buffer)].name;
+    summary.sites.push_back(site);
+  }
+
+  void walk(const std::vector<kir::StmtPtr>& block, bool in_loop) {
+    for (const auto& s : block) {
+      switch (s->kind) {
+        case StmtKind::kLet:
+          defs[s->var] = s->a;
+          count_expr(s->a, in_loop);
+          summary.critical_path_latency =
+              std::max(summary.critical_path_latency, expr_latency(s->a));
+          break;
+        case StmtKind::kAssign:
+          defs.erase(s->var);  // mutated: no longer substitutable
+          count_expr(s->a, in_loop);
+          summary.critical_path_latency =
+              std::max(summary.critical_path_latency, expr_latency(s->a));
+          break;
+        case StmtKind::kStore:
+          count_expr(s->a, in_loop);
+          count_expr(s->b, in_loop);
+          summary.critical_path_latency = std::max(
+              summary.critical_path_latency, expr_latency(s->b) + 2);
+          count_store(*s, in_loop);
+          break;
+        case StmtKind::kIf:
+          count_expr(s->a, in_loop);
+          walk(s->body, in_loop);
+          walk(s->else_body, in_loop);
+          break;
+        case StmtKind::kFor:
+          ++summary.loops;
+          count_expr(s->a, in_loop);
+          count_expr(s->b, in_loop);
+          count_expr(s->c, in_loop);
+          defs.erase(s->var);
+          walk(s->body, true);
+          break;
+        case StmtKind::kWhile:
+          ++summary.loops;
+          count_expr(s->a, in_loop);
+          walk(s->body, true);
+          break;
+        case StmtKind::kBarrier:
+          summary.has_barrier = true;
+          break;
+        case StmtKind::kAtomic:
+          count_expr(s->a, in_loop);
+          count_expr(s->b, in_loop);
+          count_store(*s, in_loop);
+          if (!s->result_var.empty()) defs.erase(s->result_var);
+          break;
+        case StmtKind::kPrint:
+          for (const auto& arg : s->print_args) count_expr(arg, in_loop);
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kConsecutive: return "consecutive";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+uint64_t DfgSummary::global_load_sites() const {
+  return static_cast<uint64_t>(
+      std::count_if(sites.begin(), sites.end(), [](const AccessSite& s) { return !s.is_store; }));
+}
+uint64_t DfgSummary::global_store_sites() const {
+  return static_cast<uint64_t>(
+      std::count_if(sites.begin(), sites.end(), [](const AccessSite& s) { return s.is_store; }));
+}
+uint64_t DfgSummary::burst_load_sites() const {
+  return static_cast<uint64_t>(std::count_if(sites.begin(), sites.end(), [](const AccessSite& s) {
+    return !s.is_store && !s.pipelined;
+  }));
+}
+uint64_t DfgSummary::pipelined_load_sites() const {
+  return static_cast<uint64_t>(std::count_if(sites.begin(), sites.end(), [](const AccessSite& s) {
+    return !s.is_store && s.pipelined;
+  }));
+}
+
+DfgSummary analyze(const kir::Kernel& kernel) {
+  Census census;
+  census.kernel = &kernel;
+  for (const auto& local : kernel.locals) {
+    census.summary.local_array_bytes += local.size * 4ull;
+  }
+  census.walk(kernel.body, /*in_loop=*/false);
+  return census.summary;
+}
+
+// ---------------------------------------------------------------------------
+// Area model
+//
+// Calibrated against the paper's Table III (vecadd / matmul / gauss / BFS)
+// and Table II (backprop O0/O1/O2). Per-component costs are motivated by
+// the AOC microarchitecture: a burst-coalesced LSU instantiates 32 load
+// units (prefetch + reorder buffers in BRAM); a pipelined LSU is one unit;
+// __local arrays replicate per access port.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cost {
+  uint64_t alut, ff, bram, dsp;
+};
+
+// Kernel shell: DDR/host interface, dispatch logic.
+constexpr Cost kBase{20'000, 52'000, 60, 0};
+// Burst-coalesced load LSU per site (32 load units x ~{740 ALUT, 2.2k FF, 13 BRAM}).
+constexpr Cost kBurstLoad{23'700, 70'500, 416, 0};
+// Deeper prefetch FIFOs when the site sits in a kernel loop.
+constexpr Cost kBurstLoadLoopExtra{7'200, 21'000, 210, 0};
+// Pipelined load LSU (single unit).
+constexpr Cost kPipelinedLoad{2'100, 6'400, 4, 0};
+// Store unit.
+constexpr Cost kStore{11'800, 39'000, 155, 0};
+// Per-op datapath costs.
+constexpr Cost kIntAlu{70, 120, 0, 0};
+constexpr Cost kIntMul{260, 420, 0, 2};
+constexpr Cost kIntDiv{2'900, 4'800, 2, 0};
+constexpr Cost kFpAdd{820, 1'350, 1, 1};
+constexpr Cost kFpMul{640, 1'100, 1, 1};
+constexpr Cost kFpDiv{5'800, 9'500, 6, 0};
+constexpr Cost kFpSqrt{4'300, 7'200, 5, 0};
+constexpr Cost kFpMisc{240, 400, 0, 0};
+// Loop control (counters, exit conditions, II controller).
+constexpr Cost kLoop{650, 1'400, 2, 0};
+
+void add(fpga::AreaReport& area, const Cost& cost, uint64_t count = 1) {
+  area.aluts += cost.alut * count;
+  area.ffs += cost.ff * count;
+  area.brams += cost.bram * count;
+  area.dsps += cost.dsp * count;
+}
+
+}  // namespace
+
+fpga::AreaReport estimate_area(const DfgSummary& dfg) {
+  fpga::AreaReport area;
+  add(area, kBase);
+  // Kernels with barriers keep several work-groups in flight across the
+  // synchronization point, double-buffering every burst LSU (this is why
+  // the barrier-heavy Rodinia kernels are the ones that exhaust BRAM).
+  const double group_replication = dfg.has_barrier ? 2.2 : 1.0;
+  for (const auto& site : dfg.sites) {
+    // Address-generation depth: each index term adds pipeline registers and
+    // coalescing-window storage across the 32 load units of a burst LSU.
+    const uint64_t addr_terms = site.index_ops > 1 ? site.index_ops - 1 : 0;
+    if (site.is_store) {
+      add(area, kStore);
+      area.brams += 12 * addr_terms;
+      area.aluts += 400 * addr_terms;
+      area.ffs += 1'300 * addr_terms;
+    } else if (site.pipelined) {
+      add(area, kPipelinedLoad);
+      area.aluts += 120 * addr_terms;
+      area.ffs += 320 * addr_terms;
+    } else {
+      fpga::AreaReport lsu;
+      add(lsu, kBurstLoad);
+      lsu.brams += 40 * addr_terms;
+      lsu.aluts += 2'300 * addr_terms;
+      lsu.ffs += 6'400 * addr_terms;
+      if (site.in_loop) add(lsu, kBurstLoadLoopExtra);
+      lsu.brams = static_cast<uint64_t>(static_cast<double>(lsu.brams) * group_replication);
+      lsu.aluts = static_cast<uint64_t>(static_cast<double>(lsu.aluts) * group_replication);
+      lsu.ffs = static_cast<uint64_t>(static_cast<double>(lsu.ffs) * group_replication);
+      area += lsu;
+    }
+  }
+  add(area, kIntAlu, dfg.int_alu);
+  add(area, kIntMul, dfg.int_mul);
+  add(area, kIntDiv, dfg.int_div);
+  add(area, kFpAdd, dfg.fp_add);
+  add(area, kFpMul, dfg.fp_mul);
+  add(area, kFpDiv, dfg.fp_div);
+  add(area, kFpSqrt, dfg.fp_sqrt);
+  add(area, kFpMisc, dfg.fp_misc);
+  add(area, kLoop, dfg.loops);
+  // __local arrays: M20K blocks replicated so every port gets private
+  // access (AOC double-pumps, so two ports share one replica).
+  if (dfg.local_array_bytes > 0) {
+    const uint64_t blocks =
+        std::max<uint64_t>(1, (dfg.local_array_bytes * 8 + 20'479) / 20'480);
+    const uint64_t replication = std::max<uint64_t>(1, (dfg.local_ports + 1) / 2);
+    area.brams += blocks * replication;
+    area.aluts += 900 * dfg.local_ports;
+    area.ffs += 1'500 * dfg.local_ports;
+  }
+  return area;
+}
+
+double synthesis_hours(const fpga::AreaReport& area) {
+  // Quartus compile time grows superlinearly with logic utilization; the
+  // constants land backprop-O2-sized designs near the paper's 10.4 h and
+  // vecadd-sized designs near an hour.
+  const double logic = static_cast<double>(area.aluts);
+  const double bram = static_cast<double>(area.brams);
+  return 0.55 + logic / 120'000.0 + bram / 1'400.0 + (logic / 450'000.0) * (logic / 450'000.0);
+}
+
+double failed_attempt_hours(const fpga::AreaReport& area, const fpga::Board& board) {
+  // Fitter failures abort during placement: a fraction of a full compile.
+  const double over = board.utilization(area);
+  return std::min(1.5, 0.9 + 0.2 * over);
+}
+
+double request_cost(const AccessSite& site) {
+  // Cycles of memory-interface occupancy per dynamic request. Wide bursts
+  // amortize consecutive accesses; the pipelined LSU trades area for
+  // throughput on anything non-consecutive (paper §III-B).
+  if (site.is_store) {
+    switch (site.pattern) {
+      case AccessPattern::kConsecutive: return 1.0 / 16.0;
+      case AccessPattern::kStrided: return 1.0;
+      case AccessPattern::kIrregular: return 2.0;
+    }
+  }
+  if (!site.pipelined) {
+    switch (site.pattern) {
+      case AccessPattern::kConsecutive: return 1.0 / 16.0;
+      case AccessPattern::kStrided: return 1.0;
+      case AccessPattern::kIrregular: return 2.0;
+    }
+  }
+  switch (site.pattern) {
+    case AccessPattern::kConsecutive: return 1.0 / 4.0;
+    case AccessPattern::kStrided: return 4.0;
+    case AccessPattern::kIrregular: return 8.0;
+  }
+  return 1.0;
+}
+
+Result<HlsDesign> synthesize(const kir::Kernel& kernel, const fpga::Board& board,
+                             const HlsOptions& options) {
+  (void)options;
+  // Feature check first (mirrors AOC rejecting the kernel before fitting).
+  if (kernel.has_atomic() && board.heterogeneous_memory) {
+    return Result<HlsDesign>(
+        ErrorKind::kUnsupported,
+        kernel.name + ": cannot synthesize 32-bit atomic functions against the " + board.name +
+            " heterogeneous (HBM2) memory system (Atomics)");
+  }
+
+  HlsDesign design;
+  design.kernel = kernel.name;
+  design.dfg = analyze(kernel);
+  design.area = estimate_area(design.dfg);
+  design.pipeline_depth = design.dfg.critical_path_latency + 18;  // iface + dispatch stages
+
+  std::ostringstream report;
+  report << "kernel " << kernel.name << ": " << design.dfg.sites.size()
+         << " global access sites (" << design.dfg.burst_load_sites() << " burst-coalesced, "
+         << design.dfg.pipelined_load_sites() << " pipelined, "
+         << design.dfg.global_store_sites() << " store), depth " << design.pipeline_depth
+         << ", area " << design.area.to_string();
+
+  if (!board.fits(design.area)) {
+    const std::string resource = board.bottleneck_resource(design.area);
+    const double hours = failed_attempt_hours(design.area, board);
+    std::ostringstream msg;
+    msg << kernel.name << ": fitter failed after " << hours << " h: Not enough " << resource
+        << " (kernel needs " << design.area.brams << " BRAM blocks, " << board.name << " has "
+        << board.capacity.brams << "; utilization "
+        << static_cast<int>(board.utilization(design.area) * 100.0) << "%)";
+    return Result<HlsDesign>(ErrorKind::kResourceExceeded, msg.str());
+  }
+
+  design.synthesis_hours = synthesis_hours(design.area);
+  report << ", synthesis " << design.synthesis_hours << " h";
+  design.report = report.str();
+  return design;
+}
+
+}  // namespace fgpu::hls

@@ -1,0 +1,118 @@
+// HLS compiler model — the stand-in for the Intel FPGA SDK for OpenCL (AOC)
+// pipeline of the paper's Fig. 3.
+//
+// Given a KIR kernel, it reproduces the decisions the paper attributes to
+// AOC in NDRange mode:
+//   * every global-memory access site becomes a load/store unit (LSU);
+//     the default burst-coalesced LSU instantiates 32 load units per site
+//     ("each array access in the kernel code was synthesized into 32 load
+//     units", §III-A) which dominates BRAM usage;
+//   * `__pipelined_load` sites use a single pipelined unit instead — far
+//     smaller, but slower for non-consecutive access patterns (§III-B O2);
+//   * __local arrays are replicated across banks to give every access site
+//     a private port;
+//   * the datapath is fully pipelined; work items are issued iteratively
+//     into it (NDRange mode), so runtime ≈ depth + items x II, where the
+//     initiation interval II is bound by memory-site occupancy;
+//   * a fitter checks the synthesized area against the board and fails
+//     with "Not enough BRAM"-style diagnostics; global atomics fail to
+//     synthesize against HBM2's heterogeneous memory system (§III-A);
+//   * synthesis wall-clock time is modelled from design size, reproducing
+//     the hours-long turnaround the paper reports in §IV-B.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fpga/board.hpp"
+#include "kir/kir.hpp"
+
+namespace fgpu::hls {
+
+// How an access site's index varies across adjacent work items.
+enum class AccessPattern : uint8_t { kConsecutive, kStrided, kIrregular };
+
+const char* to_string(AccessPattern p);
+
+struct AccessSite {
+  const void* site = nullptr;  // Expr* (loads) or Stmt* (stores/atomics)
+  int buffer = -1;
+  bool is_store = false;
+  bool is_local = false;
+  bool pipelined = false;  // __pipelined_load annotation (paper O2)
+  bool in_loop = false;    // site executes under a kernel-side loop
+  AccessPattern pattern = AccessPattern::kConsecutive;
+  // Size of the (let-substituted) address expression: complex multi-term
+  // addresses get deeper address pipelines and wider coalescing windows in
+  // each of the 32 load units, which is what makes e.g. backprop's array
+  // accesses cost ">1,000 BRAM blocks per line" (paper §III-B) while
+  // vecadd's gid-indexed accesses stay near 400.
+  uint32_t index_ops = 0;
+  std::string buffer_name;
+};
+
+// Static census of the kernel's datapath.
+struct DfgSummary {
+  // Operation counts by functional class.
+  uint64_t int_alu = 0;    // add/sub/logic/compare/select
+  uint64_t int_mul = 0;
+  uint64_t int_div = 0;
+  uint64_t fp_add = 0;     // add/sub/min/max/compare
+  uint64_t fp_mul = 0;
+  uint64_t fp_div = 0;
+  uint64_t fp_sqrt = 0;
+  uint64_t fp_misc = 0;    // conversions, bitcasts, sign ops
+
+  std::vector<AccessSite> sites;        // global-memory access sites
+  uint64_t local_array_bytes = 0;
+  uint64_t local_ports = 0;             // access sites on __local arrays
+  uint64_t loops = 0;
+  bool has_barrier = false;             // triggers work-group LSU replication
+  uint64_t critical_path_latency = 0;   // cycles through the deepest expression
+
+  uint64_t global_load_sites() const;
+  uint64_t global_store_sites() const;
+  uint64_t burst_load_sites() const;
+  uint64_t pipelined_load_sites() const;
+};
+
+struct HlsDesign {
+  std::string kernel;
+  DfgSummary dfg;
+  fpga::AreaReport area;
+  uint64_t pipeline_depth = 0;   // cycles through the datapath
+  double synthesis_hours = 0.0;
+  std::string report;            // human-readable synthesis report
+};
+
+struct HlsOptions {
+  // NDRange iterative work-item issue (the mode the paper uses). Single
+  // work-item mode is not modelled.
+  bool ndrange = true;
+};
+
+// Builds the DFG census + access-site classification (exposed for tests).
+DfgSummary analyze(const kir::Kernel& kernel);
+
+// Area estimation only (no fitting).
+fpga::AreaReport estimate_area(const DfgSummary& dfg);
+
+// Full synthesis: analyze, estimate, fit against the board. On fitter
+// failure returns kResourceExceeded ("Not enough BRAM") or kUnsupported
+// (atomics on heterogeneous-memory boards), with the modelled synthesis
+// time of the failed attempt recoverable via `failed_attempt_hours`.
+Result<HlsDesign> synthesize(const kir::Kernel& kernel, const fpga::Board& board,
+                             const HlsOptions& options = {});
+
+// Synthesis wall-clock model (§IV-B: backprop took up to 10.4 h; failed
+// attempts 1.2-1.5 h).
+double synthesis_hours(const fpga::AreaReport& area);
+double failed_attempt_hours(const fpga::AreaReport& area, const fpga::Board& board);
+
+// Per-request pipeline occupancy (cycles) of one dynamic access through a
+// site, used by the executor's timing model.
+double request_cost(const AccessSite& site);
+
+}  // namespace fgpu::hls

@@ -1,0 +1,156 @@
+#include "kir/build.hpp"
+
+namespace fgpu::kir {
+namespace {
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLAnd:
+    case BinOp::kLOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[maybe_unused]] bool is_int_only(BinOp op) {
+  switch (op) {
+    case BinOp::kAnd:
+    case BinOp::kOr:
+    case BinOp::kXor:
+    case BinOp::kShl:
+    case BinOp::kShr:
+    case BinOp::kRem:
+    case BinOp::kLAnd:
+    case BinOp::kLOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// OpenCL-style implicit promotion: when mixing i32 and f32, the integer side
+// converts to float (constants are rewritten in place; other expressions get
+// an explicit cast node).
+ExprPtr promote_to_f32(const ExprPtr& e) {
+  if (e->type == Scalar::kF32) return e;
+  if (e->kind == ExprKind::kConstInt) return make_cf32(static_cast<float>(e->ival));
+  return make_cast(Scalar::kF32, e);
+}
+
+}  // namespace
+
+ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b) {
+  assert(a != nullptr && b != nullptr);
+  if (a->type != b->type) {
+    assert(!is_int_only(op) && "mixed types in an integer-only operation");
+    a = promote_to_f32(a);
+    b = promote_to_f32(b);
+  }
+  assert(!(is_int_only(op) && a->type == Scalar::kF32) && "integer-only op on float operands");
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin = op;
+  e->type = is_comparison(op) ? Scalar::kI32 : a->type;
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr make_un(UnOp op, ExprPtr a) {
+  assert(a != nullptr);
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un = op;
+  switch (op) {
+    case UnOp::kNeg:
+    case UnOp::kAbs:
+      e->type = a->type;
+      break;
+    case UnOp::kNot:
+      assert(a->type == Scalar::kI32);
+      e->type = Scalar::kI32;
+      break;
+    case UnOp::kBitcastI2F:
+      assert(a->type == Scalar::kI32);
+      e->type = Scalar::kF32;
+      break;
+    case UnOp::kBitcastF2I:
+      assert(a->type == Scalar::kF32);
+      e->type = Scalar::kI32;
+      break;
+  }
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr make_select(ExprPtr cond, ExprPtr a, ExprPtr b) {
+  assert(cond != nullptr && a != nullptr && b != nullptr);
+  assert(cond->type == Scalar::kI32);
+  if (a->type != b->type) {
+    a = promote_to_f32(a);
+    b = promote_to_f32(b);
+  }
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSelect;
+  e->type = a->type;
+  e->args = {std::move(cond), std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr make_cast(Scalar to, ExprPtr a) {
+  assert(a != nullptr);
+  if (a->type == to) return a;
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCast;
+  e->type = to;
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr make_call(Builtin fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->call = fn;
+  e->type = Scalar::kF32;
+  if (fn == Builtin::kPowi) {
+    assert(args.size() == 2);
+    args[0] = promote_to_f32(args[0]);
+    assert(args[1]->type == Scalar::kI32);
+  } else {
+    assert(args.size() == 1);
+    args[0] = promote_to_f32(args[0]);
+  }
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_special(SpecialReg reg, int dim) {
+  assert(dim >= 0 && dim < 3);
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSpecial;
+  e->special = reg;
+  e->type = Scalar::kI32;
+  e->index = dim;
+  return e;
+}
+
+ExprPtr make_load(int buffer, Scalar elem, bool is_local, ExprPtr index, bool pipelined) {
+  assert(buffer >= 0 && index != nullptr);
+  assert(index->type == Scalar::kI32 && "buffer index must be an integer");
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLoad;
+  e->type = elem;
+  e->index = buffer;
+  e->is_local = is_local;
+  e->pipelined = pipelined;
+  e->args = {std::move(index)};
+  return e;
+}
+
+}  // namespace fgpu::kir

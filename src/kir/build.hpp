@@ -1,0 +1,332 @@
+// Kernel-construction EDSL. Benchmarks express their OpenCL kernels through
+// this builder; operator overloading on `Val` keeps the kernel bodies close
+// to the original OpenCL C source (compare suite/ kernels with the Rodinia
+// listings in the paper's Fig. 6).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "kir/kir.hpp"
+
+namespace fgpu::kir {
+
+// ---------------------------------------------------------------------------
+// Expression factories
+// ---------------------------------------------------------------------------
+
+inline ExprPtr make_ci32(int32_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConstInt;
+  e->type = Scalar::kI32;
+  e->ival = v;
+  return e;
+}
+
+inline ExprPtr make_cf32(float v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConstFloat;
+  e->type = Scalar::kF32;
+  e->fval = v;
+  return e;
+}
+
+inline ExprPtr make_var(std::string name, Scalar type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVar;
+  e->type = type;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr make_un(UnOp op, ExprPtr a);
+ExprPtr make_select(ExprPtr cond, ExprPtr a, ExprPtr b);
+ExprPtr make_cast(Scalar to, ExprPtr a);
+ExprPtr make_call(Builtin fn, std::vector<ExprPtr> args);
+ExprPtr make_special(SpecialReg reg, int dim);
+ExprPtr make_load(int buffer, Scalar elem, bool is_local, ExprPtr index, bool pipelined = false);
+
+// ---------------------------------------------------------------------------
+// Val: expression wrapper with operators
+// ---------------------------------------------------------------------------
+
+class Val {
+ public:
+  Val() = default;
+  explicit Val(ExprPtr expr) : expr_(std::move(expr)) {}
+  Val(int v) : expr_(make_ci32(v)) {}            // NOLINT
+  Val(int64_t v) : expr_(make_ci32(static_cast<int32_t>(v))) {}  // NOLINT
+  Val(uint32_t v) : expr_(make_ci32(static_cast<int32_t>(v))) {}  // NOLINT
+  Val(float v) : expr_(make_cf32(v)) {}          // NOLINT
+  Val(double v) : expr_(make_cf32(static_cast<float>(v))) {}  // NOLINT
+
+  const ExprPtr& expr() const {
+    assert(expr_ && "use of empty Val");
+    return expr_;
+  }
+  bool valid() const { return expr_ != nullptr; }
+  Scalar type() const { return expr()->type; }
+
+ private:
+  ExprPtr expr_;
+};
+
+inline Val operator+(const Val& a, const Val& b) { return Val(make_bin(BinOp::kAdd, a.expr(), b.expr())); }
+inline Val operator-(const Val& a, const Val& b) { return Val(make_bin(BinOp::kSub, a.expr(), b.expr())); }
+inline Val operator*(const Val& a, const Val& b) { return Val(make_bin(BinOp::kMul, a.expr(), b.expr())); }
+inline Val operator/(const Val& a, const Val& b) { return Val(make_bin(BinOp::kDiv, a.expr(), b.expr())); }
+inline Val operator%(const Val& a, const Val& b) { return Val(make_bin(BinOp::kRem, a.expr(), b.expr())); }
+inline Val operator&(const Val& a, const Val& b) { return Val(make_bin(BinOp::kAnd, a.expr(), b.expr())); }
+inline Val operator|(const Val& a, const Val& b) { return Val(make_bin(BinOp::kOr, a.expr(), b.expr())); }
+inline Val operator^(const Val& a, const Val& b) { return Val(make_bin(BinOp::kXor, a.expr(), b.expr())); }
+inline Val operator<<(const Val& a, const Val& b) { return Val(make_bin(BinOp::kShl, a.expr(), b.expr())); }
+inline Val operator>>(const Val& a, const Val& b) { return Val(make_bin(BinOp::kShr, a.expr(), b.expr())); }
+inline Val operator<(const Val& a, const Val& b) { return Val(make_bin(BinOp::kLt, a.expr(), b.expr())); }
+inline Val operator<=(const Val& a, const Val& b) { return Val(make_bin(BinOp::kLe, a.expr(), b.expr())); }
+inline Val operator>(const Val& a, const Val& b) { return Val(make_bin(BinOp::kGt, a.expr(), b.expr())); }
+inline Val operator>=(const Val& a, const Val& b) { return Val(make_bin(BinOp::kGe, a.expr(), b.expr())); }
+inline Val operator==(const Val& a, const Val& b) { return Val(make_bin(BinOp::kEq, a.expr(), b.expr())); }
+inline Val operator!=(const Val& a, const Val& b) { return Val(make_bin(BinOp::kNe, a.expr(), b.expr())); }
+inline Val operator&&(const Val& a, const Val& b) { return Val(make_bin(BinOp::kLAnd, a.expr(), b.expr())); }
+inline Val operator||(const Val& a, const Val& b) { return Val(make_bin(BinOp::kLOr, a.expr(), b.expr())); }
+inline Val operator-(const Val& a) { return Val(make_un(UnOp::kNeg, a.expr())); }
+inline Val operator!(const Val& a) { return Val(make_un(UnOp::kNot, a.expr())); }
+
+inline Val vmin(const Val& a, const Val& b) { return Val(make_bin(BinOp::kMin, a.expr(), b.expr())); }
+inline Val vmax(const Val& a, const Val& b) { return Val(make_bin(BinOp::kMax, a.expr(), b.expr())); }
+inline Val vabs(const Val& a) { return Val(make_un(UnOp::kAbs, a.expr())); }
+inline Val vsqrt(const Val& a) { return Val(make_call(Builtin::kSqrt, {a.expr()})); }
+inline Val vrsqrt(const Val& a) { return Val(make_call(Builtin::kRsqrt, {a.expr()})); }
+inline Val vexp(const Val& a) { return Val(make_call(Builtin::kExp, {a.expr()})); }
+inline Val vlog(const Val& a) { return Val(make_call(Builtin::kLog, {a.expr()})); }
+inline Val vfloor(const Val& a) { return Val(make_call(Builtin::kFloor, {a.expr()})); }
+inline Val vselect(const Val& cond, const Val& a, const Val& b) {
+  return Val(make_select(cond.expr(), a.expr(), b.expr()));
+}
+inline Val to_f32(const Val& a) { return Val(make_cast(Scalar::kF32, a.expr())); }
+inline Val to_i32(const Val& a) { return Val(make_cast(Scalar::kI32, a.expr())); }
+inline Val bitcast_f32(const Val& a) { return Val(make_un(UnOp::kBitcastI2F, a.expr())); }
+inline Val bitcast_i32(const Val& a) { return Val(make_un(UnOp::kBitcastF2I, a.expr())); }
+
+// ---------------------------------------------------------------------------
+// Buffer handle
+// ---------------------------------------------------------------------------
+
+struct Buf {
+  int index = -1;        // param index, or local-array slot if is_local
+  Scalar elem = Scalar::kF32;
+  bool is_local = false;
+};
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------------
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) {
+    kernel_.name = std::move(name);
+    stack_.push_back(&kernel_.body);
+  }
+
+  // Parameters (declaration order defines the runtime set_arg order).
+  Buf buffer(const std::string& name, Scalar elem) {
+    kernel_.params.push_back(Param{name, true, elem});
+    return Buf{static_cast<int>(kernel_.params.size() - 1), elem, false};
+  }
+  Buf buf_f32(const std::string& name) { return buffer(name, Scalar::kF32); }
+  Buf buf_i32(const std::string& name) { return buffer(name, Scalar::kI32); }
+
+  Val param(const std::string& name, Scalar type) {
+    kernel_.params.push_back(Param{name, false, type});
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kParam;
+    e->type = type;
+    e->index = static_cast<int>(kernel_.params.size() - 1);
+    return Val(e);
+  }
+  Val param_i32(const std::string& name) { return param(name, Scalar::kI32); }
+  Val param_f32(const std::string& name) { return param(name, Scalar::kF32); }
+
+  Buf local_array(const std::string& name, Scalar elem, uint32_t size) {
+    kernel_.locals.push_back(LocalArray{name, elem, size});
+    return Buf{static_cast<int>(kernel_.locals.size() - 1), elem, true};
+  }
+  Buf local_f32(const std::string& name, uint32_t size) {
+    return local_array(name, Scalar::kF32, size);
+  }
+  Buf local_i32(const std::string& name, uint32_t size) {
+    return local_array(name, Scalar::kI32, size);
+  }
+
+  // Work-item built-ins.
+  Val global_id(int dim = 0) { return Val(make_special(SpecialReg::kGlobalId, dim)); }
+  Val local_id(int dim = 0) { return Val(make_special(SpecialReg::kLocalId, dim)); }
+  Val group_id(int dim = 0) { return Val(make_special(SpecialReg::kGroupId, dim)); }
+  Val global_size(int dim = 0) { return Val(make_special(SpecialReg::kGlobalSize, dim)); }
+  Val local_size(int dim = 0) { return Val(make_special(SpecialReg::kLocalSize, dim)); }
+  Val num_groups(int dim = 0) { return Val(make_special(SpecialReg::kNumGroups, dim)); }
+
+  // Memory.
+  Val load(const Buf& buf, const Val& index) {
+    return Val(make_load(buf.index, buf.elem, buf.is_local, index.expr()));
+  }
+  void store(const Buf& buf, const Val& index, const Val& value) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kStore;
+    s->buffer = buf.index;
+    s->is_local = buf.is_local;
+    s->a = index.expr();
+    s->b = coerce(value, buf.elem).expr();
+    append(std::move(s));
+  }
+
+  // Variables.
+  Val let_(const std::string& name, const Val& value) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kLet;
+    s->var = fresh(name);
+    s->a = value.expr();
+    const std::string bound = s->var;
+    append(std::move(s));
+    return Val(make_var(bound, value.type()));
+  }
+  void assign(const Val& var, const Val& value) {
+    assert(var.expr()->kind == ExprKind::kVar && "assign target must be a variable");
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kAssign;
+    s->var = var.expr()->var;
+    s->a = coerce(value, var.type()).expr();
+    append(std::move(s));
+  }
+
+  // Control flow.
+  void if_(const Val& cond, const std::function<void()>& then_fn,
+           const std::function<void()>& else_fn = nullptr) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->a = cond.expr();
+    Stmt* raw = s.get();
+    append(std::move(s));
+    stack_.push_back(&raw->body);
+    then_fn();
+    stack_.pop_back();
+    if (else_fn) {
+      stack_.push_back(&raw->else_body);
+      else_fn();
+      stack_.pop_back();
+    }
+  }
+
+  // for (var = begin; var < end; var += step)
+  void for_(const std::string& name, const Val& begin, const Val& end,
+            const std::function<void(Val)>& body_fn, const Val& step = Val(1)) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kFor;
+    s->var = fresh(name);
+    s->a = begin.expr();
+    s->b = end.expr();
+    s->c = step.expr();
+    Stmt* raw = s.get();
+    const std::string bound = raw->var;
+    append(std::move(s));
+    stack_.push_back(&raw->body);
+    body_fn(Val(make_var(bound, Scalar::kI32)));
+    stack_.pop_back();
+  }
+
+  void while_(const Val& cond, const std::function<void()>& body_fn) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kWhile;
+    s->a = cond.expr();
+    Stmt* raw = s.get();
+    append(std::move(s));
+    stack_.push_back(&raw->body);
+    body_fn();
+    stack_.pop_back();
+  }
+
+  void barrier() {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kBarrier;
+    append(std::move(s));
+  }
+
+  // Atomics (32-bit integer, as in OpenCL 1.2 / the paper's hybridsort case).
+  void atomic(AtomicOp op, const Buf& buf, const Val& index, const Val& value) {
+    append(make_atomic(op, buf, index, value, ""));
+  }
+  Val atomic_ret(AtomicOp op, const Buf& buf, const Val& index, const Val& value) {
+    const std::string result = fresh("atomic_old");
+    append(make_atomic(op, buf, index, value, result));
+    return Val(make_var(result, Scalar::kI32));
+  }
+  void atomic_add(const Buf& buf, const Val& index, const Val& value) {
+    atomic(AtomicOp::kAdd, buf, index, value);
+  }
+  void atomic_min(const Buf& buf, const Val& index, const Val& value) {
+    atomic(AtomicOp::kMin, buf, index, value);
+  }
+  void atomic_max(const Buf& buf, const Val& index, const Val& value) {
+    atomic(AtomicOp::kMax, buf, index, value);
+  }
+
+  void print(const std::string& format, std::vector<Val> args = {}) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kPrint;
+    s->text = format;
+    for (const auto& v : args) s->print_args.push_back(v.expr());
+    append(std::move(s));
+  }
+
+  Kernel build() { return kernel_; }
+
+ private:
+  Val coerce(const Val& v, Scalar want) {
+    if (v.type() == want) return v;
+    // Integer constants adapt implicitly; everything else needs a cast,
+    // which we insert for convenience (matches OpenCL implicit conversion).
+    return Val(make_cast(want, v.expr()));
+  }
+
+  std::string fresh(const std::string& base) {
+    if (!used_names_.contains(base)) {
+      used_names_.insert(base);
+      return base;
+    }
+    for (int i = 2;; ++i) {
+      std::string candidate = base + "_" + std::to_string(i);
+      if (!used_names_.contains(candidate)) {
+        used_names_.insert(candidate);
+        return candidate;
+      }
+    }
+  }
+
+  StmtPtr make_atomic(AtomicOp op, const Buf& buf, const Val& index, const Val& value,
+                      const std::string& result) {
+    assert(buf.elem == Scalar::kI32 && "atomics are 32-bit integer only");
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kAtomic;
+    s->atomic = op;
+    s->buffer = buf.index;
+    s->is_local = buf.is_local;
+    s->a = index.expr();
+    s->b = value.expr();
+    s->result_var = result;
+    return s;
+  }
+
+  void append(StmtPtr s) { stack_.back()->push_back(std::move(s)); }
+
+  Kernel kernel_;
+  std::vector<std::vector<StmtPtr>*> stack_;
+  std::unordered_set<std::string> used_names_;
+};
+
+}  // namespace fgpu::kir

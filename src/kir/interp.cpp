@@ -1,0 +1,534 @@
+#include "kir/interp.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+
+namespace fgpu::kir {
+namespace {
+
+// RISC-V-compatible integer division semantics so the reference model and
+// the soft-GPU binary agree bit for bit.
+int32_t div_i32(int32_t a, int32_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<int32_t>::min() && b == -1) return a;
+  return a / b;
+}
+int32_t rem_i32(int32_t a, int32_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<int32_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+struct GroupContext {
+  const Kernel* kernel = nullptr;
+  const std::vector<KernelArg>* args = nullptr;
+  const NDRange* ndrange = nullptr;
+  uint32_t group[3] = {0, 0, 0};
+  uint32_t items = 0;  // local linear size
+
+  // Per-item local ids.
+  std::vector<uint32_t> lid[3];
+  // Variable environment: name -> per-item bits.
+  std::unordered_map<std::string, std::vector<uint32_t>> env;
+  // Local (__local) arrays: slot -> element bits.
+  std::vector<std::vector<uint32_t>> locals;
+
+  uint64_t statements_executed = 0;
+};
+
+class GroupExec {
+ public:
+  GroupExec(GroupContext& ctx, const InterpOptions& options) : ctx_(ctx), options_(options) {}
+
+  Status run_block(const std::vector<StmtPtr>& block, const std::vector<uint8_t>& active);
+
+ private:
+  Status eval(const ExprPtr& e, uint32_t item, uint32_t& out);
+  Status exec(const Stmt& s, const std::vector<uint8_t>& active);
+
+  Status fail(const std::string& message) {
+    return Status(ErrorKind::kRuntimeError, ctx_.kernel->name + ": " + message);
+  }
+
+  Status buffer_access(int index, bool is_local, uint32_t elem_index, std::vector<uint32_t>** out) {
+    if (is_local) {
+      if (index < 0 || static_cast<size_t>(index) >= ctx_.locals.size()) {
+        return fail("bad local array slot " + std::to_string(index));
+      }
+      auto& array = ctx_.locals[static_cast<size_t>(index)];
+      if (elem_index >= array.size()) {
+        return fail("out-of-bounds __local access: " + ctx_.kernel->locals[index].name + "[" +
+                    std::to_string(elem_index) + "] size " + std::to_string(array.size()));
+      }
+      *out = &array;
+      return Status::ok();
+    }
+    if (index < 0 || static_cast<size_t>(index) >= ctx_.args->size()) {
+      return fail("bad buffer param " + std::to_string(index));
+    }
+    const KernelArg& arg = (*ctx_.args)[static_cast<size_t>(index)];
+    if (!arg.is_buffer || arg.data == nullptr) {
+      return fail("param " + std::to_string(index) + " is not a buffer");
+    }
+    if (elem_index >= arg.data->size()) {
+      return fail("out-of-bounds access: " + ctx_.kernel->params[index].name + "[" +
+                  std::to_string(elem_index) + "] size " + std::to_string(arg.data->size()));
+    }
+    *out = arg.data;
+    return Status::ok();
+  }
+
+  std::vector<uint32_t>& var_slot(const std::string& name) {
+    auto& slot = ctx_.env[name];
+    if (slot.size() != ctx_.items) slot.assign(ctx_.items, 0);
+    return slot;
+  }
+
+  GroupContext& ctx_;
+  const InterpOptions& options_;
+};
+
+Status GroupExec::eval(const ExprPtr& e, uint32_t item, uint32_t& out) {
+  if (options_.op_count != nullptr) ++*options_.op_count;
+  switch (e->kind) {
+    case ExprKind::kConstInt:
+      out = static_cast<uint32_t>(e->ival);
+      return Status::ok();
+    case ExprKind::kConstFloat:
+      out = f2u(e->fval);
+      return Status::ok();
+    case ExprKind::kVar: {
+      auto it = ctx_.env.find(e->var);
+      if (it == ctx_.env.end()) return fail("use of undefined variable '" + e->var + "'");
+      out = it->second[item];
+      return Status::ok();
+    }
+    case ExprKind::kParam: {
+      const KernelArg& arg = (*ctx_.args)[static_cast<size_t>(e->index)];
+      if (arg.is_buffer) return fail("scalar read of buffer param");
+      out = arg.scalar_bits;
+      return Status::ok();
+    }
+    case ExprKind::kSpecial: {
+      const int d = e->index;
+      switch (e->special) {
+        case SpecialReg::kGlobalId:
+          out = ctx_.group[d] * ctx_.ndrange->local[d] + ctx_.lid[d][item];
+          break;
+        case SpecialReg::kLocalId: out = ctx_.lid[d][item]; break;
+        case SpecialReg::kGroupId: out = ctx_.group[d]; break;
+        case SpecialReg::kGlobalSize: out = ctx_.ndrange->global[d]; break;
+        case SpecialReg::kLocalSize: out = ctx_.ndrange->local[d]; break;
+        case SpecialReg::kNumGroups: out = ctx_.ndrange->num_groups(d); break;
+      }
+      return Status::ok();
+    }
+    case ExprKind::kBinary: {
+      uint32_t a = 0, b = 0;
+      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
+      // Logical && / || short-circuit like C.
+      if (e->bin == BinOp::kLAnd && a == 0) {
+        out = 0;
+        return Status::ok();
+      }
+      if (e->bin == BinOp::kLOr && a != 0) {
+        out = 1;
+        return Status::ok();
+      }
+      if (auto st = eval(e->b(), item, b); !st.is_ok()) return st;
+      const bool flt = e->a()->type == Scalar::kF32;
+      if (flt) {
+        const float x = u2f(a), y = u2f(b);
+        switch (e->bin) {
+          case BinOp::kAdd: out = f2u(x + y); break;
+          case BinOp::kSub: out = f2u(x - y); break;
+          case BinOp::kMul: out = f2u(x * y); break;
+          case BinOp::kDiv: out = f2u(x / y); break;
+          case BinOp::kMin: out = f2u(std::fmin(x, y)); break;
+          case BinOp::kMax: out = f2u(std::fmax(x, y)); break;
+          case BinOp::kLt: out = x < y; break;
+          case BinOp::kLe: out = x <= y; break;
+          case BinOp::kGt: out = x > y; break;
+          case BinOp::kGe: out = x >= y; break;
+          case BinOp::kEq: out = x == y; break;
+          case BinOp::kNe: out = x != y; break;
+          default: return fail("invalid float binary op");
+        }
+      } else {
+        const int32_t x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
+        switch (e->bin) {
+          case BinOp::kAdd: out = a + b; break;
+          case BinOp::kSub: out = a - b; break;
+          case BinOp::kMul: out = a * b; break;
+          case BinOp::kDiv: out = static_cast<uint32_t>(div_i32(x, y)); break;
+          case BinOp::kRem: out = static_cast<uint32_t>(rem_i32(x, y)); break;
+          case BinOp::kAnd: out = a & b; break;
+          case BinOp::kOr: out = a | b; break;
+          case BinOp::kXor: out = a ^ b; break;
+          case BinOp::kShl: out = a << (b & 31); break;
+          case BinOp::kShr: out = static_cast<uint32_t>(x >> (b & 31)); break;
+          case BinOp::kMin: out = static_cast<uint32_t>(std::min(x, y)); break;
+          case BinOp::kMax: out = static_cast<uint32_t>(std::max(x, y)); break;
+          case BinOp::kLt: out = x < y; break;
+          case BinOp::kLe: out = x <= y; break;
+          case BinOp::kGt: out = x > y; break;
+          case BinOp::kGe: out = x >= y; break;
+          case BinOp::kEq: out = a == b; break;
+          case BinOp::kNe: out = a != b; break;
+          case BinOp::kLAnd: out = (a != 0 && b != 0) ? 1 : 0; break;
+          case BinOp::kLOr: out = (a != 0 || b != 0) ? 1 : 0; break;
+        }
+      }
+      return Status::ok();
+    }
+    case ExprKind::kUnary: {
+      uint32_t a = 0;
+      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
+      switch (e->un) {
+        case UnOp::kNeg:
+          out = e->type == Scalar::kF32 ? f2u(-u2f(a)) : static_cast<uint32_t>(-static_cast<int32_t>(a));
+          break;
+        case UnOp::kNot: out = a == 0 ? 1 : 0; break;
+        case UnOp::kAbs:
+          out = e->type == Scalar::kF32 ? (a & 0x7FFFFFFFu)
+                                        : static_cast<uint32_t>(std::abs(static_cast<int32_t>(a)));
+          break;
+        case UnOp::kBitcastI2F:
+        case UnOp::kBitcastF2I:
+          out = a;
+          break;
+      }
+      return Status::ok();
+    }
+    case ExprKind::kSelect: {
+      uint32_t c = 0;
+      if (auto st = eval(e->a(), item, c); !st.is_ok()) return st;
+      return eval(c != 0 ? e->b() : e->c(), item, out);
+    }
+    case ExprKind::kCast: {
+      uint32_t a = 0;
+      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
+      if (e->type == Scalar::kF32) {
+        out = f2u(static_cast<float>(static_cast<int32_t>(a)));
+      } else {
+        const float f = u2f(a);
+        // Match fcvt.w.s truncation with clamping.
+        if (std::isnan(f)) {
+          out = 0x7FFFFFFFu;
+        } else if (f <= -2147483648.0f) {
+          out = 0x80000000u;
+        } else if (f >= 2147483648.0f) {
+          out = 0x7FFFFFFFu;
+        } else {
+          out = static_cast<uint32_t>(static_cast<int32_t>(f));
+        }
+      }
+      return Status::ok();
+    }
+    case ExprKind::kLoad: {
+      uint32_t index = 0;
+      if (auto st = eval(e->a(), item, index); !st.is_ok()) return st;
+      std::vector<uint32_t>* data = nullptr;
+      if (auto st = buffer_access(e->index, e->is_local, index, &data); !st.is_ok()) return st;
+      if (options_.on_load) options_.on_load(e.get());
+      out = (*data)[index];
+      return Status::ok();
+    }
+    case ExprKind::kCall: {
+      uint32_t a = 0;
+      if (auto st = eval(e->args[0], item, a); !st.is_ok()) return st;
+      const float x = u2f(a);
+      switch (e->call) {
+        case Builtin::kSqrt: out = f2u(std::sqrt(x)); break;
+        case Builtin::kRsqrt: out = f2u(1.0f / std::sqrt(x)); break;
+        case Builtin::kExp: out = f2u(std::exp(x)); break;
+        case Builtin::kLog: out = f2u(std::log(x)); break;
+        case Builtin::kFloor: out = f2u(std::floor(x)); break;
+        case Builtin::kPowi: {
+          uint32_t n_bits = 0;
+          if (auto st = eval(e->args[1], item, n_bits); !st.is_ok()) return st;
+          int32_t n = static_cast<int32_t>(n_bits);
+          float base = x, result = 1.0f;
+          const bool invert = n < 0;
+          if (invert) n = -n;
+          while (n > 0) {
+            if (n & 1) result *= base;
+            base *= base;
+            n >>= 1;
+          }
+          out = f2u(invert ? 1.0f / result : result);
+          break;
+        }
+      }
+      return Status::ok();
+    }
+  }
+  return fail("unreachable expression kind");
+}
+
+Status GroupExec::exec(const Stmt& s, const std::vector<uint8_t>& active) {
+  if (++ctx_.statements_executed > options_.max_statements) {
+    return fail("statement budget exceeded (runaway kernel?)");
+  }
+  switch (s.kind) {
+    case StmtKind::kLet:
+    case StmtKind::kAssign: {
+      auto& slot = var_slot(s.var);
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        uint32_t value = 0;
+        if (auto st = eval(s.a, i, value); !st.is_ok()) return st;
+        slot[i] = value;
+      }
+      return Status::ok();
+    }
+    case StmtKind::kStore: {
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        uint32_t index = 0, value = 0;
+        if (auto st = eval(s.a, i, index); !st.is_ok()) return st;
+        if (auto st = eval(s.b, i, value); !st.is_ok()) return st;
+        std::vector<uint32_t>* data = nullptr;
+        if (auto st = buffer_access(s.buffer, s.is_local, index, &data); !st.is_ok()) return st;
+        if (options_.on_store) options_.on_store(&s);
+        (*data)[index] = value;
+      }
+      return Status::ok();
+    }
+    case StmtKind::kIf: {
+      std::vector<uint8_t> then_mask(ctx_.items, 0), else_mask(ctx_.items, 0);
+      bool any_then = false, any_else = false;
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        uint32_t cond = 0;
+        if (auto st = eval(s.a, i, cond); !st.is_ok()) return st;
+        if (cond != 0) {
+          then_mask[i] = 1;
+          any_then = true;
+        } else {
+          else_mask[i] = 1;
+          any_else = true;
+        }
+      }
+      if (any_then) {
+        if (auto st = run_block(s.body, then_mask); !st.is_ok()) return st;
+      }
+      if (any_else && !s.else_body.empty()) {
+        if (auto st = run_block(s.else_body, else_mask); !st.is_ok()) return st;
+      }
+      return Status::ok();
+    }
+    case StmtKind::kFor: {
+      auto& var = var_slot(s.var);
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        uint32_t begin = 0;
+        if (auto st = eval(s.a, i, begin); !st.is_ok()) return st;
+        var[i] = begin;
+      }
+      std::vector<uint8_t> loop_mask(ctx_.items, 0);
+      while (true) {
+        // Loop iterations count against the statement budget even when the
+        // body is empty, so runaway loops always trip the guard.
+        if (++ctx_.statements_executed > options_.max_statements) {
+          return fail("statement budget exceeded (runaway kernel?)");
+        }
+        bool any = false;
+        for (uint32_t i = 0; i < ctx_.items; ++i) {
+          loop_mask[i] = 0;
+          if (!active[i]) continue;
+          uint32_t end = 0;
+          if (auto st = eval(s.b, i, end); !st.is_ok()) return st;
+          if (static_cast<int32_t>(var[i]) < static_cast<int32_t>(end)) {
+            loop_mask[i] = 1;
+            any = true;
+          }
+        }
+        if (!any) break;
+        if (auto st = run_block(s.body, loop_mask); !st.is_ok()) return st;
+        for (uint32_t i = 0; i < ctx_.items; ++i) {
+          if (!loop_mask[i]) continue;
+          uint32_t step = 0;
+          if (auto st = eval(s.c, i, step); !st.is_ok()) return st;
+          var[i] += step;
+        }
+      }
+      return Status::ok();
+    }
+    case StmtKind::kWhile: {
+      std::vector<uint8_t> loop_mask(ctx_.items, 0);
+      while (true) {
+        if (++ctx_.statements_executed > options_.max_statements) {
+          return fail("statement budget exceeded (runaway kernel?)");
+        }
+        bool any = false;
+        for (uint32_t i = 0; i < ctx_.items; ++i) {
+          loop_mask[i] = 0;
+          if (!active[i]) continue;
+          uint32_t cond = 0;
+          if (auto st = eval(s.a, i, cond); !st.is_ok()) return st;
+          if (cond != 0) {
+            loop_mask[i] = 1;
+            any = true;
+          }
+        }
+        if (!any) break;
+        if (auto st = run_block(s.body, loop_mask); !st.is_ok()) return st;
+      }
+      return Status::ok();
+    }
+    case StmtKind::kBarrier: {
+      // OpenCL requires barriers to be reached by every item of the group.
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) {
+          return fail("barrier reached under divergent control flow (OpenCL UB)");
+        }
+      }
+      return Status::ok();  // lockstep execution: nothing to synchronize
+    }
+    case StmtKind::kAtomic: {
+      std::vector<uint32_t>* result = s.result_var.empty() ? nullptr : &var_slot(s.result_var);
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        uint32_t index = 0, operand = 0;
+        if (auto st = eval(s.a, i, index); !st.is_ok()) return st;
+        if (auto st = eval(s.b, i, operand); !st.is_ok()) return st;
+        std::vector<uint32_t>* data = nullptr;
+        if (auto st = buffer_access(s.buffer, s.is_local, index, &data); !st.is_ok()) return st;
+        if (options_.on_store) options_.on_store(&s);
+        const uint32_t old = (*data)[index];
+        uint32_t next = old;
+        switch (s.atomic) {
+          case AtomicOp::kAdd: next = old + operand; break;
+          case AtomicOp::kMin:
+            next = static_cast<uint32_t>(
+                std::min(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
+            break;
+          case AtomicOp::kMax:
+            next = static_cast<uint32_t>(
+                std::max(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
+            break;
+          case AtomicOp::kAnd: next = old & operand; break;
+          case AtomicOp::kOr: next = old | operand; break;
+          case AtomicOp::kXor: next = old ^ operand; break;
+          case AtomicOp::kExchange: next = operand; break;
+          case AtomicOp::kCmpxchg: {
+            uint32_t cmp = 0;
+            if (auto st = eval(s.c, i, cmp); !st.is_ok()) return st;
+            next = old == cmp ? operand : old;
+            break;
+          }
+        }
+        (*data)[index] = next;
+        if (result != nullptr) (*result)[i] = old;
+      }
+      return Status::ok();
+    }
+    case StmtKind::kPrint: {
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        std::string rendered;
+        size_t arg_index = 0;
+        const std::string& fmt = s.text;
+        for (size_t p = 0; p < fmt.size(); ++p) {
+          if (fmt[p] != '%' || p + 1 == fmt.size()) {
+            rendered += fmt[p];
+            continue;
+          }
+          const char spec = fmt[++p];
+          if (spec == '%') {
+            rendered += '%';
+            continue;
+          }
+          uint32_t value = 0;
+          if (arg_index < s.print_args.size()) {
+            if (auto st = eval(s.print_args[arg_index++], i, value); !st.is_ok()) return st;
+          }
+          char buf[48];
+          switch (spec) {
+            case 'd': std::snprintf(buf, sizeof(buf), "%d", static_cast<int32_t>(value)); break;
+            case 'u': std::snprintf(buf, sizeof(buf), "%u", value); break;
+            case 'x': std::snprintf(buf, sizeof(buf), "%x", value); break;
+            case 'f': std::snprintf(buf, sizeof(buf), "%f", u2f(value)); break;
+            default: std::snprintf(buf, sizeof(buf), "%%%c", spec); break;
+          }
+          rendered += buf;
+        }
+        if (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
+        if (options_.print_sink) options_.print_sink(rendered);
+      }
+      return Status::ok();
+    }
+  }
+  return fail("unreachable statement kind");
+}
+
+Status GroupExec::run_block(const std::vector<StmtPtr>& block, const std::vector<uint8_t>& active) {
+  for (const auto& s : block) {
+    if (auto st = exec(*s, active); !st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+KernelArg KernelArg::scalar_f32(float v) { return KernelArg{false, f2u(v), nullptr}; }
+
+Status Interpreter::run(const Kernel& kernel, const std::vector<KernelArg>& args,
+                        const NDRange& ndrange) {
+  if (args.size() != kernel.params.size()) {
+    return Status(ErrorKind::kInvalidArgument,
+                  kernel.name + ": expected " + std::to_string(kernel.params.size()) +
+                      " args, got " + std::to_string(args.size()));
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].is_buffer != kernel.params[i].is_buffer) {
+      return Status(ErrorKind::kInvalidArgument,
+                    kernel.name + ": arg " + std::to_string(i) + " buffer/scalar mismatch");
+    }
+  }
+  for (int d = 0; d < 3; ++d) {
+    if (ndrange.local[d] == 0 || ndrange.global[d] % ndrange.local[d] != 0) {
+      return Status(ErrorKind::kInvalidArgument,
+                    kernel.name + ": global size not divisible by local size in dim " +
+                        std::to_string(d));
+    }
+  }
+
+  GroupContext ctx;
+  ctx.kernel = &kernel;
+  ctx.args = &args;
+  ctx.ndrange = &ndrange;
+  ctx.items = ndrange.local_items();
+  for (int d = 0; d < 3; ++d) ctx.lid[d].resize(ctx.items);
+  for (uint32_t i = 0; i < ctx.items; ++i) {
+    ctx.lid[0][i] = i % ndrange.local[0];
+    ctx.lid[1][i] = (i / ndrange.local[0]) % ndrange.local[1];
+    ctx.lid[2][i] = i / (ndrange.local[0] * ndrange.local[1]);
+  }
+
+  const std::vector<uint8_t> full(ctx.items, 1);
+  for (uint32_t gz = 0; gz < ndrange.num_groups(2); ++gz) {
+    for (uint32_t gy = 0; gy < ndrange.num_groups(1); ++gy) {
+      for (uint32_t gx = 0; gx < ndrange.num_groups(0); ++gx) {
+        ctx.group[0] = gx;
+        ctx.group[1] = gy;
+        ctx.group[2] = gz;
+        ctx.env.clear();
+        ctx.locals.clear();
+        for (const auto& array : kernel.locals) {
+          ctx.locals.emplace_back(array.size, 0u);
+        }
+        GroupExec exec(ctx, options_);
+        if (auto st = exec.run_block(kernel.body, full); !st.is_ok()) return st;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace fgpu::kir

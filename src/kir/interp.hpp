@@ -1,0 +1,64 @@
+// Functional reference interpreter for KIR kernels.
+//
+// Executes a work-group in SIMT lockstep (all items advance statement by
+// statement under an active mask), which gives OpenCL barrier semantics for
+// free and matches how both backends execute. Serves as the golden model:
+// codegen+simulator results and HLS executor results are verified against
+// it, and it doubles as the host-side reference implementation for the
+// benchmark suite.
+//
+// It also performs dynamic checking that hardware would not: out-of-bounds
+// buffer accesses and barriers reached under divergent control flow are
+// reported as errors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+
+namespace fgpu::kir {
+
+struct KernelArg {
+  bool is_buffer = false;
+  uint32_t scalar_bits = 0;
+  std::vector<uint32_t>* data = nullptr;  // not owned; element bits
+
+  static KernelArg scalar_i32(int32_t v) {
+    return KernelArg{false, static_cast<uint32_t>(v), nullptr};
+  }
+  static KernelArg scalar_f32(float v);
+  static KernelArg buffer(std::vector<uint32_t>* data) { return KernelArg{true, 0, data}; }
+};
+
+struct InterpOptions {
+  std::function<void(const std::string&)> print_sink;  // printf output
+  uint64_t max_statements = 4'000'000'000ull;          // runaway guard
+
+  // Instrumentation: invoked once per executed (per-item) memory operation.
+  // The HLS executor uses these to attribute dynamic request counts to
+  // static access sites when modelling pipeline occupancy.
+  std::function<void(const Expr* site)> on_load;
+  std::function<void(const Stmt* site)> on_store;   // stores and atomics
+
+  // When set, incremented once per evaluated expression node (a first-order
+  // dynamic operation count, used by the analytical performance model).
+  uint64_t* op_count = nullptr;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(InterpOptions options = {}) : options_(std::move(options)) {}
+
+  // Runs the kernel over the whole NDRange (group by group). Buffer args are
+  // mutated in place.
+  Status run(const Kernel& kernel, const std::vector<KernelArg>& args, const NDRange& ndrange);
+
+ private:
+  InterpOptions options_;
+};
+
+}  // namespace fgpu::kir

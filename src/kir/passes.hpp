@@ -1,0 +1,65 @@
+// Compiler passes over KIR.
+//
+// Two of these reproduce the paper's §III-B HLS area-optimization steps as
+// real program transformations (applied to the same kernel both backends
+// consume):
+//   * cse_variable_reuse  — "O1: Variable Reuse" (Fig. 6, Listing 2):
+//     repeated pure subexpressions (including repeated global loads) are
+//     hoisted into local variables.
+//   * mark_pipelined_loads — "O2: Load Unit Pipelining" (Fig. 6, Listing 3):
+//     annotates global loads as __pipelined_load, switching the HLS LSU
+//     from 32 burst-coalesced load units to a single pipelined unit.
+//
+// The remaining passes serve the soft-GPU flow: verify (front-end checks),
+// const_fold, expand_builtins (exp/log/floor lowered to polynomial KIR so
+// the device needs no libm), and analyze_divergence (drives SPLIT/JOIN vs
+// plain-branch selection in codegen — the paper's "uniform statement
+// analysis" opportunity, §IV-A).
+#pragma once
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+
+namespace fgpu::kir {
+
+// Deep-clones a kernel's statement tree (statements are shared_ptrs, so a
+// plain Kernel copy aliases them; passes mutate statements in place).
+Kernel clone_kernel(const Kernel& kernel);
+
+// Static checks: variables defined before use, assignment targets exist,
+// buffer/param indices in range, loop variables not mutated in their body.
+Status verify(const Kernel& kernel);
+Status verify(const Module& module);
+
+// Folds constant subexpressions. Returns number of folded nodes.
+int const_fold(Kernel& kernel);
+
+// O1 "variable reuse": hoists repeated subexpressions into lets. A repeated
+// expression containing loads is hoisted only if every occurrence executes
+// before any store/atomic that may overwrite the loaded location (buffers
+// are assumed non-aliasing, like HLS compilers treating restrict pointers).
+// Returns the number of introduced variables.
+int cse_variable_reuse(Kernel& kernel);
+
+// O2 "load unit pipelining": marks global loads with the pipelined-LSU
+// annotation. Returns the number of loads marked.
+int mark_pipelined_loads(Kernel& kernel);
+
+// Selective variant: marks only loads that initialize let-bound variables —
+// exactly how the paper's Listing 3 applies __pipelined_load to the three
+// hoisted "variable reuse" temporaries.
+int mark_pipelined_loads_in_lets(Kernel& kernel);
+
+// Replaces exp/log/floor/rsqrt/powi calls with inline KIR (polynomial
+// approximations using bit-level float manipulation). sqrt stays native —
+// both targets have hardware sqrt. Returns number of expanded calls.
+int expand_builtins(Kernel& kernel);
+int expand_builtins(Module& module);
+
+// Divergence analysis: sets Stmt::divergent on control statements.
+// `group_id_uniform` reflects the dispatch mapping: true when work-groups
+// map to cores (barrier kernels), false for grid-stride dispatch where even
+// get_group_id varies across lanes.
+void analyze_divergence(Kernel& kernel, bool group_id_uniform);
+
+}  // namespace fgpu::kir

@@ -1,0 +1,165 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace fgpu::mem {
+
+Cache::Cache(CacheConfig config, MemPort* lower)
+    : config_(std::move(config)), lower_(lower) {
+  assert(is_pow2(config_.size_bytes) && "cache size must be a power of two");
+  assert(config_.num_lines() % config_.ways == 0);
+  lines_.resize(config_.num_lines());
+  lower_->set_response_handler(
+      [this](uint64_t id, bool was_write) { on_lower_response(id, was_write); });
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = LineState{};
+}
+
+Cache::LineState* Cache::lookup(uint32_t line_addr) {
+  const uint32_t set = set_of(line_addr);
+  const uint32_t tag = tag_of(line_addr);
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    LineState& line = lines_[set * config_.ways + w];
+    if (line.valid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+void Cache::install(uint32_t line_addr) {
+  const uint32_t set = set_of(line_addr);
+  LineState* victim = nullptr;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    LineState& line = lines_[set * config_.ways + w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      const uint32_t victim_line = victim->tag * config_.num_sets() + set;
+      writeback_queue_.push_back(
+          MemRequest{.id = 0, .addr = victim_line << kLineShift, .is_write = true});
+    }
+  }
+  victim->tag = tag_of(line_addr);
+  victim->valid = true;
+  victim->dirty = false;
+  victim->lru = ++lru_counter_;
+}
+
+bool Cache::can_accept() const {
+  if (accepted_this_cycle_ >= config_.ports) return false;
+  // Must be able to allocate an MSHR in the worst case (miss). This is
+  // conservative when the incoming request would merge into an existing
+  // MSHR, but that is exactly the back-pressure behaviour that produces
+  // LSU stalls in the soft GPU under high warp/thread counts (paper §III-C).
+  uint32_t used = 0;
+  for (const auto& mshr : mshrs_) {
+    if (!mshr.waiters.empty() || mshr.fill_sent) ++used;
+  }
+  return used < config_.mshrs;
+}
+
+void Cache::send(const MemRequest& req) {
+  ++accepted_this_cycle_;
+  const uint32_t line_addr = line_of(req.addr);
+  if (req.is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+
+  // Already being fetched? Merge into the MSHR (no extra lower traffic).
+  for (auto& mshr : mshrs_) {
+    if ((!mshr.waiters.empty() || mshr.fill_sent) && mshr.line_addr == line_addr) {
+      ++stats_.mshr_merges;
+      ++stats_.misses;
+      mshr.waiters.push_back(req);
+      return;
+    }
+  }
+
+  if (LineState* line = lookup(line_addr)) {
+    ++stats_.hits;
+    line->lru = ++lru_counter_;
+    if (req.is_write) line->dirty = true;
+    hit_queue_.push_back(PendingResponse{req, now_ + config_.hit_latency});
+    return;
+  }
+
+  ++stats_.misses;
+  // Allocate an MSHR; caller guaranteed availability via can_accept().
+  Mshr* slot = nullptr;
+  for (auto& mshr : mshrs_) {
+    if (mshr.waiters.empty() && !mshr.fill_sent) {
+      slot = &mshr;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    assert(mshrs_.size() < config_.mshrs && "send() called without can_accept()");
+    mshrs_.push_back(Mshr{});
+    slot = &mshrs_.back();
+  }
+  slot->line_addr = line_addr;
+  slot->fill_sent = false;
+  slot->waiters.clear();
+  slot->waiters.push_back(req);
+}
+
+void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
+  auto it = fill_ids_.find(id);
+  if (it == fill_ids_.end()) return;  // writeback ack; nothing to do
+  const uint32_t line_addr = it->second;
+  fill_ids_.erase(it);
+  install(line_addr);
+  for (auto& mshr : mshrs_) {
+    if (mshr.fill_sent && mshr.line_addr == line_addr) {
+      LineState* line = lookup(line_addr);
+      for (const auto& waiter : mshr.waiters) {
+        if (waiter.is_write && line != nullptr) line->dirty = true;
+        if (handler_) handler_(waiter.id, waiter.is_write);
+      }
+      mshr.waiters.clear();
+      mshr.fill_sent = false;
+      break;
+    }
+  }
+}
+
+void Cache::tick(uint64_t cycle) {
+  now_ = cycle;
+  accepted_this_cycle_ = 0;
+
+  // Drain hit responses whose latency elapsed.
+  while (!hit_queue_.empty() && hit_queue_.front().ready_cycle <= now_) {
+    const PendingResponse resp = hit_queue_.front();
+    hit_queue_.pop_front();
+    if (handler_) handler_(resp.req.id, resp.req.is_write);
+  }
+
+  // Writebacks take priority on the lower port (they free victim lines).
+  while (!writeback_queue_.empty() && lower_->can_accept()) {
+    lower_->send(writeback_queue_.front());
+    writeback_queue_.pop_front();
+  }
+
+  // Issue line fills for MSHRs that have not sent one yet.
+  for (auto& mshr : mshrs_) {
+    if (!mshr.waiters.empty() && !mshr.fill_sent) {
+      if (!lower_->can_accept()) break;
+      const uint64_t id = next_lower_id_++;
+      fill_ids_[id] = mshr.line_addr;
+      lower_->send(MemRequest{.id = id, .addr = mshr.line_addr << kLineShift, .is_write = false});
+      mshr.fill_sent = true;
+    }
+  }
+}
+
+}  // namespace fgpu::mem

@@ -1,0 +1,86 @@
+// Set-associative, write-back, write-allocate cache with MSHRs.
+// Used for the per-core L1 instruction/data caches and the shared L2 of
+// the soft-GPU cluster, and (read path only) for the HLS executor's
+// burst-coalesced LSU global-memory interface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "mem/timing.hpp"
+
+namespace fgpu::mem {
+
+struct CacheConfig {
+  std::string name = "l1d";
+  uint32_t size_bytes = 16 * 1024;
+  uint32_t ways = 4;
+  uint32_t hit_latency = 2;   // cycles from accept to hit response
+  uint32_t mshrs = 8;         // outstanding distinct miss lines
+  uint32_t ports = 1;         // requests accepted per cycle
+  uint32_t mshr_slots = 8;    // merged requests per MSHR
+
+  uint32_t num_lines() const { return size_bytes / kLineBytes; }
+  uint32_t num_sets() const { return num_lines() / ways; }
+};
+
+class Cache final : public MemPort {
+ public:
+  // `lower` is the next level (L2 or DRAM); not owned.
+  Cache(CacheConfig config, MemPort* lower);
+
+  bool can_accept() const override;
+  void send(const MemRequest& req) override;
+  void set_response_handler(ResponseHandler handler) override { handler_ = std::move(handler); }
+  void tick(uint64_t cycle) override;
+
+  const CacheConfig& config() const { return config_; }
+  const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+
+  // Invalidates all lines (kernel-launch boundary).
+  void flush();
+
+ private:
+  struct LineState {
+    uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint64_t lru = 0;
+  };
+  struct Mshr {
+    uint32_t line_addr = 0;  // line index (addr >> kLineShift)
+    bool fill_sent = false;
+    std::vector<MemRequest> waiters;
+  };
+  struct PendingResponse {
+    MemRequest req;
+    uint64_t ready_cycle;
+  };
+
+  uint32_t set_of(uint32_t line_addr) const { return line_addr % config_.num_sets(); }
+  uint32_t tag_of(uint32_t line_addr) const { return line_addr / config_.num_sets(); }
+  LineState* lookup(uint32_t line_addr);
+  void install(uint32_t line_addr);
+  void on_lower_response(uint64_t id, bool was_write);
+
+  CacheConfig config_;
+  MemPort* lower_;
+  ResponseHandler handler_;
+  std::vector<LineState> lines_;  // [set * ways + way]
+  std::vector<Mshr> mshrs_;
+  std::deque<PendingResponse> hit_queue_;    // hit responses in flight
+  std::deque<MemRequest> writeback_queue_;   // dirty evictions waiting to go down
+  uint64_t now_ = 0;
+  uint64_t lru_counter_ = 0;
+  uint32_t accepted_this_cycle_ = 0;
+  uint64_t next_lower_id_ = 1;
+  std::unordered_map<uint64_t, uint32_t> fill_ids_;  // lower-level id -> line addr
+  MemStats stats_;
+};
+
+}  // namespace fgpu::mem

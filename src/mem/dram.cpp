@@ -1,0 +1,55 @@
+#include "mem/dram.hpp"
+
+#include <cassert>
+
+namespace fgpu::mem {
+
+DramModel::DramModel(DramConfig config)
+    : config_(std::move(config)),
+      queues_(config_.channels),
+      accepted_this_cycle_(config_.channels, 0) {}
+
+bool DramModel::can_accept() const {
+  // Conservative: accept only if every channel has room, since the caller
+  // does not know which channel its address maps to. Per-cycle acceptance
+  // limits are enforced in send() bookkeeping instead of rejecting here,
+  // because multiple sends in one cycle may target distinct channels.
+  for (uint32_t c = 0; c < config_.channels; ++c) {
+    if (queues_[c].size() >= config_.queue_depth) return false;
+    if (accepted_this_cycle_[c] >= config_.requests_per_channel * config_.channels) return false;
+  }
+  return true;
+}
+
+void DramModel::send(const MemRequest& req) {
+  const uint32_t c = channel_of(req.addr);
+  assert(queues_[c].size() < config_.queue_depth);
+  ++accepted_this_cycle_[c];
+  // Serialization delay: each queued request behind us adds one service
+  // slot (1/requests_per_channel cycles each).
+  const uint64_t service = (queues_[c].size() + accepted_this_cycle_[c]) /
+                           std::max(1u, config_.requests_per_channel);
+  queues_[c].push_back(Inflight{req, now_ + config_.latency + service});
+  if (req.is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+}
+
+void DramModel::tick(uint64_t cycle) {
+  now_ = cycle;
+  for (auto& count : accepted_this_cycle_) count = 0;
+  for (uint32_t c = 0; c < config_.channels; ++c) {
+    uint32_t served = 0;
+    while (!queues_[c].empty() && served < config_.requests_per_channel &&
+           queues_[c].front().ready_cycle <= now_) {
+      const Inflight entry = queues_[c].front();
+      queues_[c].pop_front();
+      ++served;
+      if (handler_) handler_(entry.req.id, entry.req.is_write);
+    }
+  }
+}
+
+}  // namespace fgpu::mem

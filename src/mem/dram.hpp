@@ -1,0 +1,64 @@
+// Off-chip memory timing models for the two boards the paper evaluates:
+// Stratix 10 SX2800 (DDR4) and MX2100 (HBM2). HBM2 offers many more
+// pseudo-channels (higher request throughput) at a slightly lower latency,
+// which is the property the paper calls out when comparing the boards.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mem/timing.hpp"
+
+namespace fgpu::mem {
+
+struct DramConfig {
+  std::string name = "ddr4";
+  uint32_t latency = 100;          // cycles from accept to response
+  uint32_t channels = 1;           // independent request pipes
+  uint32_t requests_per_channel = 1;  // line requests accepted per channel per cycle
+  uint32_t queue_depth = 32;       // per-channel in-flight limit
+
+  static DramConfig ddr4() { return DramConfig{"ddr4", 100, 1, 1, 32}; }
+  static DramConfig hbm2() { return DramConfig{"hbm2", 80, 8, 1, 32}; }
+};
+
+// Fixed-latency, bandwidth-limited DRAM. Requests are line-granular;
+// channel selection is by address interleaving on line index.
+class DramModel final : public MemPort {
+ public:
+  explicit DramModel(DramConfig config);
+
+  bool can_accept() const override;
+  void send(const MemRequest& req) override;
+  void set_response_handler(ResponseHandler handler) override { handler_ = std::move(handler); }
+  void tick(uint64_t cycle) override;
+
+  const DramConfig& config() const { return config_; }
+  const MemStats& stats() const { return stats_; }
+  uint64_t bytes_read() const { return stats_.reads * kLineBytes; }
+  uint64_t bytes_written() const { return stats_.writes * kLineBytes; }
+  // Peak line requests per cycle across channels (bandwidth ceiling).
+  double peak_lines_per_cycle() const {
+    return static_cast<double>(config_.channels * config_.requests_per_channel);
+  }
+  void reset_stats() { stats_ = MemStats{}; }
+
+ private:
+  struct Inflight {
+    MemRequest req;
+    uint64_t ready_cycle;
+  };
+
+  uint32_t channel_of(uint32_t addr) const { return line_of(addr) % config_.channels; }
+
+  DramConfig config_;
+  std::vector<std::deque<Inflight>> queues_;  // per channel
+  std::vector<uint32_t> accepted_this_cycle_;
+  uint64_t now_ = 0;
+  ResponseHandler handler_;
+  MemStats stats_;
+};
+
+}  // namespace fgpu::mem

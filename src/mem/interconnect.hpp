@@ -1,0 +1,64 @@
+// N-to-1 interconnect between multiple upstream clients (per-core L1I/L1D
+// caches) and one downstream component (shared L2). Tags request ids so
+// responses route back to the issuing client — the "Mem-Interconnect" box
+// of the Vortex microarchitecture (paper Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/timing.hpp"
+
+namespace fgpu::mem {
+
+class Interconnect {
+ public:
+  explicit Interconnect(MemPort* lower) : lower_(lower) {
+    lower_->set_response_handler([this](uint64_t id, bool was_write) {
+      auto it = routes_.find(id);
+      if (it == routes_.end()) return;
+      const Route route = it->second;
+      routes_.erase(it);
+      Endpoint* ep = endpoints_[route.port].get();
+      if (ep->handler) ep->handler(route.original_id, was_write);
+    });
+  }
+
+  // Creates a new upstream endpoint. Pointers remain valid for the life of
+  // the interconnect (endpoints are heap-allocated and never removed).
+  MemPort* new_port() {
+    endpoints_.push_back(std::make_unique<Endpoint>(this, static_cast<uint32_t>(endpoints_.size())));
+    return endpoints_.back().get();
+  }
+
+ private:
+  struct Route {
+    uint32_t port;
+    uint64_t original_id;
+  };
+
+  struct Endpoint final : MemPort {
+    Endpoint(Interconnect* owner, uint32_t index) : owner(owner), index(index) {}
+    bool can_accept() const override { return owner->lower_->can_accept(); }
+    void send(const MemRequest& req) override {
+      const uint64_t tagged = owner->next_id_++;
+      owner->routes_[tagged] = Route{index, req.id};
+      owner->lower_->send(MemRequest{.id = tagged, .addr = req.addr, .is_write = req.is_write});
+    }
+    void set_response_handler(ResponseHandler h) override { handler = std::move(h); }
+    void tick(uint64_t /*cycle*/) override {}  // pass-through; lower is ticked by owner
+
+    Interconnect* owner;
+    uint32_t index;
+    ResponseHandler handler;
+  };
+
+  MemPort* lower_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<uint64_t, Route> routes_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace fgpu::mem

@@ -1,0 +1,57 @@
+// Timing interfaces of the memory hierarchy. Components (caches, DRAM)
+// exchange line-granular requests; the data itself lives in MainMemory.
+// All components are ticked once per simulated cycle, bottom-up (DRAM,
+// then L2, then L1s) so that responses ripple upward within a cycle chain
+// of at least one cycle per level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fgpu::mem {
+
+// Vortex v1's data cache uses 16-byte lines (4 words); the whole on-chip
+// hierarchy of the soft GPU model follows suit. Note this makes a fully
+// coalesced 16-lane access span 4 lines — the MSHR pressure behind the
+// paper's Fig. 7 "LSU stall" behaviour at high thread counts.
+constexpr uint32_t kLineBytes = 16;
+constexpr uint32_t kLineShift = 4;
+
+inline uint32_t line_of(uint32_t addr) { return addr >> kLineShift; }
+
+struct MemRequest {
+  uint64_t id = 0;       // requester-chosen token, returned with the response
+  uint32_t addr = 0;     // byte address (component aligns to its granularity)
+  bool is_write = false;
+};
+
+// A component that accepts memory requests and later answers them through
+// a response callback. `can_accept` models port/queue back-pressure.
+class MemPort {
+ public:
+  using ResponseHandler = std::function<void(uint64_t id, bool was_write)>;
+
+  virtual ~MemPort() = default;
+  virtual bool can_accept() const = 0;
+  virtual void send(const MemRequest& req) = 0;
+  virtual void set_response_handler(ResponseHandler handler) = 0;
+  virtual void tick(uint64_t cycle) = 0;
+};
+
+struct MemStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t mshr_merges = 0;
+  uint64_t stall_rejects = 0;  // sends refused due to back-pressure
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+}  // namespace fgpu::mem

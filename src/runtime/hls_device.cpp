@@ -1,0 +1,167 @@
+#include "runtime/hls_device.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "kir/passes.hpp"
+
+namespace fgpu::vcl {
+namespace {
+
+// Sustained off-chip bytes per kernel-clock cycle. HBM2's pseudo-channels
+// give the MX2100 far more bandwidth than the SX2800's single DDR4 channel.
+double bytes_per_cycle(const fpga::Board& board) {
+  return board.dram.name == "hbm2" ? 256.0 : 32.0;
+}
+
+}  // namespace
+
+HlsDevice::HlsDevice(const fpga::Board& board, hls::HlsOptions options)
+    : board_(board), options_(options) {}
+
+Buffer HlsDevice::alloc(size_t bytes) {
+  const uint32_t addr = next_addr_;
+  next_addr_ += static_cast<uint32_t>(align_up(bytes, 64)) + 64;
+  buffers_[addr] = std::vector<uint32_t>((bytes + 3) / 4, 0u);
+  return Buffer{addr, bytes};
+}
+
+void HlsDevice::write(const Buffer& buffer, const void* data, size_t bytes, size_t offset) {
+  auto& storage = buffers_.at(buffer.device_addr);
+  std::memcpy(reinterpret_cast<uint8_t*>(storage.data()) + offset, data, bytes);
+}
+
+void HlsDevice::read(const Buffer& buffer, void* out, size_t bytes, size_t offset) {
+  const auto& storage = buffers_.at(buffer.device_addr);
+  std::memcpy(out, reinterpret_cast<const uint8_t*>(storage.data()) + offset, bytes);
+}
+
+Status HlsDevice::build(const kir::Module& module) {
+  // Deep-clone and expand builtins once: the synthesized access sites hold
+  // pointers into these kernels, and the launch-time interpreter must run
+  // the exact same nodes for site attribution (and so that both backends
+  // compute bit-identical results from the same lowered math).
+  module_ = module;
+  for (auto& kernel : module_.kernels) {
+    kernel = kir::clone_kernel(kernel);
+    kir::expand_builtins(kernel);
+  }
+  designs_.clear();
+  build_info_.clear();
+  Status first_error;
+  fpga::AreaReport total;
+  for (const auto& kernel : module_.kernels) {
+    KernelBuildInfo info;
+    info.kernel = kernel.name;
+    auto design = hls::synthesize(kernel, board_, options_);
+    if (design.is_ok()) {
+      info.status = Status::ok();
+      info.area = design->area;
+      info.synthesis_hours = design->synthesis_hours;
+      info.log = design->report;
+      designs_[kernel.name] = design.take();
+    } else {
+      info.status = design.status();
+      info.log = design.status().to_string();
+      info.area = hls::estimate_area(hls::analyze(kernel));
+      info.synthesis_hours = hls::failed_attempt_hours(info.area, board_);
+      if (first_error.is_ok()) first_error = design.status();
+    }
+    total += info.area;
+    build_info_.push_back(std::move(info));
+  }
+  // All kernels of a .cl file share one bitstream: the module must fit as a
+  // whole, even when each kernel fits individually.
+  if (first_error.is_ok() && !board_.fits(total)) {
+    const std::string resource = board_.bottleneck_resource(total);
+    first_error = Status(
+        ErrorKind::kResourceExceeded,
+        module_.name + ": fitter failed: Not enough " + resource + " (module needs " +
+            std::to_string(total.brams) + " BRAM blocks, " + board_.name + " has " +
+            std::to_string(board_.capacity.brams) + "; utilization " +
+            std::to_string(static_cast<int>(board_.utilization(total) * 100.0)) + "%)");
+    designs_.clear();  // nothing is launchable without a bitstream
+    for (auto& info : build_info_) {
+      if (info.status.is_ok()) info.status = first_error;
+      info.synthesis_hours = hls::failed_attempt_hours(total, board_);
+    }
+  }
+  return first_error;
+}
+
+Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
+                                      const std::vector<Arg>& args,
+                                      const kir::NDRange& ndrange) {
+  auto design_it = designs_.find(kernel_name);
+  if (design_it == designs_.end()) {
+    return Result<LaunchStats>(ErrorKind::kNotFound,
+                               "kernel '" + kernel_name + "' was not synthesized");
+  }
+  const hls::HlsDesign& design = design_it->second;
+  const kir::Kernel* kernel = module_.find(kernel_name);
+  if (kernel == nullptr || args.size() != kernel->params.size()) {
+    return Result<LaunchStats>(ErrorKind::kInvalidArgument,
+                               kernel_name + ": wrong argument count");
+  }
+
+  // Assemble interpreter arguments directly over the device-side storage.
+  std::vector<kir::KernelArg> interp_args;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (const auto* buffer = std::get_if<Buffer>(&args[i])) {
+      auto it = buffers_.find(buffer->device_addr);
+      if (it == buffers_.end()) {
+        return Result<LaunchStats>(ErrorKind::kInvalidArgument, "unknown buffer argument");
+      }
+      interp_args.push_back(kir::KernelArg::buffer(&it->second));
+    } else if (const auto* iv = std::get_if<int32_t>(&args[i])) {
+      interp_args.push_back(kir::KernelArg::scalar_i32(*iv));
+    } else {
+      interp_args.push_back(kir::KernelArg::scalar_f32(std::get<float>(args[i])));
+    }
+  }
+
+  // Dynamic request counts per access site drive the timing model.
+  std::unordered_map<const void*, uint64_t> dyn_requests;
+  kir::InterpOptions interp_options;
+  interp_options.print_sink = [this](const std::string& line) { console_.push_back(line); };
+  interp_options.on_load = [&](const kir::Expr* site) { ++dyn_requests[site]; };
+  interp_options.on_store = [&](const kir::Stmt* site) { ++dyn_requests[site]; };
+
+  // module_ was expanded at build time; the interpreter runs the very nodes
+  // the access sites point at.
+  kir::Interpreter interp(interp_options);
+  if (auto st = interp.run(*kernel, interp_args, ndrange); !st.is_ok()) {
+    return Result<LaunchStats>(st.kind(), st.message());
+  }
+
+  // Timing: NDRange iterative work-item issue. One item enters the pipeline
+  // per II cycles; II is bound by per-item memory-interface occupancy, and
+  // total runtime additionally by off-chip bandwidth.
+  const double items = static_cast<double>(ndrange.global_items());
+  double occupancy_cycles = 0.0;  // total memory-interface cycles
+  double bytes_moved = 0.0;
+  for (const auto& site : design.dfg.sites) {
+    auto it = dyn_requests.find(site.site);
+    const double requests = it == dyn_requests.end() ? 0.0 : static_cast<double>(it->second);
+    occupancy_cycles += requests * hls::request_cost(site);
+    bytes_moved += requests * (site.pattern == hls::AccessPattern::kConsecutive ? 4.0 : 64.0);
+  }
+  const double ii = std::max(1.0, occupancy_cycles / std::max(1.0, items));
+  const double issue_cycles = items * ii;
+  const double bandwidth_cycles = bytes_moved / bytes_per_cycle(board_);
+  const double total =
+      static_cast<double>(design.pipeline_depth) + std::max(issue_cycles, bandwidth_cycles);
+
+  LaunchStats stats;
+  stats.device_cycles = static_cast<uint64_t>(total);
+  stats.clock_mhz = board_.hls_kernel_clock_mhz;
+  stats.pipeline_depth = design.pipeline_depth;
+  stats.initiation_interval = static_cast<uint64_t>(std::ceil(ii));
+  stats.memory_stall_cycles =
+      static_cast<uint64_t>(std::max(0.0, bandwidth_cycles - issue_cycles));
+  stats.dram_bytes = static_cast<uint64_t>(bytes_moved);
+  return stats;
+}
+
+}  // namespace fgpu::vcl

@@ -1,0 +1,53 @@
+// Intel-HLS-like device backend: kernels are synthesized by the hls/ model
+// into pipelined datapaths; launches execute functionally through the KIR
+// interpreter while timing follows the NDRange pipeline model
+// (depth + items x II, bounded by off-chip bandwidth).
+#pragma once
+
+#include <unordered_map>
+
+#include "hls/compiler.hpp"
+#include "kir/interp.hpp"
+#include "runtime/runtime.hpp"
+
+namespace fgpu::vcl {
+
+class HlsDevice final : public Device {
+ public:
+  explicit HlsDevice(const fpga::Board& board = fpga::stratix10_mx2100(),
+                     hls::HlsOptions options = {});
+
+  std::string name() const override { return "intel-hls@" + board_.name; }
+  const fpga::Board& board() const override { return board_; }
+
+  Buffer alloc(size_t bytes) override;
+  void write(const Buffer& buffer, const void* data, size_t bytes, size_t offset) override;
+  void read(const Buffer& buffer, void* out, size_t bytes, size_t offset) override;
+
+  Status build(const kir::Module& module) override;
+  const std::vector<KernelBuildInfo>& build_info() const override { return build_info_; }
+
+  Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
+                             const kir::NDRange& ndrange) override;
+
+  const std::vector<std::string>& console() const override { return console_; }
+  void clear_console() override { console_.clear(); }
+
+  // The synthesized design for a kernel (nullptr if synthesis failed).
+  const hls::HlsDesign* design(const std::string& kernel) const {
+    auto it = designs_.find(kernel);
+    return it == designs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  fpga::Board board_;
+  hls::HlsOptions options_;
+  kir::Module module_;
+  std::unordered_map<std::string, hls::HlsDesign> designs_;
+  std::vector<KernelBuildInfo> build_info_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> buffers_;  // addr -> data
+  std::vector<std::string> console_;
+  uint32_t next_addr_ = 0x1000;
+};
+
+}  // namespace fgpu::vcl

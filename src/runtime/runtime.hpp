@@ -1,0 +1,121 @@
+// vcl — a miniature OpenCL-style host runtime with two device backends:
+//
+//   * the Vortex soft GPU (runtime/vortex_device.*): kernels are compiled
+//     to Vortex ISA binaries and executed on the cycle-level simulator —
+//     the paper's PoCL-runtime + Vortex flow (Fig. 5), and
+//   * the Intel-HLS-like device (runtime/hls_device.*): kernels are
+//     "synthesized" into a pipelined datapath model with an area report and
+//     a fitter that can fail — the paper's AOC flow (Fig. 3).
+//
+// Host code written against this API runs unmodified on either device,
+// mirroring the paper's methodology ("identical source code (both host and
+// kernel), differing only in the kernel binaries loaded").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fpga/board.hpp"
+#include "kir/kir.hpp"
+#include "mem/timing.hpp"
+#include "vortex/perf.hpp"
+
+namespace fgpu::vcl {
+
+// Device buffer handle (device address + size; data lives device-side).
+struct Buffer {
+  uint32_t device_addr = 0;
+  size_t size_bytes = 0;
+  bool valid() const { return device_addr != 0; }
+};
+
+// Kernel argument: buffer, i32 scalar, or f32 scalar (set_arg order follows
+// the kernel's parameter declaration order).
+using Arg = std::variant<Buffer, int32_t, float>;
+
+struct LaunchStats {
+  uint64_t device_cycles = 0;
+  double clock_mhz = 0.0;
+  double time_ms() const {
+    return clock_mhz == 0.0 ? 0.0
+                            : static_cast<double>(device_cycles) / (clock_mhz * 1e3);
+  }
+
+  // Soft-GPU detail.
+  vortex::PerfCounters perf;
+  mem::MemStats l1d, l2, dram;
+  uint64_t dram_bytes = 0;
+
+  // HLS detail.
+  uint64_t pipeline_depth = 0;
+  uint64_t initiation_interval = 0;
+  uint64_t memory_stall_cycles = 0;
+};
+
+// Result of building one kernel (per-kernel logs feed the coverage table).
+struct KernelBuildInfo {
+  std::string kernel;
+  Status status;
+  std::string log;                // human-readable detail
+  fpga::AreaReport area;          // HLS: synthesized area
+  double synthesis_hours = 0.0;   // HLS: modelled synthesis time (§IV-B)
+  size_t binary_words = 0;        // soft GPU: instruction count
+  bool barrier_dispatch = false;  // soft GPU: work-group dispatch used
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual std::string name() const = 0;
+  virtual const fpga::Board& board() const = 0;
+
+  // Memory management ----------------------------------------------------
+  virtual Buffer alloc(size_t bytes) = 0;
+  virtual void write(const Buffer& buffer, const void* data, size_t bytes,
+                     size_t offset = 0) = 0;
+  virtual void read(const Buffer& buffer, void* out, size_t bytes, size_t offset = 0) = 0;
+
+  // Program build --------------------------------------------------------
+  // Builds every kernel in the module. Returns an error if any kernel fails
+  // (per-kernel detail in build_info()). A failed build leaves successfully
+  // built kernels launchable, like clBuildProgram with multiple kernels.
+  virtual Status build(const kir::Module& module) = 0;
+  virtual const std::vector<KernelBuildInfo>& build_info() const = 0;
+  const KernelBuildInfo* find_build_info(const std::string& kernel) const {
+    for (const auto& info : build_info()) {
+      if (info.kernel == kernel) return &info;
+    }
+    return nullptr;
+  }
+
+  // Execution ------------------------------------------------------------
+  virtual Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
+                                     const kir::NDRange& ndrange) = 0;
+
+  // OpenCL printf output captured from the device.
+  virtual const std::vector<std::string>& console() const = 0;
+  virtual void clear_console() = 0;
+
+  // Convenience typed transfer helpers.
+  template <typename T>
+  Buffer upload(const std::vector<T>& data) {
+    static_assert(sizeof(T) == 4, "device buffers are 32-bit element arrays");
+    Buffer b = alloc(data.size() * 4);
+    write(b, data.data(), data.size() * 4);
+    return b;
+  }
+  template <typename T>
+  std::vector<T> download(const Buffer& buffer) {
+    static_assert(sizeof(T) == 4, "device buffers are 32-bit element arrays");
+    std::vector<T> out(buffer.size_bytes / 4);
+    read(buffer, out.data(), out.size() * 4);
+    return out;
+  }
+};
+
+}  // namespace fgpu::vcl

@@ -1,0 +1,59 @@
+// Soft-GPU device backend: compiles KIR kernels with codegen/ and executes
+// them on the vortex/ cycle-level cluster (the paper's Vortex + PoCL flow).
+#pragma once
+
+#include <unordered_map>
+
+#include "codegen/codegen.hpp"
+#include "mem/memory.hpp"
+#include "runtime/runtime.hpp"
+#include "vortex/cluster.hpp"
+
+namespace fgpu::vcl {
+
+class VortexDevice final : public Device {
+ public:
+  explicit VortexDevice(vortex::Config config = {},
+                        const fpga::Board& board = fpga::stratix10_sx2800(),
+                        codegen::Options codegen_options = {});
+
+  std::string name() const override;
+  const fpga::Board& board() const override { return board_; }
+
+  Buffer alloc(size_t bytes) override;
+  void write(const Buffer& buffer, const void* data, size_t bytes, size_t offset) override;
+  void read(const Buffer& buffer, void* out, size_t bytes, size_t offset) override;
+
+  Status build(const kir::Module& module) override;
+  const std::vector<KernelBuildInfo>& build_info() const override { return build_info_; }
+
+  Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
+                             const kir::NDRange& ndrange) override;
+
+  const std::vector<std::string>& console() const override { return console_; }
+  void clear_console() override { console_.clear(); }
+
+  const vortex::Config& config() const { return config_; }
+  // Direct access for tests.
+  mem::MainMemory& memory() { return memory_; }
+
+ private:
+  struct Built {
+    codegen::CompiledKernel compiled;
+    const kir::Kernel* kernel = nullptr;  // points into module copy
+  };
+
+  vortex::Config config_;
+  fpga::Board board_;
+  codegen::Options codegen_options_;
+  mem::MainMemory memory_;
+  std::unique_ptr<vortex::Cluster> cluster_;
+  kir::Module module_;  // retained copy so Built::kernel stays valid
+  std::unordered_map<std::string, Built> kernels_;
+  std::vector<KernelBuildInfo> build_info_;
+  std::vector<std::string> console_;
+  std::unordered_map<uint64_t, std::string> print_partial_;  // per (core,warp,lane)
+  uint32_t heap_next_ = 0;
+};
+
+}  // namespace fgpu::vcl

@@ -1,0 +1,416 @@
+// Rodinia benchmarks, part A: kmeans, nearn, gaussian, bfs, pathfinder, nw,
+// streamcluster, particlefilter.
+#include <cmath>
+#include <queue>
+
+#include "suite/common.hpp"
+
+namespace fgpu::suite {
+
+using kir::Buf;
+using kir::KernelBuilder;
+using kir::NDRange;
+using kir::Val;
+
+Benchmark make_kmeans() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "cluster-assignment kernel: nearest of k centroids per point";
+  const uint32_t points = 1024, k = 8, dims = 4;
+
+  KernelBuilder kb("kmeans_assign");
+  Buf features = kb.buf_f32("features");    // [points][dims]
+  Buf clusters = kb.buf_f32("clusters");    // [k][dims]
+  Buf membership = kb.buf_i32("membership");
+  Val npoints = kb.param_i32("npoints");
+  Val nclusters = kb.param_i32("nclusters");
+  Val nfeatures = kb.param_i32("nfeatures");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < npoints, [&] {
+    Val best = kb.let_("best", Val(0));
+    Val best_dist = kb.let_("best_dist", Val(3.4e38f));
+    kb.for_("c", Val(0), nclusters, [&](Val c) {
+      Val dist = kb.let_("dist", Val(0.0f));
+      kb.for_("d", Val(0), nfeatures, [&](Val d) {
+        Val diff = kb.let_("diff",
+                           kb.load(features, gid * nfeatures + d) - kb.load(clusters, c * nfeatures + d));
+        kb.assign(dist, dist + diff * diff);
+      });
+      kb.if_(dist < best_dist, [&] {
+        kb.assign(best_dist, dist);
+        kb.assign(best, c);
+      });
+    });
+    kb.store(membership, gid, best);
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(points * dims, 0x91, -10.0f, 10.0f),
+                   ffill(k * dims, 0x92, -10.0f, 10.0f), zeros(points)};
+  bench.launches = {{"kmeans_assign", NDRange::linear(points, 64),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                      ArgSpec::i(static_cast<int32_t>(points)),
+                      ArgSpec::i(static_cast<int32_t>(k)),
+                      ArgSpec::i(static_cast<int32_t>(dims))}}};
+  bench.checked_buffers = {2};
+  return bench;
+}
+
+Benchmark make_nearn() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "nearest-neighbor: euclidean distance of every record to a query";
+  const uint32_t records = 2048;
+
+  KernelBuilder kb("nearn");
+  Buf lat = kb.buf_f32("lat"), lng = kb.buf_f32("lng"), dist = kb.buf_f32("dist");
+  Val count = kb.param_i32("n");
+  Val qlat = kb.param_f32("qlat"), qlng = kb.param_f32("qlng");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < count, [&] {
+    Val dx = kb.let_("dx", kb.load(lat, gid) - qlat);
+    Val dy = kb.let_("dy", kb.load(lng, gid) - qlng);
+    kb.store(dist, gid, vsqrt(dx * dx + dy * dy));
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(records, 0xA3, -90.0f, 90.0f), ffill(records, 0xA4, -180.0f, 180.0f),
+                   zeros(records)};
+  bench.launches = {{"nearn", NDRange::linear(records, 64),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                      ArgSpec::i(static_cast<int32_t>(records)), ArgSpec::f(30.5f),
+                      ArgSpec::f(-120.25f)}}};
+  bench.checked_buffers = {2};
+  return bench;
+}
+
+Benchmark make_gaussian() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "gaussian elimination: Fan1 (multipliers) + Fan2 (row updates) per column";
+  const uint32_t n = 32;
+
+  {
+    KernelBuilder kb("fan1");
+    Buf a = kb.buf_f32("a"), m = kb.buf_f32("m");
+    Val size = kb.param_i32("size");
+    Val t = kb.param_i32("t");
+    Val gid = kb.global_id(0);
+    kb.if_(gid < size - 1 - t, [&] {
+      kb.store(m, size * (gid + t + 1) + t,
+               kb.load(a, size * (gid + t + 1) + t) / kb.load(a, size * t + t));
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+  {
+    KernelBuilder kb("fan2");
+    Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), m = kb.buf_f32("m");
+    Val size = kb.param_i32("size");
+    Val t = kb.param_i32("t");
+    Val gx = kb.global_id(0), gy = kb.global_id(1);  // gx: column, gy: row below t
+    kb.if_(gx < size - t && gy < size - 1 - t, [&] {
+      Val row = kb.let_("row", gy + t + 1);
+      Val col = kb.let_("col", gx + t);
+      kb.store(a, size * row + col,
+               kb.load(a, size * row + col) -
+                   kb.load(m, size * row + t) * kb.load(a, size * t + col));
+      kb.if_(gx == 0, [&] {
+        kb.store(b, row, kb.load(b, row) - kb.load(m, size * row + t) * kb.load(b, t));
+      });
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+
+  // Diagonally dominant matrix keeps elimination well-conditioned.
+  auto a = ffill(n * n, 0xB3, -1.0f, 1.0f);
+  for (uint32_t i = 0; i < n; ++i) a[i * n + i] = f2u(u2f(a[i * n + i]) + 8.0f);
+  bench.buffers = {a, ffill(n, 0xB4, -5.0f, 5.0f), zeros(n * n)};
+  for (uint32_t t = 0; t + 1 < n; ++t) {
+    bench.launches.push_back({"fan1", NDRange::linear(n, 32),
+                              {ArgSpec::buf(0), ArgSpec::buf(2),
+                               ArgSpec::i(static_cast<int32_t>(n)),
+                               ArgSpec::i(static_cast<int32_t>(t))}});
+    bench.launches.push_back({"fan2", NDRange::grid2d(n, n, 8, 8),
+                              {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                               ArgSpec::i(static_cast<int32_t>(n)),
+                               ArgSpec::i(static_cast<int32_t>(t))}});
+  }
+  bench.checked_buffers = {0, 1};
+  return bench;
+}
+
+Benchmark make_bfs() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "frontier-based BFS: two kernels per level, irregular edge gathers";
+  const uint32_t nodes = 512;
+  const uint32_t degree = 4;
+
+  // Build a random graph (deterministic) and compute its BFS depth natively
+  // so the host launch list covers every level.
+  Rng rng(0xBF5);
+  std::vector<uint32_t> starts(nodes), degrees(nodes, degree), edges(nodes * degree);
+  for (uint32_t v = 0; v < nodes; ++v) {
+    starts[v] = v * degree;
+    for (uint32_t e = 0; e < degree; ++e) edges[v * degree + e] = rng.next_below(nodes);
+  }
+  // Native BFS for level count.
+  uint32_t depth = 0;
+  {
+    std::vector<int> level(nodes, -1);
+    std::queue<uint32_t> queue;
+    level[0] = 0;
+    queue.push(0);
+    while (!queue.empty()) {
+      const uint32_t v = queue.front();
+      queue.pop();
+      depth = std::max(depth, static_cast<uint32_t>(level[v]));
+      for (uint32_t e = 0; e < degree; ++e) {
+        const uint32_t next = edges[v * degree + e];
+        if (level[next] < 0) {
+          level[next] = level[v] + 1;
+          queue.push(next);
+        }
+      }
+    }
+  }
+
+  {
+    KernelBuilder kb("bfs_expand");
+    Buf starts_b = kb.buf_i32("starts"), degrees_b = kb.buf_i32("degrees"),
+        edges_b = kb.buf_i32("edges");
+    Buf mask = kb.buf_i32("mask"), updating = kb.buf_i32("updating"),
+        visited = kb.buf_i32("visited"), cost = kb.buf_i32("cost");
+    Val count = kb.param_i32("n");
+    Val gid = kb.global_id(0);
+    kb.if_(gid < count && kb.load(mask, gid) == 1, [&] {
+      kb.store(mask, gid, Val(0));
+      Val start = kb.let_("start", kb.load(starts_b, gid));
+      Val deg = kb.let_("deg", kb.load(degrees_b, gid));
+      kb.for_("e", start, start + deg, [&](Val e) {
+        Val next = kb.let_("next", kb.load(edges_b, e));
+        kb.if_(kb.load(visited, next) == 0, [&] {
+          kb.store(cost, next, kb.load(cost, gid) + 1);
+          kb.store(updating, next, Val(1));
+        });
+      });
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+  {
+    KernelBuilder kb("bfs_update");
+    Buf mask = kb.buf_i32("mask"), updating = kb.buf_i32("updating"),
+        visited = kb.buf_i32("visited");
+    Val count = kb.param_i32("n");
+    Val gid = kb.global_id(0);
+    kb.if_(gid < count && kb.load(updating, gid) == 1, [&] {
+      kb.store(mask, gid, Val(1));
+      kb.store(visited, gid, Val(1));
+      kb.store(updating, gid, Val(0));
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+
+  std::vector<uint32_t> mask = zeros(nodes), visited = zeros(nodes), cost(nodes, 0u);
+  mask[0] = 1;
+  visited[0] = 1;
+  bench.buffers = {starts, degrees, edges, mask, zeros(nodes), visited, cost};
+  for (uint32_t level = 0; level <= depth; ++level) {
+    bench.launches.push_back({"bfs_expand", NDRange::linear(nodes, 64),
+                              {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2), ArgSpec::buf(3),
+                               ArgSpec::buf(4), ArgSpec::buf(5), ArgSpec::buf(6),
+                               ArgSpec::i(static_cast<int32_t>(nodes))}});
+    bench.launches.push_back({"bfs_update", NDRange::linear(nodes, 64),
+                              {ArgSpec::buf(3), ArgSpec::buf(4), ArgSpec::buf(5),
+                               ArgSpec::i(static_cast<int32_t>(nodes))}});
+  }
+  bench.checked_buffers = {5, 6};
+  return bench;
+}
+
+Benchmark make_pathfinder() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "dynamic programming: per-row min of three predecessors";
+  const uint32_t cols = 512, rows = 16;
+
+  KernelBuilder kb("pathfinder_row");
+  Buf wall = kb.buf_i32("wall"), src = kb.buf_i32("src"), dst = kb.buf_i32("dst");
+  Val ncols = kb.param_i32("cols");
+  Val row = kb.param_i32("row");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < ncols, [&] {
+    Val left = kb.let_("left", kb.load(src, vmax(gid - 1, Val(0))));
+    Val center = kb.let_("center", kb.load(src, gid));
+    Val right = kb.let_("right", kb.load(src, vmin(gid + 1, ncols - 1)));
+    kb.store(dst, gid, kb.load(wall, row * ncols + gid) + vmin(vmin(left, center), right));
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  auto wall_data = ifill(cols * rows, 0xC3, 0, 9);
+  std::vector<uint32_t> first_row(cols);
+  for (uint32_t c = 0; c < cols; ++c) first_row[c] = wall_data[c];
+  bench.buffers = {wall_data, first_row, zeros(cols)};
+  for (uint32_t r = 1; r < rows; ++r) {
+    const int src_buf = (r % 2 == 1) ? 1 : 2;
+    const int dst_buf = (r % 2 == 1) ? 2 : 1;
+    bench.launches.push_back({"pathfinder_row", NDRange::linear(cols, 64),
+                              {ArgSpec::buf(0), ArgSpec::buf(src_buf), ArgSpec::buf(dst_buf),
+                               ArgSpec::i(static_cast<int32_t>(cols)),
+                               ArgSpec::i(static_cast<int32_t>(r))}});
+  }
+  bench.checked_buffers = {1, 2};
+  return bench;
+}
+
+Benchmark make_nw() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "Needleman-Wunsch alignment: anti-diagonal wavefront updates";
+  const uint32_t n = 48;        // alignment length
+  const int32_t penalty = 10;
+
+  {
+  KernelBuilder kb("nw_diag");
+  Buf items = kb.buf_i32("items");      // (n+1)^2 score matrix
+  Buf reference = kb.buf_i32("reference");  // (n+1)^2 substitution scores
+  Val size = kb.param_i32("size");      // n+1
+  Val diag = kb.param_i32("diag");      // 2..2n
+  Val pen = kb.param_i32("penalty");
+  Val gid = kb.global_id(0);
+  Val i = kb.let_("i", gid + 1);
+  Val j = kb.let_("j", diag - i);
+  kb.if_(i < size && j >= 1 && j < size, [&] {
+    Val up_left = kb.let_("up_left",
+                          kb.load(items, (i - 1) * size + (j - 1)) +
+                              kb.load(reference, i * size + j));
+    Val up = kb.let_("up", kb.load(items, (i - 1) * size + j) - pen);
+    Val left = kb.let_("left", kb.load(items, i * size + (j - 1)) - pen);
+    kb.store(items, i * size + j, vmax(vmax(up_left, up), left));
+  });
+  bench.module.kernels.push_back(kb.build());
+  }
+
+  const uint32_t size = n + 1;
+  std::vector<uint32_t> items(size * size, 0u);
+  for (uint32_t k = 0; k < size; ++k) {
+    items[k] = static_cast<uint32_t>(-static_cast<int32_t>(k) * penalty);
+    items[k * size] = static_cast<uint32_t>(-static_cast<int32_t>(k) * penalty);
+  }
+  bench.buffers = {items, ifill(size * size, 0xD4, -4, 4)};
+  for (uint32_t diag = 2; diag <= 2 * n; ++diag) {
+    bench.launches.push_back({"nw_diag", NDRange::linear(n, 48),
+                              {ArgSpec::buf(0), ArgSpec::buf(1),
+                               ArgSpec::i(static_cast<int32_t>(size)),
+                               ArgSpec::i(static_cast<int32_t>(diag)), ArgSpec::i(penalty)}});
+  }
+  bench.checked_buffers = {0};
+  return bench;
+}
+
+Benchmark make_streamcluster() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "pgain kernel: per-point cost delta of opening a candidate center";
+  const uint32_t points = 512, dims = 4, candidates = 4;
+
+  KernelBuilder kb("pgain");
+  Buf coords = kb.buf_f32("coords");      // [points][dims]
+  Buf weights = kb.buf_f32("weights");
+  Buf current_cost = kb.buf_f32("current_cost");  // distance to current center
+  Buf gain = kb.buf_f32("gain");
+  Buf assign_flag = kb.buf_i32("assign_flag");
+  Val npoints = kb.param_i32("n");
+  Val nfeatures = kb.param_i32("dims");
+  Val center = kb.param_i32("center");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < npoints, [&] {
+    Val dist = kb.let_("dist", Val(0.0f));
+    kb.for_("d", Val(0), nfeatures, [&](Val d) {
+      Val diff = kb.let_("diff",
+                         kb.load(coords, gid * nfeatures + d) -
+                             kb.load(coords, center * nfeatures + d));
+      kb.assign(dist, dist + diff * diff);
+    });
+    Val weighted = kb.let_("weighted", dist * kb.load(weights, gid));
+    Val delta = kb.let_("delta", weighted - kb.load(current_cost, gid));
+    kb.store(gain, gid, delta);
+    kb.store(assign_flag, gid, vselect(delta < 0.0f, Val(1), Val(0)));
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(points * dims, 0xE3, -20.0f, 20.0f), ffill(points, 0xE4, 0.5f, 2.0f),
+                   ffill(points, 0xE5, 0.0f, 500.0f), zeros(points), zeros(points)};
+  for (uint32_t c = 0; c < candidates; ++c) {
+    bench.launches.push_back({"pgain", NDRange::linear(points, 64),
+                              {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2), ArgSpec::buf(3),
+                               ArgSpec::buf(4), ArgSpec::i(static_cast<int32_t>(points)),
+                               ArgSpec::i(static_cast<int32_t>(dims)),
+                               ArgSpec::i(static_cast<int32_t>(c * 37 + 5))}});
+  }
+  bench.checked_buffers = {3, 4};
+  return bench;
+}
+
+Benchmark make_particlefilter() {
+  Benchmark bench;
+  bench.origin = "Rodinia";
+  bench.notes = "likelihood + normalization + CDF + divergent index search";
+  const uint32_t particles = 512;
+
+  {
+    KernelBuilder kb("pf_likelihood");
+    Buf weights = kb.buf_f32("weights"), observations = kb.buf_f32("observations");
+    Val count = kb.param_i32("n");
+    Val gid = kb.global_id(0);
+    kb.if_(gid < count, [&] {
+      Val obs = kb.let_("obs", kb.load(observations, gid));
+      kb.store(weights, gid, kb.load(weights, gid) * vexp(-0.5f * obs * obs));
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+  {
+    // Rodinia computes the CDF with a single work item; so do we.
+    KernelBuilder kb("pf_cdf");
+    Buf weights = kb.buf_f32("weights"), cdf = kb.buf_f32("cdf"), total = kb.buf_f32("total");
+    Val count = kb.param_i32("n");
+    Val acc = kb.let_("acc", Val(0.0f));
+    kb.for_("i", Val(0), count, [&](Val i) {
+      kb.assign(acc, acc + kb.load(weights, i));
+      kb.store(cdf, i, acc);
+    });
+    kb.store(total, Val(0), acc);
+    bench.module.kernels.push_back(kb.build());
+  }
+  {
+    KernelBuilder kb("pf_find_index");
+    Buf cdf = kb.buf_f32("cdf"), total = kb.buf_f32("total"), indices = kb.buf_i32("indices");
+    Val count = kb.param_i32("n");
+    Val gid = kb.global_id(0);
+    kb.if_(gid < count, [&] {
+      Val u = kb.let_("u", (to_f32(gid) + 0.5f) / to_f32(count) * kb.load(total, Val(0)));
+      Val idx = kb.let_("idx", Val(0));
+      kb.while_(idx < count - 1 && kb.load(cdf, idx) < u, [&] { kb.assign(idx, idx + 1); });
+      kb.store(indices, gid, idx);
+    });
+    bench.module.kernels.push_back(kb.build());
+  }
+
+  bench.buffers = {consts(particles, f2u(1.0f / particles)),
+                   ffill(particles, 0xF3, -2.0f, 2.0f), zeros(particles), zeros(1),
+                   zeros(particles)};
+  bench.launches = {
+      {"pf_likelihood", NDRange::linear(particles, 64),
+       {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::i(static_cast<int32_t>(particles))}},
+      {"pf_cdf", NDRange::linear(1, 1),
+       {ArgSpec::buf(0), ArgSpec::buf(2), ArgSpec::buf(3),
+        ArgSpec::i(static_cast<int32_t>(particles))}},
+      {"pf_find_index", NDRange::linear(particles, 64),
+       {ArgSpec::buf(2), ArgSpec::buf(3), ArgSpec::buf(4),
+        ArgSpec::i(static_cast<int32_t>(particles))}},
+  };
+  bench.checked_buffers = {0, 2, 3, 4};
+  return bench;
+}
+
+}  // namespace fgpu::suite

@@ -1,0 +1,327 @@
+// Benchmarks from the NVIDIA OpenCL SDK samples and Vortex's own test set:
+// vecadd, saxpy, matmul, sgemm, transpose, dotproduct, psort, stencil,
+// sfilter, oclprintf. These are the "relatively simple" end of the paper's
+// Table I spectrum.
+#include "suite/common.hpp"
+
+namespace fgpu::suite {
+
+using kir::Buf;
+using kir::KernelBuilder;
+using kir::NDRange;
+using kir::Val;
+
+Benchmark make_vecadd() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "c[i] = a[i] + b[i]; 2 streaming loads + 1 store per item";
+  const uint32_t n = 4096;
+
+  KernelBuilder kb("vecadd");
+  Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), c = kb.buf_f32("c");
+  Val count = kb.param_i32("n");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < count, [&] { kb.store(c, gid, kb.load(a, gid) + kb.load(b, gid)); });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n, 0xA1, -100.0f, 100.0f), ffill(n, 0xA2, -100.0f, 100.0f), zeros(n)};
+  bench.launches = {{"vecadd", NDRange::linear(n, 64),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                      ArgSpec::i(static_cast<int32_t>(n))}}};
+  bench.checked_buffers = {2};
+  return bench;
+}
+
+Benchmark make_saxpy() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "y[i] = alpha * x[i] + y[i]";
+  const uint32_t n = 8192;
+
+  KernelBuilder kb("saxpy");
+  Buf x = kb.buf_f32("x"), y = kb.buf_f32("y");
+  Val alpha = kb.param_f32("alpha");
+  Val count = kb.param_i32("n");
+  Val gid = kb.global_id(0);
+  kb.if_(gid < count, [&] { kb.store(y, gid, alpha * kb.load(x, gid) + kb.load(y, gid)); });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n, 0xB1, -10.0f, 10.0f), ffill(n, 0xB2, -10.0f, 10.0f)};
+  bench.launches = {{"saxpy", NDRange::linear(n, 64),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::f(2.75f),
+                      ArgSpec::i(static_cast<int32_t>(n))}}};
+  bench.checked_buffers = {1};
+  return bench;
+}
+
+Benchmark make_matmul() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "naive dense C = A x B, one output element per item";
+  const uint32_t n = 40;
+
+  KernelBuilder kb("matmul");
+  Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), c = kb.buf_f32("c");
+  Val size = kb.param_i32("n");
+  Val col = kb.global_id(0), row = kb.global_id(1);
+  Val acc = kb.let_("acc", Val(0.0f));
+  kb.for_("k", Val(0), size, [&](Val k) {
+    kb.assign(acc, acc + kb.load(a, row * size + k) * kb.load(b, k * size + col));
+  });
+  kb.store(c, row * size + col, acc);
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n * n, 0xC1, -2.0f, 2.0f), ffill(n * n, 0xC2, -2.0f, 2.0f),
+                   zeros(n * n)};
+  bench.launches = {{"matmul", NDRange::grid2d(n, n, 8, 8),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                      ArgSpec::i(static_cast<int32_t>(n))}}};
+  bench.checked_buffers = {2};
+  return bench;
+}
+
+Benchmark make_sgemm() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "C = alpha*A*B + beta*C (BLAS-style)";
+  const uint32_t n = 32;
+
+  KernelBuilder kb("sgemm");
+  Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), c = kb.buf_f32("c");
+  Val size = kb.param_i32("n");
+  Val alpha = kb.param_f32("alpha"), beta = kb.param_f32("beta");
+  Val col = kb.global_id(0), row = kb.global_id(1);
+  Val acc = kb.let_("acc", Val(0.0f));
+  kb.for_("k", Val(0), size, [&](Val k) {
+    kb.assign(acc, acc + kb.load(a, row * size + k) * kb.load(b, k * size + col));
+  });
+  Val idx = kb.let_("idx", row * size + col);
+  kb.store(c, idx, alpha * acc + beta * kb.load(c, idx));
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n * n, 0xD1, -1.5f, 1.5f), ffill(n * n, 0xD2, -1.5f, 1.5f),
+                   ffill(n * n, 0xD3, -1.0f, 1.0f)};
+  bench.launches = {{"sgemm", NDRange::grid2d(n, n, 8, 8),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2),
+                      ArgSpec::i(static_cast<int32_t>(n)), ArgSpec::f(1.5f), ArgSpec::f(0.5f)}}};
+  bench.checked_buffers = {2};
+  return bench;
+}
+
+Benchmark make_transpose() {
+  Benchmark bench;
+  bench.origin = "NVIDIA SDK";
+  bench.notes = "out[x][y] = in[y][x]; strided store pattern (Fig. 7 subject)";
+  const uint32_t n = 64;
+
+  KernelBuilder kb("transpose");
+  Buf in = kb.buf_f32("in"), out = kb.buf_f32("out");
+  Val width = kb.param_i32("width");
+  Val gx = kb.global_id(0), gy = kb.global_id(1);
+  kb.store(out, gx * width + gy, kb.load(in, gy * width + gx));
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n * n, 0xE1, -50.0f, 50.0f), zeros(n * n)};
+  bench.launches = {{"transpose", NDRange::grid2d(n, n, 8, 8),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::i(static_cast<int32_t>(n))}}};
+  bench.checked_buffers = {1};
+  return bench;
+}
+
+Benchmark make_dotproduct() {
+  Benchmark bench;
+  bench.origin = "NVIDIA SDK";
+  bench.notes = "two-stage work-group tree reduction through __local memory";
+  const uint32_t n = 4096;       // elements
+  const uint32_t groups = n / 64;  // stage-1 partials
+
+  {
+    KernelBuilder kb("dot_partial");
+    Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), partial = kb.buf_f32("partial");
+    Buf tile = kb.local_f32("tile", 64);
+    Val lid = kb.local_id(0), grp = kb.group_id(0), gid = kb.global_id(0);
+    kb.store(tile, lid, kb.load(a, gid) * kb.load(b, gid));
+    kb.barrier();
+    Val stride = kb.let_("stride", Val(32));
+    kb.while_(stride > 0, [&] {
+      kb.if_(lid < stride,
+             [&] { kb.store(tile, lid, kb.load(tile, lid) + kb.load(tile, lid + stride)); });
+      kb.barrier();
+      kb.assign(stride, stride >> 1);
+    });
+    kb.if_(lid == 0, [&] { kb.store(partial, grp, kb.load(tile, 0)); });
+    bench.module.kernels.push_back(kb.build());
+  }
+  {
+    // Stage 2: one work-group folds the 64 partials (groups == 64 here).
+    KernelBuilder kb("dot_final");
+    Buf partial = kb.buf_f32("partial"), result = kb.buf_f32("result");
+    Buf tile = kb.local_f32("tile", 64);
+    Val lid = kb.local_id(0);
+    kb.store(tile, lid, kb.load(partial, lid));
+    kb.barrier();
+    Val stride = kb.let_("stride", Val(32));
+    kb.while_(stride > 0, [&] {
+      kb.if_(lid < stride,
+             [&] { kb.store(tile, lid, kb.load(tile, lid) + kb.load(tile, lid + stride)); });
+      kb.barrier();
+      kb.assign(stride, stride >> 1);
+    });
+    kb.if_(lid == 0, [&] { kb.store(result, Val(0), kb.load(tile, 0)); });
+    bench.module.kernels.push_back(kb.build());
+  }
+
+  bench.buffers = {ffill(n, 0xF1, -1.0f, 1.0f), ffill(n, 0xF2, -1.0f, 1.0f), zeros(groups),
+                   zeros(1)};
+  bench.launches = {
+      {"dot_partial", NDRange::linear(n, 64),
+       {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::buf(2)}},
+      {"dot_final", NDRange::linear(64, 64), {ArgSpec::buf(2), ArgSpec::buf(3)}},
+  };
+  bench.checked_buffers = {2, 3};
+  return bench;
+}
+
+Benchmark make_psort() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "odd-even transposition sort; one compare-exchange phase per launch";
+  const uint32_t n = 128;
+
+  KernelBuilder kb("psort_phase");
+  Buf data = kb.buf_i32("data");
+  Val count = kb.param_i32("n");
+  Val parity = kb.param_i32("parity");
+  Val gid = kb.global_id(0);
+  Val idx = kb.let_("idx", gid * 2 + parity);
+  kb.if_(idx + 1 < count, [&] {
+    Val lhs = kb.let_("lhs", kb.load(data, idx));
+    Val rhs = kb.let_("rhs", kb.load(data, idx + 1));
+    kb.if_(lhs > rhs, [&] {
+      kb.store(data, idx, rhs);
+      kb.store(data, idx + 1, lhs);
+    });
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ifill(n, 0x51, -1000, 1000)};
+  for (uint32_t phase = 0; phase < n; ++phase) {
+    bench.launches.push_back({"psort_phase", NDRange::linear(n / 2, 64),
+                              {ArgSpec::buf(0), ArgSpec::i(static_cast<int32_t>(n)),
+                               ArgSpec::i(static_cast<int32_t>(phase % 2))}});
+  }
+  bench.checked_buffers = {0};
+  return bench;
+}
+
+Benchmark make_stencil() {
+  Benchmark bench;
+  bench.origin = "Vortex tests / Parboil";
+  bench.notes = "3-D 7-point stencil with boundary guard";
+  const uint32_t nx = 16, ny = 16, nz = 8;
+
+  KernelBuilder kb("stencil7");
+  Buf in = kb.buf_f32("in"), out = kb.buf_f32("out");
+  Val vx = kb.param_i32("nx"), vy = kb.param_i32("ny"), vz = kb.param_i32("nz");
+  Val x = kb.global_id(0), y = kb.global_id(1), z = kb.global_id(2);
+  Val inside = kb.let_("inside",
+                       (x > 0) && (x < vx - 1) && (y > 0) && (y < vy - 1) && (z > 0) &&
+                           (z < vz - 1));
+  Val idx = kb.let_("idx", (z * vy + y) * vx + x);
+  // Interior points only (Parboil-style); the halo stays untouched.
+  kb.if_(inside, [&] {
+    Val c = kb.let_("c", kb.load(in, idx));
+    Val sum = kb.let_("sum", kb.load(in, idx - 1) + kb.load(in, idx + 1) +
+                                 kb.load(in, idx - vx) + kb.load(in, idx + vx) +
+                                 kb.load(in, idx - vx * vy) + kb.load(in, idx + vx * vy));
+    kb.store(out, idx, c * 0.5f + sum * 0.0833333f);
+  });
+  bench.module.kernels.push_back(kb.build());
+
+  const uint32_t total = nx * ny * nz;
+  bench.buffers = {ffill(total, 0x61, -5.0f, 5.0f), zeros(total)};
+  kir::NDRange ndr;
+  ndr.dims = 3;
+  ndr.global[0] = nx;
+  ndr.global[1] = ny;
+  ndr.global[2] = nz;
+  ndr.local[0] = 8;
+  ndr.local[1] = 4;
+  ndr.local[2] = 2;
+  bench.launches = {{"stencil7", ndr,
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::i(static_cast<int32_t>(nx)),
+                      ArgSpec::i(static_cast<int32_t>(ny)), ArgSpec::i(static_cast<int32_t>(nz))}}};
+  bench.checked_buffers = {1};
+  return bench;
+}
+
+Benchmark make_sfilter() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "3x3 Sobel edge filter: |Gx| + |Gy| magnitude";
+  const uint32_t n = 64;
+
+  KernelBuilder kb("sfilter");
+  Buf in = kb.buf_f32("in"), out = kb.buf_f32("out");
+  Val width = kb.param_i32("width");
+  Val x = kb.global_id(0), y = kb.global_id(1);
+  Val inside =
+      kb.let_("inside", (x > 0) && (x < width - 1) && (y > 0) && (y < width - 1));
+  kb.if_(
+      inside,
+      [&] {
+        Val p = kb.let_("p", y * width + x);
+        Val tl = kb.let_("tl", kb.load(in, p - width - 1));
+        Val tc = kb.let_("tc", kb.load(in, p - width));
+        Val tr = kb.let_("tr", kb.load(in, p - width + 1));
+        Val ml = kb.let_("ml", kb.load(in, p - 1));
+        Val mr = kb.let_("mr", kb.load(in, p + 1));
+        Val bl = kb.let_("bl", kb.load(in, p + width - 1));
+        Val bc = kb.let_("bc", kb.load(in, p + width));
+        Val br = kb.let_("br", kb.load(in, p + width + 1));
+        Val gx = kb.let_("gx", (tr + mr * 2.0f + br) - (tl + ml * 2.0f + bl));
+        Val gy = kb.let_("gy", (bl + bc * 2.0f + br) - (tl + tc * 2.0f + tr));
+        kb.store(out, p, vsqrt(gx * gx + gy * gy));
+      },
+      [&] { kb.store(out, y * width + x, Val(0.0f)); });
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n * n, 0x71, 0.0f, 255.0f), zeros(n * n)};
+  bench.launches = {{"sfilter", NDRange::grid2d(n, n, 8, 8),
+                     {ArgSpec::buf(0), ArgSpec::buf(1), ArgSpec::i(static_cast<int32_t>(n))}}};
+  bench.checked_buffers = {1};
+  return bench;
+}
+
+Benchmark make_oclprintf() {
+  Benchmark bench;
+  bench.origin = "Vortex tests";
+  bench.notes = "kernel printf routed through the host runtime (ECALL upcall)";
+  const uint32_t n = 8;
+
+  KernelBuilder kb("printer");
+  Buf data = kb.buf_f32("data");
+  Val gid = kb.global_id(0);
+  kb.print("item %d value %f\n", {gid, kb.load(data, gid)});
+  bench.module.kernels.push_back(kb.build());
+
+  bench.buffers = {ffill(n, 0x81, 0.0f, 9.0f)};
+  bench.launches = {{"printer", NDRange::linear(n, 8), {ArgSpec::buf(0)}}};
+  bench.custom_verify = [n](const std::vector<std::vector<uint32_t>>&,
+                            const std::vector<std::string>& console) -> Status {
+    if (console.size() != n) {
+      return Status(ErrorKind::kRuntimeError,
+                    "oclprintf: expected " + std::to_string(n) + " lines, got " +
+                        std::to_string(console.size()));
+    }
+    for (const auto& line : console) {
+      if (line.find("item ") != 0 || line.find("value ") == std::string::npos) {
+        return Status(ErrorKind::kRuntimeError, "oclprintf: malformed line '" + line + "'");
+      }
+    }
+    return Status::ok();
+  };
+  return bench;
+}
+
+}  // namespace fgpu::suite

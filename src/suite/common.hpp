@@ -1,0 +1,34 @@
+// Shared workload-generation helpers for the benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "kir/build.hpp"
+#include "suite/suite.hpp"
+
+namespace fgpu::suite {
+
+inline std::vector<uint32_t> ffill(size_t n, uint64_t seed, float lo, float hi) {
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) v = f2u(rng.next_float(lo, hi));
+  return out;
+}
+
+inline std::vector<uint32_t> ifill(size_t n, uint64_t seed, int32_t lo, int32_t hi) {
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) v = static_cast<uint32_t>(rng.next_range(lo, hi));
+  return out;
+}
+
+inline std::vector<uint32_t> zeros(size_t n) { return std::vector<uint32_t>(n, 0u); }
+
+inline std::vector<uint32_t> consts(size_t n, uint32_t value) {
+  return std::vector<uint32_t>(n, value);
+}
+
+}  // namespace fgpu::suite

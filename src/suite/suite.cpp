@@ -1,0 +1,237 @@
+#include "suite/suite.hpp"
+
+#include <unordered_map>
+
+#include "kir/interp.hpp"
+#include "kir/passes.hpp"
+
+namespace fgpu::suite {
+
+// Factories defined across the suite/bench_*.cpp files.
+Benchmark make_vecadd();
+Benchmark make_sgemm();
+Benchmark make_psort();
+Benchmark make_saxpy();
+Benchmark make_sfilter();
+Benchmark make_dotproduct();
+Benchmark make_spmv();
+Benchmark make_cutcp();
+Benchmark make_stencil();
+Benchmark make_lbm();
+Benchmark make_oclprintf();
+Benchmark make_blackscholes();
+Benchmark make_matmul();
+Benchmark make_transpose();
+Benchmark make_kmeans();
+Benchmark make_nearn();
+Benchmark make_gaussian();
+Benchmark make_bfs();
+Benchmark make_backprop();
+Benchmark make_streamcluster();
+Benchmark make_pathfinder();
+Benchmark make_nw();
+Benchmark make_btree();
+Benchmark make_lavamd();
+Benchmark make_hybridsort();
+Benchmark make_particlefilter();
+Benchmark make_dwt2d();
+Benchmark make_lud();
+
+const std::vector<std::string>& all_benchmark_names() {
+  static const std::vector<std::string> names = {
+      "vecadd",       "sgemm",      "psort",      "saxpy",        "sfilter",
+      "dotproduct",   "spmv",       "cutcp",      "stencil",      "lbm",
+      "oclprintf",    "blackscholes", "matmul",   "transpose",    "kmeans",
+      "nearn",        "gaussian",   "bfs",        "backprop",     "streamcluster",
+      "pathfinder",   "nw",         "b+tree",     "lavamd",       "hybridsort",
+      "particlefilter", "dwt2d",    "lud",
+  };
+  return names;
+}
+
+Benchmark make_benchmark(const std::string& name) {
+  using Factory = Benchmark (*)();
+  static const std::unordered_map<std::string, Factory> factories = {
+      {"vecadd", make_vecadd},
+      {"sgemm", make_sgemm},
+      {"psort", make_psort},
+      {"saxpy", make_saxpy},
+      {"sfilter", make_sfilter},
+      {"dotproduct", make_dotproduct},
+      {"spmv", make_spmv},
+      {"cutcp", make_cutcp},
+      {"stencil", make_stencil},
+      {"lbm", make_lbm},
+      {"oclprintf", make_oclprintf},
+      {"blackscholes", make_blackscholes},
+      {"matmul", make_matmul},
+      {"transpose", make_transpose},
+      {"kmeans", make_kmeans},
+      {"nearn", make_nearn},
+      {"gaussian", make_gaussian},
+      {"bfs", make_bfs},
+      {"backprop", make_backprop},
+      {"streamcluster", make_streamcluster},
+      {"pathfinder", make_pathfinder},
+      {"nw", make_nw},
+      {"b+tree", make_btree},
+      {"lavamd", make_lavamd},
+      {"hybridsort", make_hybridsort},
+      {"particlefilter", make_particlefilter},
+      {"dwt2d", make_dwt2d},
+      {"lud", make_lud},
+  };
+  auto it = factories.find(name);
+  if (it == factories.end()) {
+    Benchmark none;
+    none.name = "<unknown:" + name + ">";
+    return none;
+  }
+  Benchmark bench = it->second();
+  bench.name = name;
+  return bench;
+}
+
+Result<std::vector<std::vector<uint32_t>>> reference_run(const Benchmark& bench) {
+  // Oracle runs the builtin-expanded module (the form both devices execute).
+  kir::Module module = bench.module;
+  for (auto& kernel : module.kernels) {
+    kernel = kir::clone_kernel(kernel);
+    kir::expand_builtins(kernel);
+  }
+  std::vector<std::vector<uint32_t>> buffers = bench.buffers;
+  kir::Interpreter interp;
+  for (const auto& launch : bench.launches) {
+    const kir::Kernel* kernel = module.find(launch.kernel);
+    if (kernel == nullptr) {
+      return Result<std::vector<std::vector<uint32_t>>>(
+          ErrorKind::kNotFound, bench.name + ": kernel '" + launch.kernel + "' missing");
+    }
+    std::vector<kir::KernelArg> args;
+    for (const auto& spec : launch.args) {
+      switch (spec.kind) {
+        case ArgSpec::Kind::kBuffer:
+          args.push_back(kir::KernelArg::buffer(&buffers[static_cast<size_t>(spec.buffer)]));
+          break;
+        case ArgSpec::Kind::kI32:
+          args.push_back(kir::KernelArg::scalar_i32(spec.i32));
+          break;
+        case ArgSpec::Kind::kF32:
+          args.push_back(kir::KernelArg::scalar_f32(spec.f32));
+          break;
+      }
+    }
+    if (auto st = interp.run(*kernel, args, launch.ndrange); !st.is_ok()) {
+      return Result<std::vector<std::vector<uint32_t>>>(st.kind(), st.message());
+    }
+  }
+  return buffers;
+}
+
+DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
+  DeviceRun result;
+  device.clear_console();
+
+  result.build = device.build(bench.module);
+  for (const auto& info : device.build_info()) {
+    result.area += info.area;
+    result.synthesis_hours += info.synthesis_hours;
+  }
+  if (!result.build.is_ok()) {
+    // Table-I-style short reason.
+    switch (result.build.kind()) {
+      case ErrorKind::kResourceExceeded: {
+        const std::string& msg = result.build.message();
+        result.fail_reason = msg.find("BRAM") != std::string::npos ? "Not enough BRAM"
+                                                                   : "Not enough resources";
+        break;
+      }
+      case ErrorKind::kUnsupported:
+        result.fail_reason = "Atomics";
+        break;
+      default:
+        result.fail_reason = "Compile error";
+        break;
+    }
+    return result;
+  }
+
+  // Upload buffers.
+  std::vector<vcl::Buffer> dev_buffers;
+  dev_buffers.reserve(bench.buffers.size());
+  for (const auto& host : bench.buffers) {
+    vcl::Buffer b = device.alloc(host.size() * 4);
+    device.write(b, host.data(), host.size() * 4, 0);
+    dev_buffers.push_back(b);
+  }
+
+  // Execute the launch sequence.
+  for (const auto& launch : bench.launches) {
+    std::vector<vcl::Arg> args;
+    for (const auto& spec : launch.args) {
+      switch (spec.kind) {
+        case ArgSpec::Kind::kBuffer:
+          args.push_back(dev_buffers[static_cast<size_t>(spec.buffer)]);
+          break;
+        case ArgSpec::Kind::kI32:
+          args.push_back(spec.i32);
+          break;
+        case ArgSpec::Kind::kF32:
+          args.push_back(spec.f32);
+          break;
+      }
+    }
+    auto stats = device.launch(launch.kernel, args, launch.ndrange);
+    if (!stats.is_ok()) {
+      result.run = stats.status();
+      result.fail_reason = "Runtime error";
+      return result;
+    }
+    result.total_cycles += stats->device_cycles;
+    result.total_time_ms += stats->time_ms();
+    result.last = *stats;
+  }
+
+  // Download final state.
+  std::vector<std::vector<uint32_t>> final_buffers;
+  final_buffers.reserve(dev_buffers.size());
+  for (size_t i = 0; i < dev_buffers.size(); ++i) {
+    std::vector<uint32_t> host(bench.buffers[i].size());
+    device.read(dev_buffers[i], host.data(), host.size() * 4, 0);
+    final_buffers.push_back(std::move(host));
+  }
+
+  // Verify.
+  if (bench.custom_verify) {
+    result.verify = bench.custom_verify(final_buffers, device.console());
+  } else {
+    auto expected = reference_run(bench);
+    if (!expected.is_ok()) {
+      result.verify = expected.status();
+    } else {
+      std::vector<int> indices = bench.checked_buffers;
+      if (indices.empty()) {
+        for (size_t i = 0; i < final_buffers.size(); ++i) indices.push_back(static_cast<int>(i));
+      }
+      for (int index : indices) {
+        const auto& got = final_buffers[static_cast<size_t>(index)];
+        const auto& want = (*expected)[static_cast<size_t>(index)];
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (got[j] != want[j]) {
+            result.verify = Status(
+                ErrorKind::kRuntimeError,
+                bench.name + ": buffer " + std::to_string(index) + " element " +
+                    std::to_string(j) + " mismatch (got 0x" + std::to_string(got[j]) +
+                    ", want 0x" + std::to_string(want[j]) + ")");
+            result.fail_reason = "Wrong result";
+            return result;
+          }
+        }
+      }
+    }
+  }
+  if (!result.verify.is_ok() && result.fail_reason.empty()) result.fail_reason = "Wrong result";
+  return result;
+}
+
+}  // namespace fgpu::suite

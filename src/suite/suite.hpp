@@ -1,0 +1,99 @@
+// Benchmark suite: the 28 workloads of the paper's Table I, re-implemented
+// as KIR kernels + host drivers (Rodinia and NVIDIA OpenCL SDK kernels at
+// reduced problem sizes — reduced because the device is a cycle-level
+// simulator, not silicon; the kernel *structure* — loads per item, access
+// patterns, divergence, atomics, barriers — follows the originals, which is
+// what coverage and the Fig. 7 shapes depend on).
+//
+// Each benchmark carries: a KIR module, initial host buffers, a static
+// launch sequence (host-side loops like Gaussian's per-column sweep become
+// pre-unrolled launch lists), and a verifier. By default results are
+// checked bit-exactly against the KIR reference interpreter running the
+// same (builtin-expanded) module; benchmarks whose outputs depend on atomic
+// ordering provide a custom verifier instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+#include "runtime/runtime.hpp"
+
+namespace fgpu::suite {
+
+struct ArgSpec {
+  enum class Kind : uint8_t { kBuffer, kI32, kF32 };
+  Kind kind = Kind::kBuffer;
+  int buffer = -1;
+  int32_t i32 = 0;
+  float f32 = 0.0f;
+
+  static ArgSpec buf(int index) { return ArgSpec{Kind::kBuffer, index, 0, 0.0f}; }
+  static ArgSpec i(int32_t v) { return ArgSpec{Kind::kI32, -1, v, 0.0f}; }
+  static ArgSpec f(float v) { return ArgSpec{Kind::kF32, -1, 0, v}; }
+};
+
+struct LaunchPlan {
+  std::string kernel;
+  kir::NDRange ndrange;
+  std::vector<ArgSpec> args;
+};
+
+struct Benchmark {
+  std::string name;
+  std::string origin;  // "NVIDIA SDK", "Rodinia", "Vortex tests"
+  std::string notes;   // structure summary (for DESIGN/EXPERIMENTS docs)
+  kir::Module module;
+  std::vector<std::vector<uint32_t>> buffers;  // initial host data
+  std::vector<LaunchPlan> launches;
+
+  // Indices of buffers to compare against the interpreter oracle
+  // (empty = all).
+  std::vector<int> checked_buffers;
+  // Custom verifier for benchmarks with ordering-dependent outputs
+  // (atomics). Receives final buffers + device console lines.
+  std::function<Status(const std::vector<std::vector<uint32_t>>&,
+                       const std::vector<std::string>&)>
+      custom_verify;
+
+  // Work-group sizes in this suite are capped so the soft GPU's work-group
+  // dispatch fits: local_items <= min_lanes (default config W*T = 64).
+  static constexpr uint32_t kMaxWorkGroup = 64;
+};
+
+// Registry -----------------------------------------------------------------
+
+// All 28 names, in the paper's Table I order.
+const std::vector<std::string>& all_benchmark_names();
+
+// Builds a benchmark instance (deterministic: same name -> same workload).
+Benchmark make_benchmark(const std::string& name);
+
+// Runner ---------------------------------------------------------------------
+
+struct DeviceRun {
+  Status build;          // program build (HLS synthesis can fail here)
+  Status run;            // launch execution
+  Status verify;         // result check
+  std::string fail_reason;  // short Table-I-style reason ("Not enough BRAM")
+  uint64_t total_cycles = 0;
+  double total_time_ms = 0.0;
+  vcl::LaunchStats last;  // stats of the final launch
+  fpga::AreaReport area;  // HLS: summed module area
+  double synthesis_hours = 0.0;
+
+  bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
+};
+
+// Builds + runs + verifies `bench` on `device`.
+DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench);
+
+// Runs the interpreter oracle over the benchmark's launch sequence and
+// returns the final buffer state (also used by run_benchmark for
+// verification).
+Result<std::vector<std::vector<uint32_t>>> reference_run(const Benchmark& bench);
+
+}  // namespace fgpu::suite

@@ -1,0 +1,29 @@
+// Text assembler for the Vortex-style ISA. Used by the simulator test
+// suite to express micro-kernels at the ISA level (divergence, barriers,
+// warp spawning) without going through the kernel compiler, and as a
+// debugging aid symmetrical to Program::disassemble().
+//
+// Syntax:
+//   label:                         # define a label
+//   addi t0, zero, 42              # register/immediate instructions
+//   lw   a0, 8(sp)                 # loads/stores use offset(base)
+//   beq  t0, t1, loop              # branch targets are labels
+//   split t0, else_path            # SIMT ops take labels too
+//   join merge
+//   csrr t0, 0xCC0                 # pseudo: csrrs rd, csr, zero
+//   li   t1, 0x12345678            # pseudo: lui+addi
+//   mv / nop / j label
+//   .word 0xDEADBEEF               # raw data word
+// Comments start with '#' or "//" and run to end of line.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "vasm/program.hpp"
+
+namespace fgpu::vasm {
+
+Result<Program> assemble(const std::string& source, uint32_t base = arch::kCodeBase);
+
+}  // namespace fgpu::vasm

@@ -1,0 +1,84 @@
+#include "vasm/builder.hpp"
+
+#include <sstream>
+
+namespace fgpu::vasm {
+
+void AsmBuilder::li(unsigned rd, int32_t value) {
+  if (value >= -2048 && value <= 2047) {
+    emit_i(arch::Op::kAddi, rd, 0, value);
+    return;
+  }
+  // lui loads imm<<12; addi adds the (sign-extended) low 12 bits, so the
+  // upper part must be rounded to compensate when bit 11 is set.
+  int32_t lo = value << 20 >> 20;  // sign-extended low 12 bits
+  int32_t hi = (value - lo) >> 12;
+  emit_u(arch::Op::kLui, rd, hi & 0xFFFFF);
+  if (lo != 0) emit_i(arch::Op::kAddi, rd, rd, lo);
+}
+
+Result<Program> AsmBuilder::finalize(uint32_t base) const {
+  Program prog;
+  prog.base = base;
+  prog.words.reserve(instrs_.size());
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    arch::Instr instr = instrs_[i].instr;
+    if (instrs_[i].target != kNoLabel) {
+      const int target_index = labels_[static_cast<size_t>(instrs_[i].target)];
+      if (target_index == kUnbound) {
+        return Result<Program>(ErrorKind::kInternal,
+                               "unbound label referenced at instruction " + std::to_string(i));
+      }
+      if (instrs_[i].fix == FixKind::kLaHi || instrs_[i].fix == FixKind::kLaLo) {
+        // auipc/addi pair: both immediates are relative to the auipc's pc.
+        const size_t auipc_index = instrs_[i].fix == FixKind::kLaHi ? i : i - 1;
+        const int64_t delta =
+            (static_cast<int64_t>(target_index) - static_cast<int64_t>(auipc_index)) * 4;
+        const int32_t lo = static_cast<int32_t>(delta) << 20 >> 20;
+        const int32_t hi = (static_cast<int32_t>(delta) - lo) >> 12;
+        instr.imm = instrs_[i].fix == FixKind::kLaHi ? (hi & 0xFFFFF) : lo;
+      } else {
+        const int64_t offset = (static_cast<int64_t>(target_index) - static_cast<int64_t>(i)) * 4;
+        const auto& info = arch::op_info(instr.op);
+        const bool is_b = info.fmt == arch::Format::kB;
+        const int64_t limit = is_b ? 4096 : (1 << 20);
+        if (offset < -limit || offset >= limit) {
+          return Result<Program>(ErrorKind::kCompileError,
+                                 "branch offset out of range at instruction " + std::to_string(i));
+        }
+        instr.imm = static_cast<int32_t>(offset);
+      }
+    }
+    prog.words.push_back(arch::encode(instr));
+  }
+  for (const auto& [name, index] : pending_symbols_) {
+    prog.symbols[name] = base + static_cast<uint32_t>(index * 4);
+  }
+  return prog;
+}
+
+std::string Program::disassemble() const {
+  // Invert the symbol table for label printing.
+  std::unordered_map<uint32_t, std::string> by_addr;
+  for (const auto& [name, addr] : symbols) by_addr[addr] = name;
+
+  std::ostringstream os;
+  for (size_t i = 0; i < words.size(); ++i) {
+    const uint32_t addr = base + static_cast<uint32_t>(i * 4);
+    if (auto it = by_addr.find(addr); it != by_addr.end()) {
+      os << it->second << ":\n";
+    }
+    char head[32];
+    std::snprintf(head, sizeof(head), "  %08x:  %08x  ", addr, words[i]);
+    os << head;
+    if (auto instr = arch::decode(words[i])) {
+      os << arch::to_string(*instr);
+    } else {
+      os << "<invalid>";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fgpu::vasm

@@ -1,0 +1,134 @@
+// Programmatic assembler with deferred label resolution. This is the
+// machine-code layer of the soft-GPU kernel compiler: the code generator
+// (kir -> Vortex ISA) emits through this builder, mirroring how the
+// Vortex LLVM backend emits MC instructions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "common/status.hpp"
+#include "vasm/program.hpp"
+
+namespace fgpu::vasm {
+
+class AsmBuilder {
+ public:
+  using Label = int;
+
+  // Creates a fresh, unbound label.
+  Label make_label() {
+    labels_.push_back(kUnbound);
+    return static_cast<Label>(labels_.size() - 1);
+  }
+
+  // Binds `label` to the current position.
+  void bind(Label label) {
+    assert(labels_[static_cast<size_t>(label)] == kUnbound && "label bound twice");
+    labels_[static_cast<size_t>(label)] = static_cast<int>(instrs_.size());
+  }
+
+  // Emits a fully resolved instruction.
+  void emit(const arch::Instr& instr) { instrs_.push_back(Slot{instr, kNoLabel}); }
+
+  void emit_r(arch::Op op, unsigned rd, unsigned rs1, unsigned rs2) {
+    emit({.op = op,
+          .rd = static_cast<uint8_t>(rd),
+          .rs1 = static_cast<uint8_t>(rs1),
+          .rs2 = static_cast<uint8_t>(rs2)});
+  }
+  void emit_r4(arch::Op op, unsigned rd, unsigned rs1, unsigned rs2, unsigned rs3) {
+    emit({.op = op,
+          .rd = static_cast<uint8_t>(rd),
+          .rs1 = static_cast<uint8_t>(rs1),
+          .rs2 = static_cast<uint8_t>(rs2),
+          .rs3 = static_cast<uint8_t>(rs3)});
+  }
+  void emit_i(arch::Op op, unsigned rd, unsigned rs1, int32_t imm) {
+    emit({.op = op,
+          .rd = static_cast<uint8_t>(rd),
+          .rs1 = static_cast<uint8_t>(rs1),
+          .imm = imm});
+  }
+  void emit_s(arch::Op op, unsigned rs1, unsigned rs2, int32_t imm) {
+    emit({.op = op,
+          .rs1 = static_cast<uint8_t>(rs1),
+          .rs2 = static_cast<uint8_t>(rs2),
+          .imm = imm});
+  }
+  void emit_u(arch::Op op, unsigned rd, int32_t imm20) {
+    emit({.op = op, .rd = static_cast<uint8_t>(rd), .imm = imm20});
+  }
+
+  // Control flow targeting labels (patched at finalize).
+  void emit_branch(arch::Op op, unsigned rs1, unsigned rs2, Label target) {
+    instrs_.push_back(Slot{{.op = op,
+                            .rs1 = static_cast<uint8_t>(rs1),
+                            .rs2 = static_cast<uint8_t>(rs2)},
+                           target});
+  }
+  void emit_jal(unsigned rd, Label target) {
+    instrs_.push_back(Slot{{.op = arch::Op::kJal, .rd = static_cast<uint8_t>(rd)}, target});
+  }
+  // SIMT divergence-control ops (see arch/isa.hpp for semantics).
+  void emit_split(unsigned rs1, Label else_target) {
+    instrs_.push_back(Slot{{.op = arch::Op::kSplit, .rs1 = static_cast<uint8_t>(rs1)}, else_target});
+  }
+  void emit_pred(unsigned rs1, Label exit_target) {
+    instrs_.push_back(Slot{{.op = arch::Op::kPred, .rs1 = static_cast<uint8_t>(rs1)}, exit_target});
+  }
+  void emit_join(Label merge_target) {
+    instrs_.push_back(Slot{{.op = arch::Op::kJoin}, merge_target});
+  }
+
+  // Pseudo-instructions ------------------------------------------------
+  void li(unsigned rd, int32_t value);           // lui+addi / addi
+  // Loads the absolute address of `label` (auipc+addi pair); used to pass
+  // code addresses to WSPAWN/JALR.
+  void la(unsigned rd, Label label) {
+    instrs_.push_back(Slot{{.op = arch::Op::kAuipc, .rd = static_cast<uint8_t>(rd)}, label,
+                           FixKind::kLaHi});
+    instrs_.push_back(Slot{{.op = arch::Op::kAddi,
+                            .rd = static_cast<uint8_t>(rd),
+                            .rs1 = static_cast<uint8_t>(rd)},
+                           label, FixKind::kLaLo});
+  }
+  void mv(unsigned rd, unsigned rs) { emit_i(arch::Op::kAddi, rd, rs, 0); }
+  void nop() { emit_i(arch::Op::kAddi, 0, 0, 0); }
+  void j(Label target) { emit_jal(0, target); }
+  void csr_read(unsigned rd, uint32_t csr) { emit_i(arch::Op::kCsrrs, rd, 0, static_cast<int32_t>(csr)); }
+  void tmc(unsigned rs1) { emit_r(arch::Op::kTmc, 0, rs1, 0); }
+  void bar(unsigned rs1_id, unsigned rs2_count) { emit_r(arch::Op::kBar, 0, rs1_id, rs2_count); }
+  void wspawn(unsigned rs1_count, unsigned rs2_pc) {
+    emit_r(arch::Op::kWspawn, 0, rs1_count, rs2_pc);
+  }
+
+  // Attaches a symbol name to the current position (kept in Program::symbols).
+  void mark_symbol(const std::string& name) { pending_symbols_.push_back({name, instrs_.size()}); }
+
+  size_t instruction_count() const { return instrs_.size(); }
+
+  // Resolves all labels and produces the binary image.
+  Result<Program> finalize(uint32_t base = arch::kCodeBase) const;
+
+ private:
+  static constexpr int kUnbound = -1;
+  static constexpr Label kNoLabel = -1;
+
+  enum class FixKind : uint8_t { kTarget, kLaHi, kLaLo };
+
+  struct Slot {
+    arch::Instr instr;
+    Label target = kNoLabel;  // label to patch into imm
+    FixKind fix = FixKind::kTarget;
+  };
+
+  std::vector<Slot> instrs_;
+  std::vector<int> labels_;  // label -> instruction index
+  std::vector<std::pair<std::string, size_t>> pending_symbols_;
+};
+
+}  // namespace fgpu::vasm

@@ -1,0 +1,27 @@
+// Kernel binary image: the output of the soft-GPU kernel compiler and the
+// input to the Vortex simulator (the "kernel executable compatible with the
+// soft GPU ISA" of the paper's Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/isa.hpp"
+
+namespace fgpu::vasm {
+
+struct Program {
+  uint32_t base = arch::kCodeBase;       // load address of words[0]
+  std::vector<uint32_t> words;           // encoded instructions
+  std::unordered_map<std::string, uint32_t> symbols;  // label -> address
+
+  uint32_t entry() const { return base; }
+  uint32_t size_bytes() const { return static_cast<uint32_t>(words.size() * 4); }
+
+  // Full-image disassembly with addresses and symbolized label lines.
+  std::string disassemble() const;
+};
+
+}  // namespace fgpu::vasm

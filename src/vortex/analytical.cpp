@@ -1,0 +1,135 @@
+#include "vortex/analytical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hls/compiler.hpp"
+#include "kir/passes.hpp"
+
+namespace fgpu::vortex {
+
+Result<KernelProfile> profile_kernel(const kir::Kernel& kernel,
+                                     const std::vector<kir::KernelArg>& args,
+                                     const kir::NDRange& ndrange) {
+  // Expand builtins so the operation count matches what the device executes.
+  kir::Kernel lowered = kir::clone_kernel(kernel);
+  kir::expand_builtins(lowered);
+
+  // Static access-pattern census (reuses the HLS analyzer's classifier).
+  const auto dfg = hls::analyze(lowered);
+
+  uint64_t ops = 0, loads = 0, stores = 0, local_accesses = 0;
+  uint64_t consecutive = 0, total_classified = 0;
+
+  // Per-site pattern lookup for the dynamic counters.
+  std::unordered_map<const void*, hls::AccessPattern> site_pattern;
+  for (const auto& site : dfg.sites) site_pattern[site.site] = site.pattern;
+
+  kir::InterpOptions options;
+  options.op_count = &ops;
+  options.on_load = [&](const kir::Expr* site) {
+    auto it = site_pattern.find(site);
+    if (it == site_pattern.end()) {
+      ++local_accesses;  // __local load (not a global site)
+      return;
+    }
+    ++loads;
+    ++total_classified;
+    if (it->second == hls::AccessPattern::kConsecutive) ++consecutive;
+  };
+  options.on_store = [&](const kir::Stmt* site) {
+    auto it = site_pattern.find(site);
+    if (it == site_pattern.end()) {
+      ++local_accesses;
+      return;
+    }
+    ++stores;
+    ++total_classified;
+    if (it->second == hls::AccessPattern::kConsecutive) ++consecutive;
+  };
+
+  kir::Interpreter interp(options);
+  if (auto st = interp.run(lowered, args, ndrange); !st.is_ok()) {
+    return Result<KernelProfile>(st.kind(), st.message());
+  }
+
+  KernelProfile profile;
+  profile.items = ndrange.global_items();
+  const double items = std::max<double>(1.0, static_cast<double>(profile.items));
+  profile.ops_per_item = static_cast<double>(ops) / items;
+  profile.loads_per_item = static_cast<double>(loads) / items;
+  profile.stores_per_item = static_cast<double>(stores) / items;
+  profile.local_accesses_per_item = static_cast<double>(local_accesses) / items;
+  profile.consecutive_fraction =
+      total_classified == 0 ? 1.0
+                            : static_cast<double>(consecutive) / static_cast<double>(total_classified);
+  profile.uses_barriers = lowered.has_barrier();
+  return profile;
+}
+
+Prediction predict_cycles(const KernelProfile& profile, const Config& config) {
+  const double cores = config.cores;
+  const double warps = config.warps;
+  const double threads = config.threads;
+  const double items_per_core = static_cast<double>(profile.items) / cores;
+
+  // Instructions per item: KIR operations expand ~1.35x in codegen
+  // (addressing arithmetic, moves, divergence control), plus the per-item
+  // share of the work-item loop (compare + pred + increment + jump).
+  const double instrs_per_item = profile.ops_per_item * 1.35 + 4.0 +
+                                 profile.local_accesses_per_item;
+
+  // --- issue bound: one warp instruction per cycle per core; a warp
+  // instruction covers `threads` items.
+  const double issue = items_per_core * instrs_per_item / threads;
+
+  // --- memory bound: the LSU drains one line request per cycle. With
+  // 16-byte lines a fully coalesced warp access needs threads/4 line
+  // requests (one per 4 lanes); non-consecutive accesses need one line per
+  // lane. MSHR saturation at high in-flight counts adds a contention factor
+  // (the head-of-line LSU stalls behind Fig. 7).
+  const double accesses_per_item = profile.loads_per_item + profile.stores_per_item;
+  const double lines_per_access =
+      profile.consecutive_fraction * 0.25 + (1.0 - profile.consecutive_fraction) * 1.0;
+  const double lines_per_core = items_per_core * accesses_per_item * lines_per_access;
+  // Two memory limits: the LSU drain rate (1 line/cycle), and Little's law
+  // — with only `mshrs` fills in flight, sustained line throughput cannot
+  // exceed mshrs / round_trip.
+  const double miss_round_trip = static_cast<double>(
+      config.l1d.hit_latency + config.l2.hit_latency + config.dram.latency / 2);
+  const double mshrs = config.l1d.mshrs;
+  double memory = std::max(lines_per_core, lines_per_core * miss_round_trip / mshrs);
+  const double inflight = warps * std::max(1.0, threads / 4.0);
+  if (inflight > mshrs) {
+    // Saturated MSHRs additionally waste issue slots through head-of-line
+    // LSU stalls; grows slowly with the oversubscription ratio.
+    memory *= 1.0 + 0.18 * std::log2(inflight / mshrs + 1.0);
+  }
+
+  // --- latency bound: with few warps, per-warp serial latency shows. Each
+  // warp executes items_per_core / (warps * threads) iterations; each
+  // iteration costs its instructions plus exposed memory latency (misses
+  // are covered once warps * issue gaps exceed the round trip).
+  const double iterations_per_warp = items_per_core / (warps * threads);
+  const double round_trip = static_cast<double>(config.l2.hit_latency + config.dram.latency / 4);
+  const double exposed_latency =
+      std::max(0.0, round_trip - instrs_per_item * (warps - 1.0));
+  const double latency =
+      iterations_per_warp * (instrs_per_item + accesses_per_item * exposed_latency);
+
+  // --- fixed overhead: per-warp dispatch prologue + drain.
+  const double overhead = 40.0 + 12.0 * warps + (profile.uses_barriers ? 20.0 * warps : 0.0);
+
+  Prediction p;
+  p.issue_bound = issue;
+  p.memory_bound = memory;
+  p.latency_bound = latency;
+  p.overhead = overhead;
+  p.cycles = std::max({issue, memory, latency}) + overhead;
+  p.bottleneck = p.cycles - overhead == issue     ? "issue"
+                 : p.cycles - overhead == memory  ? "memory"
+                                                  : "latency";
+  return p;
+}
+
+}  // namespace fgpu::vortex

@@ -1,0 +1,60 @@
+// First-order analytical performance model for the soft GPU — the research
+// direction the paper explicitly proposes in §IV-A ("a valuable opportunity
+// exists for research aimed at minimizing or circumventing the exploration
+// space by ... proposing an analytical model for Vortex's performance").
+//
+// The model predicts kernel cycles for a (C, W, T) configuration from a
+// one-time workload profile (gathered by running the reference interpreter
+// with counting hooks — no cycle-level simulation), as the maximum of three
+// bottlenecks:
+//
+//   issue  — one warp-instruction per cycle per core; T lanes amortize the
+//            per-item instruction count,
+//   memory — LSU line-request drain (one per cycle per core), with
+//            consecutive accesses amortized across a 16-byte line and a
+//            MSHR-saturation penalty at high W*T (the Fig. 7 effect),
+//   latency— with few warps in flight, per-warp serial latency dominates.
+//
+// It is intentionally cheap (microseconds per configuration) so a design-
+// space sweep over hundreds of configurations costs less than one
+// cycle-level simulation.
+#pragma once
+
+#include "common/status.hpp"
+#include "kir/interp.hpp"
+#include "kir/kir.hpp"
+#include "vortex/config.hpp"
+
+namespace fgpu::vortex {
+
+// Configuration-independent workload characteristics of one kernel launch.
+struct KernelProfile {
+  uint64_t items = 0;              // total work items
+  double ops_per_item = 0.0;       // dynamic KIR operations per item
+  double loads_per_item = 0.0;     // global loads per item
+  double stores_per_item = 0.0;    // global stores per item
+  double local_accesses_per_item = 0.0;
+  double consecutive_fraction = 1.0;  // of global accesses (coalescable)
+  bool uses_barriers = false;
+};
+
+// Profiles a kernel launch by running the reference interpreter once with
+// counting hooks. `args` are interpreter arguments over scratch copies of
+// the launch buffers (mutated during profiling).
+Result<KernelProfile> profile_kernel(const kir::Kernel& kernel,
+                                     const std::vector<kir::KernelArg>& args,
+                                     const kir::NDRange& ndrange);
+
+struct Prediction {
+  double cycles = 0.0;
+  double issue_bound = 0.0;
+  double memory_bound = 0.0;
+  double latency_bound = 0.0;
+  double overhead = 0.0;
+  const char* bottleneck = "";
+};
+
+// Predicts kernel cycles on `config` from a profile.
+Prediction predict_cycles(const KernelProfile& profile, const Config& config);
+
+}  // namespace fgpu::vortex

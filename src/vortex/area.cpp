@@ -1,0 +1,33 @@
+#include "vortex/area.hpp"
+
+#include <algorithm>
+
+namespace fgpu::vortex {
+namespace {
+
+// Fitted component costs (see header). BRAM per warp saturates at 8 warps:
+// the warp table occupies whole M20K blocks, so growing W within a block's
+// depth adds no blocks (visible in Table IV: W=8 and W=16 rows share the
+// same BRAM count).
+constexpr fpga::AreaReport kUncore{55'388, 124'731, 363, 0};
+constexpr fpga::AreaReport kCoreBase{41'000, 30'863, 444, 0};
+constexpr fpga::AreaReport kPerWarp{420, 1'056, 3, 0};
+constexpr fpga::AreaReport kPerLane{6'000, 8'000, 0, 28};
+
+}  // namespace
+
+fpga::AreaReport estimate_area(const Config& config) {
+  fpga::AreaReport area = kUncore;
+  fpga::AreaReport core = kCoreBase;
+  core += kPerWarp * config.warps;
+  core.brams = kCoreBase.brams + kPerWarp.brams * std::min(config.warps, 8u);
+  core += kPerLane * config.threads;
+  area += core * config.cores;
+  return area;
+}
+
+bool fits(const Config& config, const fpga::Board& board) {
+  return board.fits(estimate_area(config));
+}
+
+}  // namespace fgpu::vortex

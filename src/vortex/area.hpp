@@ -1,0 +1,24 @@
+// FPGA synthesis-area model of the soft GPU as a function of its (C, W, T)
+// configuration — the model behind the paper's Table IV.
+//
+// Components follow the Vortex microarchitecture: a per-cluster uncore (AFU
+// shell, L2, interconnect), a per-core base (6-stage pipeline, scheduler,
+// LSU, caches), a per-warp slice (warp table, ibuffer, scoreboard — the
+// "warp information table size" the paper mentions), and a per-lane slice
+// (ALU/FPU lanes and register-file banks — "increasing the number of
+// threads necessitates an expansion in the register file size, ALU lanes
+// and FPU lanes"). Constants are fitted to the paper's five Table IV rows
+// (all within ~2%).
+#pragma once
+
+#include "fpga/board.hpp"
+#include "vortex/config.hpp"
+
+namespace fgpu::vortex {
+
+fpga::AreaReport estimate_area(const Config& config);
+
+// True if this configuration synthesizes within `board`'s resources.
+bool fits(const Config& config, const fpga::Board& board);
+
+}  // namespace fgpu::vortex

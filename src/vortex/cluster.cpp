@@ -1,0 +1,80 @@
+#include "vortex/cluster.hpp"
+
+namespace fgpu::vortex {
+namespace {
+
+void add_stats(mem::MemStats& into, const mem::MemStats& from) {
+  into.reads += from.reads;
+  into.writes += from.writes;
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.evictions += from.evictions;
+  into.writebacks += from.writebacks;
+  into.mshr_merges += from.mshr_merges;
+  into.stall_rejects += from.stall_rejects;
+}
+
+}  // namespace
+
+Cluster::Cluster(const Config& config, mem::MainMemory& gmem, EcallHandler ecall_handler)
+    : config_(config), gmem_(gmem), dram_(config.dram), l2_(config.l2, &dram_), noc_(&l2_) {
+  cores_.reserve(config_.cores);
+  for (uint32_t c = 0; c < config_.cores; ++c) {
+    cores_.push_back(std::make_unique<Core>(config_, c, gmem_, *noc_.new_port(), *noc_.new_port(),
+                                            ecall_handler));
+  }
+}
+
+void Cluster::reset(uint32_t entry_pc) {
+  cycle_ = 0;
+  l2_.flush();
+  l2_.reset_stats();
+  dram_.reset_stats();
+  for (auto& core : cores_) core->reset(entry_pc);
+}
+
+bool Cluster::busy() const {
+  for (const auto& core : cores_) {
+    if (core->busy()) return true;
+  }
+  return false;
+}
+
+void Cluster::tick() {
+  // Bottom-up so responses ripple one level per cycle.
+  dram_.tick(cycle_);
+  l2_.tick(cycle_);
+  for (auto& core : cores_) core->tick_caches(cycle_);
+  for (auto& core : cores_) core->tick_logic(cycle_);
+  ++cycle_;
+}
+
+ClusterStats Cluster::collect_stats() const {
+  ClusterStats stats;
+  for (const auto& core : cores_) {
+    PerfCounters perf = core->perf();
+    perf.cycles = cycle_;
+    stats.perf.accumulate(perf);
+    add_stats(stats.l1d, core->l1d().stats());
+    add_stats(stats.l1i, core->l1i().stats());
+  }
+  add_stats(stats.l2, l2_.stats());
+  add_stats(stats.dram, dram_.stats());
+  stats.dram_bytes = dram_.bytes_read() + dram_.bytes_written();
+  return stats;
+}
+
+Result<ClusterStats> Cluster::run(uint32_t entry_pc) {
+  reset(entry_pc);
+  while (busy()) {
+    tick();
+    if (cycle_ >= config_.max_cycles) {
+      return Result<ClusterStats>(ErrorKind::kRuntimeError,
+                                  "kernel exceeded max_cycles=" + std::to_string(config_.max_cycles) +
+                                      " (possible deadlock or runaway loop)");
+    }
+  }
+  return collect_stats();
+}
+
+}  // namespace fgpu::vortex

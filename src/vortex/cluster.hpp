@@ -1,0 +1,56 @@
+// The full soft GPU: C cores behind a shared L2 and an off-chip DRAM model.
+// This is the SimX-equivalent top level the paper uses for its Fig. 7
+// design-space exploration ("Simx is a C++ cycle-level simulator ...").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/memory.hpp"
+#include "vortex/core.hpp"
+
+namespace fgpu::vortex {
+
+struct ClusterStats {
+  PerfCounters perf;          // aggregated over cores (cycles = max)
+  mem::MemStats l1d;          // summed over cores
+  mem::MemStats l1i;
+  mem::MemStats l2;
+  mem::MemStats dram;
+  uint64_t dram_bytes = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(const Config& config, mem::MainMemory& gmem, EcallHandler ecall_handler = {});
+
+  // Resets every core and runs the kernel at `entry_pc` to completion
+  // (all warps retired and no memory traffic in flight).
+  Result<ClusterStats> run(uint32_t entry_pc);
+
+  const Config& config() const { return config_; }
+  Core& core(uint32_t i) { return *cores_[i]; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+
+  // Single-step interface for tests.
+  void reset(uint32_t entry_pc);
+  void tick();
+  bool busy() const;
+  uint64_t cycle() const { return cycle_; }
+  ClusterStats collect_stats() const;
+
+ private:
+  Config config_;
+  mem::MainMemory& gmem_;
+  mem::DramModel dram_;
+  mem::Cache l2_;
+  mem::Interconnect noc_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  uint64_t cycle_ = 0;
+};
+
+}  // namespace fgpu::vortex

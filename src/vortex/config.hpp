@@ -1,0 +1,72 @@
+// Hardware configuration of the soft GPU. The three headline parameters
+// (C, W, T) match the paper's Table IV columns: number of cores, warps per
+// core, and threads per warp. The memory-system defaults approximate the
+// SX2800 board configuration Vortex was synthesized on (DDR4 off-chip).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "arch/isa.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+
+namespace fgpu::vortex {
+
+// Per-issued-instruction trace record (debug/analysis hook).
+struct TraceEvent {
+  uint32_t core = 0;
+  uint32_t warp = 0;
+  uint32_t pc = 0;
+  uint64_t tmask = 0;
+  arch::Instr instr;
+  uint64_t cycle = 0;
+};
+
+struct Config {
+  uint32_t cores = 4;
+  uint32_t warps = 8;    // per core
+  uint32_t threads = 8;  // per warp (SIMT lanes)
+
+  uint32_t ibuffer_depth = 2;     // decoded instructions buffered per warp
+  uint32_t lsu_queue_depth = 4;   // in-flight memory instructions per core
+  uint32_t lsu_ports = 1;         // line requests sent to L1D per cycle
+  uint32_t smem_latency = 2;      // shared (OpenCL __local) memory latency
+  bool perfect_icache = false;
+
+  // L1D MSHR count and LSU queue depth are the calibration behind the
+  // Fig. 7 reproduction: with 16-byte lines, wide (high-T) accesses split
+  // into several line fills and exhaust the MSHRs, producing the LSU-stall
+  // degradation the paper reports for load-heavy kernels at large configs.
+  mem::CacheConfig l1d{.name = "l1d", .size_bytes = 16 * 1024, .ways = 2, .hit_latency = 2,
+                       .mshrs = 6, .ports = 1, .mshr_slots = 8};
+  mem::CacheConfig l1i{.name = "l1i", .size_bytes = 8 * 1024, .ways = 2, .hit_latency = 1,
+                       .mshrs = 2, .ports = 1, .mshr_slots = 8};
+  mem::CacheConfig l2{.name = "l2", .size_bytes = 128 * 1024, .ways = 4, .hit_latency = 6,
+                      .mshrs = 16, .ports = 2, .mshr_slots = 8};
+  mem::DramConfig dram = mem::DramConfig::ddr4();
+
+  uint64_t max_cycles = 400'000'000;  // runaway-kernel guard
+
+  // Optional instruction trace: invoked once per issued instruction.
+  // Costly — leave unset except when debugging kernels.
+  std::function<void(const TraceEvent&)> trace;
+
+  uint32_t hw_threads() const { return cores * warps * threads; }
+
+  std::string to_string() const {
+    return "C" + std::to_string(cores) + "W" + std::to_string(warps) + "T" +
+           std::to_string(threads);
+  }
+
+  static Config with(uint32_t c, uint32_t w, uint32_t t) {
+    Config cfg;
+    cfg.cores = c;
+    cfg.warps = w;
+    cfg.threads = t;
+    return cfg;
+  }
+};
+
+}  // namespace fgpu::vortex

@@ -1,0 +1,1049 @@
+#include "vortex/core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace fgpu::vortex {
+namespace {
+
+using arch::Instr;
+using arch::Op;
+
+constexpr int kStallNone = 0, kStallScoreboard = 1, kStallLsu = 2, kStallFu = 3;
+
+int32_t as_i32(uint32_t v) { return static_cast<int32_t>(v); }
+
+uint32_t fcvt_w_s(float f, bool is_unsigned) {
+  if (std::isnan(f)) {
+    return is_unsigned ? 0xFFFFFFFFu : 0x7FFFFFFFu;
+  }
+  if (is_unsigned) {
+    if (f <= -1.0f) return 0;
+    if (f >= 4294967296.0f) return 0xFFFFFFFFu;
+    return static_cast<uint32_t>(f);
+  }
+  if (f <= -2147483648.0f) return 0x80000000u;
+  if (f >= 2147483648.0f) return 0x7FFFFFFFu;
+  return static_cast<uint32_t>(static_cast<int32_t>(f));
+}
+
+}  // namespace
+
+Core::Core(const Config& config, uint32_t core_id, mem::MainMemory& gmem, mem::MemPort& l2_data,
+           mem::MemPort& l2_inst, EcallHandler ecall_handler)
+    : config_(config),
+      core_id_(core_id),
+      gmem_(gmem),
+      l1d_(config.l1d, &l2_data),
+      l1i_(config.l1i, &l2_inst),
+      ecall_handler_(std::move(ecall_handler)),
+      warps_(config.warps),
+      xregs_(config.warps * config.threads * 32, 0),
+      fregs_(config.warps * config.threads * 32, 0),
+      lsu_queue_(config.lsu_queue_depth),
+      barrier_arrived_(32, 0),
+      barrier_expected_(32, 0) {
+  l1d_.set_response_handler([this](uint64_t id, bool /*w*/) {
+    for (auto it = lsu_inflight_.begin(); it != lsu_inflight_.end(); ++it) {
+      if (it->first == id) {
+        LsuEntry& entry = lsu_queue_[it->second];
+        assert(entry.valid && entry.outstanding > 0);
+        --entry.outstanding;
+        lsu_inflight_.erase(it);
+        if (entry.outstanding == 0 && entry.lines_pending.empty()) {
+          if (entry.has_rd) {
+            Warp& warp = warps_[entry.warp];
+            if (entry.writes_float) {
+              warp.busy_f &= ~(1u << entry.rd);
+            } else {
+              warp.busy_x &= ~(1u << entry.rd);
+            }
+          }
+          entry.valid = false;
+        }
+        return;
+      }
+    }
+  });
+  l1i_.set_response_handler([this](uint64_t id, bool /*w*/) {
+    for (auto it = fetch_inflight_.begin(); it != fetch_inflight_.end(); ++it) {
+      if (it->first == id) {
+        const FetchReq req = it->second;
+        fetch_inflight_.erase(it);
+        Warp& warp = warps_[req.warp];
+        warp.fetch_pending = false;
+        if (warp.generation != req.generation || !warp.active) return;  // stale
+        const uint32_t word = gmem_.load32(req.pc);
+        auto decoded = arch::decode(word);
+        if (!decoded) {
+          FGPU_LOG(kError, "core %u warp %u: invalid instruction %08x at %08x", core_id_,
+                   req.warp, word, req.pc);
+          warp.active = false;
+          return;
+        }
+        warp.ibuffer.push_back(FetchSlot{*decoded, req.pc});
+        return;
+      }
+    }
+  });
+}
+
+void Core::reset(uint32_t entry_pc) {
+  for (auto& warp : warps_) warp = Warp{};
+  std::fill(xregs_.begin(), xregs_.end(), 0u);
+  std::fill(fregs_.begin(), fregs_.end(), 0u);
+  completions_.clear();
+  for (auto& entry : lsu_queue_) entry = LsuEntry{};
+  lsu_inflight_.clear();
+  fetch_inflight_.clear();
+  std::fill(std::begin(fu_ready_), std::end(fu_ready_), 0ull);
+  std::fill(barrier_arrived_.begin(), barrier_arrived_.end(), 0u);
+  std::fill(barrier_expected_.begin(), barrier_expected_.end(), 0u);
+  issue_rr_ = fetch_rr_ = 0;
+  instret_ = 0;
+  perf_ = PerfCounters{};
+  local_mem_.clear();
+  l1d_.flush();
+  l1i_.flush();
+  l1d_.reset_stats();
+  l1i_.reset_stats();
+
+  warps_[0].active = true;
+  warps_[0].pc = entry_pc;
+  warps_[0].tmask = 1;
+}
+
+bool Core::busy() const {
+  for (const auto& warp : warps_) {
+    if (warp.active) return true;
+  }
+  for (const auto& entry : lsu_queue_) {
+    if (entry.valid) return true;
+  }
+  return !completions_.empty();
+}
+
+uint32_t Core::xreg(uint32_t warp, uint32_t lane, uint32_t index) const {
+  return xregs_[(warp * config_.threads + lane) * 32 + index];
+}
+uint32_t Core::freg_bits(uint32_t warp, uint32_t lane, uint32_t index) const {
+  return fregs_[(warp * config_.threads + lane) * 32 + index];
+}
+
+uint32_t Core::first_active_lane(uint64_t mask) const {
+  for (uint32_t lane = 0; lane < config_.threads; ++lane) {
+    if (mask & (1ull << lane)) return lane;
+  }
+  return 0;
+}
+
+uint32_t Core::read_csr(uint32_t csr, uint32_t warp_id, uint32_t lane, uint64_t cycle) const {
+  switch (csr) {
+    case arch::kCsrThreadId: return lane;
+    case arch::kCsrWarpId: return warp_id;
+    case arch::kCsrCoreId: return core_id_;
+    case arch::kCsrTmask: return static_cast<uint32_t>(warps_[warp_id].tmask);
+    case arch::kCsrNumThreads: return config_.threads;
+    case arch::kCsrNumWarps: return config_.warps;
+    case arch::kCsrNumCores: return config_.cores;
+    case arch::kCsrCycle: return static_cast<uint32_t>(cycle);
+    case arch::kCsrInstret: return static_cast<uint32_t>(instret_);
+    default: return 0;
+  }
+}
+
+void Core::redirect(Warp& warp, uint32_t new_pc) {
+  warp.pc = new_pc;
+  ++warp.generation;
+  warp.ibuffer.clear();
+}
+
+void Core::barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count) {
+  assert(id < barrier_arrived_.size());
+  Warp& warp = warps_[warp_id];
+  warp.at_barrier = true;
+  warp.barrier_id = id;
+  barrier_expected_[id] = count;
+  ++barrier_arrived_[id];
+  ++perf_.barriers;
+  if (barrier_arrived_[id] >= barrier_expected_[id]) {
+    for (auto& other : warps_) {
+      if (other.at_barrier && other.barrier_id == id) other.at_barrier = false;
+    }
+    barrier_arrived_[id] = 0;
+  }
+}
+
+void Core::tick_caches(uint64_t cycle) {
+  l1d_.tick(cycle);
+  l1i_.tick(cycle);
+}
+
+void Core::tick_logic(uint64_t cycle) {
+  do_writeback(cycle);
+  do_issue(cycle);
+  do_lsu(cycle);
+  do_fetch(cycle);
+}
+
+void Core::do_writeback(uint64_t cycle) {
+  // Completions are pushed in issue order but latencies differ; scan all.
+  for (auto it = completions_.begin(); it != completions_.end();) {
+    if (it->ready_cycle <= cycle) {
+      Warp& warp = warps_[it->warp];
+      if (it->is_float) {
+        warp.busy_f &= ~(1u << it->rd);
+      } else {
+        warp.busy_x &= ~(1u << it->rd);
+      }
+      it = completions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Core::can_issue(const Warp& warp, const Instr& instr, uint64_t cycle, int* stall_reason) {
+  const auto& info = arch::op_info(instr.op);
+  // Scoreboard: all source registers and the destination must be free.
+  uint32_t need_x = 0, need_f = 0;
+  auto add = [&](uint8_t reg, bool fp) {
+    if (fp) {
+      need_f |= (1u << reg);
+    } else if (reg != 0) {
+      need_x |= (1u << reg);
+    }
+  };
+  switch (info.fmt) {
+    case arch::Format::kR:
+      add(instr.rs1, arch::reads_freg_rs1(instr.op));
+      add(instr.rs2, arch::reads_freg_rs2(instr.op));
+      add(instr.rd, arch::writes_freg(instr.op));
+      break;
+    case arch::Format::kR4:
+      add(instr.rs1, true);
+      add(instr.rs2, true);
+      add(instr.rs3, true);
+      add(instr.rd, true);
+      break;
+    case arch::Format::kI:
+    case arch::Format::kIShift:
+    case arch::Format::kCsr:
+      add(instr.rs1, false);
+      add(instr.rd, arch::writes_freg(instr.op));
+      break;
+    case arch::Format::kS:
+      add(instr.rs1, false);
+      add(instr.rs2, arch::reads_freg_rs2(instr.op));
+      break;
+    case arch::Format::kB:
+      add(instr.rs1, false);
+      add(instr.rs2, false);
+      break;
+    case arch::Format::kJr:
+      add(instr.rs1, false);
+      break;
+    case arch::Format::kU:
+    case arch::Format::kJ:
+      add(instr.rd, false);
+      break;
+    case arch::Format::kAmo:
+      add(instr.rs1, false);
+      add(instr.rs2, false);
+      add(instr.rd, false);
+      break;
+    case arch::Format::kSys:
+      // ECALL reads a0/a7 by convention.
+      if (instr.op == Op::kEcall) {
+        need_x |= (1u << 10) | (1u << 17);
+      }
+      break;
+  }
+  if ((warp.busy_x & need_x) != 0 || (warp.busy_f & need_f) != 0) {
+    *stall_reason = kStallScoreboard;
+    return false;
+  }
+  // Structural hazards.
+  if (info.fu == arch::FuClass::kLsu) {
+    const bool slot_free =
+        std::any_of(lsu_queue_.begin(), lsu_queue_.end(), [](const LsuEntry& e) { return !e.valid; });
+    if (!slot_free) {
+      *stall_reason = kStallLsu;
+      return false;
+    }
+  } else {
+    const auto fu = static_cast<size_t>(info.fu);
+    if (fu_ready_[fu] > cycle) {
+      *stall_reason = kStallFu;
+      return false;
+    }
+  }
+  *stall_reason = kStallNone;
+  return true;
+}
+
+void Core::do_issue(uint64_t cycle) {
+  bool any_active = false, saw_barrier = false, saw_empty = false;
+  bool saw_scoreboard = false, saw_lsu = false, saw_fu = false;
+  for (uint32_t i = 0; i < config_.warps; ++i) {
+    const uint32_t w = (issue_rr_ + i) % config_.warps;
+    Warp& warp = warps_[w];
+    if (!warp.active) continue;
+    any_active = true;
+    if (warp.at_barrier) {
+      saw_barrier = true;
+      continue;
+    }
+    if (warp.ibuffer.empty()) {
+      saw_empty = true;
+      continue;
+    }
+    int reason = kStallNone;
+    if (!can_issue(warp, warp.ibuffer.front().instr, cycle, &reason)) {
+      saw_scoreboard |= reason == kStallScoreboard;
+      saw_fu |= reason == kStallFu;
+      if (reason == kStallLsu) {
+        saw_lsu = true;
+        // The LSU input port is a shared structural resource: a ready LOAD
+        // that cannot enter the queue blocks the issue stage (head-of-line),
+        // wasting the slot — the "LSU stall" behaviour behind the paper's
+        // Fig. 7 observation that load-heavy kernels (vecadd) degrade at
+        // high warp/thread counts. Stores drain through the write buffer
+        // and merely wait, letting other warps proceed.
+        const arch::Instr& head = warp.ibuffer.front().instr;
+        const bool is_store = head.op == Op::kSb || head.op == Op::kSh ||
+                              head.op == Op::kSw || head.op == Op::kFsw;
+        if (!is_store) break;
+      }
+      continue;
+    }
+    const FetchSlot slot = warp.ibuffer.front();
+    warp.ibuffer.pop_front();
+    issue_rr_ = (w + 1) % config_.warps;
+    ++perf_.instrs;
+    ++instret_;
+    execute(w, slot, cycle);
+    return;
+  }
+  // Attribute the bubble.
+  if (!any_active) {
+    ++perf_.idle_cycles;
+  } else if (saw_lsu) {
+    ++perf_.stall_lsu;
+  } else if (saw_scoreboard) {
+    ++perf_.stall_scoreboard;
+  } else if (saw_fu) {
+    ++perf_.stall_fu;
+  } else if (saw_empty) {
+    ++perf_.stall_ibuffer;
+  } else if (saw_barrier) {
+    ++perf_.stall_barrier;
+  }
+}
+
+void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
+  const Instr& in = slot.instr;
+  const auto& info = arch::op_info(in.op);
+  Warp& warp = warps_[w];
+  const uint64_t mask = warp.tmask;
+  const uint32_t pc = slot.pc;
+
+  if (config_.trace) {
+    config_.trace(TraceEvent{core_id_, w, pc, mask, in, cycle});
+  }
+
+  // Non-pipelined units block further issue to the same unit.
+  if (info.fu == arch::FuClass::kSfu ||
+      (info.fu == arch::FuClass::kMulDiv && info.latency > 4)) {
+    fu_ready_[static_cast<size_t>(info.fu)] = cycle + info.latency;
+  }
+
+  auto schedule_rd = [&](bool is_float) {
+    if (!is_float && in.rd == 0) return;
+    if (is_float) {
+      warp.busy_f |= (1u << in.rd);
+    } else {
+      warp.busy_x |= (1u << in.rd);
+    }
+    completions_.push_back(Completion{cycle + info.latency, w, in.rd, is_float});
+  };
+
+  auto for_lanes = [&](auto&& fn) {
+    for (uint32_t lane = 0; lane < config_.threads; ++lane) {
+      if (mask & (1ull << lane)) fn(lane);
+    }
+  };
+
+  switch (in.op) {
+    // ---------------- ALU ----------------
+    case Op::kLui:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = static_cast<uint32_t>(in.imm) << 12; });
+      schedule_rd(false);
+      break;
+    case Op::kAuipc:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = pc + (static_cast<uint32_t>(in.imm) << 12); });
+      schedule_rd(false);
+      break;
+    case Op::kAddi:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) + static_cast<uint32_t>(in.imm); });
+      schedule_rd(false);
+      break;
+    case Op::kSlti:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = as_i32(xr(w, l, in.rs1)) < in.imm ? 1 : 0; });
+      schedule_rd(false);
+      break;
+    case Op::kSltiu:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = xr(w, l, in.rs1) < static_cast<uint32_t>(in.imm) ? 1 : 0;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kXori:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) ^ static_cast<uint32_t>(in.imm); });
+      schedule_rd(false);
+      break;
+    case Op::kOri:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) | static_cast<uint32_t>(in.imm); });
+      schedule_rd(false);
+      break;
+    case Op::kAndi:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) & static_cast<uint32_t>(in.imm); });
+      schedule_rd(false);
+      break;
+    case Op::kSlli:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) << in.imm; });
+      schedule_rd(false);
+      break;
+    case Op::kSrli:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) >> in.imm; });
+      schedule_rd(false);
+      break;
+    case Op::kSrai:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = static_cast<uint32_t>(as_i32(xr(w, l, in.rs1)) >> in.imm);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kAdd:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) + xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    case Op::kSub:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) - xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    case Op::kSll:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) << (xr(w, l, in.rs2) & 31); });
+      schedule_rd(false);
+      break;
+    case Op::kSlt:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = as_i32(xr(w, l, in.rs1)) < as_i32(xr(w, l, in.rs2)) ? 1 : 0;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kSltu:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) < xr(w, l, in.rs2) ? 1 : 0; });
+      schedule_rd(false);
+      break;
+    case Op::kXor:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) ^ xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    case Op::kSrl:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) >> (xr(w, l, in.rs2) & 31); });
+      schedule_rd(false);
+      break;
+    case Op::kSra:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = static_cast<uint32_t>(as_i32(xr(w, l, in.rs1)) >> (xr(w, l, in.rs2) & 31));
+      });
+      schedule_rd(false);
+      break;
+    case Op::kOr:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) | xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    case Op::kAnd:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) & xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    // ---------------- MUL/DIV ----------------
+    case Op::kMul:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = xr(w, l, in.rs1) * xr(w, l, in.rs2); });
+      schedule_rd(false);
+      break;
+    case Op::kMulh:
+      for_lanes([&](uint32_t l) {
+        const int64_t p = static_cast<int64_t>(as_i32(xr(w, l, in.rs1))) *
+                          static_cast<int64_t>(as_i32(xr(w, l, in.rs2)));
+        xr(w, l, in.rd) = static_cast<uint32_t>(static_cast<uint64_t>(p) >> 32);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kMulhsu:
+      for_lanes([&](uint32_t l) {
+        const int64_t p = static_cast<int64_t>(as_i32(xr(w, l, in.rs1))) *
+                          static_cast<int64_t>(static_cast<uint64_t>(xr(w, l, in.rs2)));
+        xr(w, l, in.rd) = static_cast<uint32_t>(static_cast<uint64_t>(p) >> 32);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kMulhu:
+      for_lanes([&](uint32_t l) {
+        const uint64_t p =
+            static_cast<uint64_t>(xr(w, l, in.rs1)) * static_cast<uint64_t>(xr(w, l, in.rs2));
+        xr(w, l, in.rd) = static_cast<uint32_t>(p >> 32);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kDiv:
+      for_lanes([&](uint32_t l) {
+        const int32_t a = as_i32(xr(w, l, in.rs1)), b = as_i32(xr(w, l, in.rs2));
+        int32_t r;
+        if (b == 0) {
+          r = -1;
+        } else if (a == std::numeric_limits<int32_t>::min() && b == -1) {
+          r = a;
+        } else {
+          r = a / b;
+        }
+        xr(w, l, in.rd) = static_cast<uint32_t>(r);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kDivu:
+      for_lanes([&](uint32_t l) {
+        const uint32_t a = xr(w, l, in.rs1), b = xr(w, l, in.rs2);
+        xr(w, l, in.rd) = b == 0 ? 0xFFFFFFFFu : a / b;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kRem:
+      for_lanes([&](uint32_t l) {
+        const int32_t a = as_i32(xr(w, l, in.rs1)), b = as_i32(xr(w, l, in.rs2));
+        int32_t r;
+        if (b == 0) {
+          r = a;
+        } else if (a == std::numeric_limits<int32_t>::min() && b == -1) {
+          r = 0;
+        } else {
+          r = a % b;
+        }
+        xr(w, l, in.rd) = static_cast<uint32_t>(r);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kRemu:
+      for_lanes([&](uint32_t l) {
+        const uint32_t a = xr(w, l, in.rs1), b = xr(w, l, in.rs2);
+        xr(w, l, in.rd) = b == 0 ? a : a % b;
+      });
+      schedule_rd(false);
+      break;
+    // ---------------- control flow ----------------
+    case Op::kJal:
+      if (in.rd != 0) {
+        for_lanes([&](uint32_t l) { xr(w, l, in.rd) = pc + 4; });
+        schedule_rd(false);
+      }
+      ++perf_.branches;
+      redirect(warp, pc + static_cast<uint32_t>(in.imm));
+      break;
+    case Op::kJalr: {
+      const uint32_t target =
+          (xr(w, first_active_lane(mask), in.rs1) + static_cast<uint32_t>(in.imm)) & ~1u;
+      if (in.rd != 0) {
+        for_lanes([&](uint32_t l) { xr(w, l, in.rd) = pc + 4; });
+        schedule_rd(false);
+      }
+      ++perf_.branches;
+      redirect(warp, target);
+      break;
+    }
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu: {
+      const uint32_t lane = first_active_lane(mask);
+      const uint32_t a = xr(w, lane, in.rs1), b = xr(w, lane, in.rs2);
+      bool taken = false;
+      switch (in.op) {
+        case Op::kBeq: taken = a == b; break;
+        case Op::kBne: taken = a != b; break;
+        case Op::kBlt: taken = as_i32(a) < as_i32(b); break;
+        case Op::kBge: taken = as_i32(a) >= as_i32(b); break;
+        case Op::kBltu: taken = a < b; break;
+        case Op::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      ++perf_.branches;
+      if (taken) redirect(warp, pc + static_cast<uint32_t>(in.imm));
+      break;
+    }
+    // ---------------- CSR / system ----------------
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+      // Machine-information CSRs are read-only; writes are ignored.
+      for_lanes([&](uint32_t l) {
+        if (in.rd != 0) xr(w, l, in.rd) = read_csr(static_cast<uint32_t>(in.imm), w, l, cycle);
+      });
+      schedule_rd(false);
+      break;
+    case Op::kEcall:
+      for_lanes([&](uint32_t l) {
+        if (ecall_handler_) {
+          ecall_handler_(EcallRequest{core_id_, w, l, xr(w, l, 17), xr(w, l, 10)}, gmem_);
+        }
+      });
+      break;
+    case Op::kFence:
+      break;  // memory ordering is already program order in this model
+    // ---------------- SIMT control ----------------
+    case Op::kTmc: {
+      const uint64_t full = (config_.threads >= 64) ? ~0ull : ((1ull << config_.threads) - 1);
+      const uint64_t value = xr(w, first_active_lane(mask), in.rs1) & full;
+      warp.tmask = value;
+      if (value == 0) warp.active = false;
+      break;
+    }
+    case Op::kWspawn: {
+      const uint32_t lane = first_active_lane(mask);
+      const uint32_t count = std::min(xr(w, lane, in.rs1), config_.warps);
+      const uint32_t target = xr(w, lane, in.rs2);
+      for (uint32_t i = 1; i < count; ++i) {
+        Warp& spawned = warps_[i];
+        if (spawned.active) continue;
+        spawned = Warp{};
+        spawned.active = true;
+        spawned.pc = target;
+        spawned.tmask = 1;
+        ++perf_.warps_spawned;
+      }
+      break;
+    }
+    case Op::kSplit: {
+      uint64_t taken = 0;
+      for_lanes([&](uint32_t l) {
+        if (xr(w, l, in.rs1) != 0) taken |= (1ull << l);
+      });
+      const uint64_t nottaken = mask & ~taken;
+      ++perf_.branches;
+      if (nottaken == 0) {
+        warp.ipdom.push_back({IpdomEntry::kUniform, 0, 0});
+      } else if (taken == 0) {
+        warp.ipdom.push_back({IpdomEntry::kUniform, 0, 0});
+        redirect(warp, pc + static_cast<uint32_t>(in.imm));
+      } else {
+        ++perf_.divergent_branches;
+        warp.ipdom.push_back({IpdomEntry::kRestore, mask, 0});
+        warp.ipdom.push_back({IpdomEntry::kElse, nottaken, pc + static_cast<uint32_t>(in.imm)});
+        warp.tmask = taken;
+      }
+      break;
+    }
+    case Op::kJoin: {
+      ++perf_.joins;
+      if (warp.ipdom.empty()) {
+        FGPU_LOG(kError, "core %u warp %u: JOIN with empty IPDOM stack at %08x", core_id_, w, pc);
+        warp.active = false;
+        break;
+      }
+      const IpdomEntry entry = warp.ipdom.back();
+      warp.ipdom.pop_back();
+      switch (entry.kind) {
+        case IpdomEntry::kUniform:
+          redirect(warp, pc + static_cast<uint32_t>(in.imm));
+          break;
+        case IpdomEntry::kElse:
+          warp.tmask = entry.mask;
+          redirect(warp, entry.pc);
+          break;
+        case IpdomEntry::kRestore:
+          warp.tmask = entry.mask;
+          redirect(warp, pc + static_cast<uint32_t>(in.imm));
+          break;
+      }
+      break;
+    }
+    case Op::kPred: {
+      uint64_t alive = 0;
+      for_lanes([&](uint32_t l) {
+        if (xr(w, l, in.rs1) != 0) alive |= (1ull << l);
+      });
+      ++perf_.branches;
+      if (alive == 0) {
+        redirect(warp, pc + static_cast<uint32_t>(in.imm));
+      } else {
+        if (alive != mask) ++perf_.divergent_branches;
+        warp.tmask = alive;
+      }
+      break;
+    }
+    case Op::kBar: {
+      const uint32_t lane = first_active_lane(mask);
+      barrier_arrive(w, xr(w, lane, in.rs1) & 31, xr(w, lane, in.rs2));
+      break;
+    }
+    // ---------------- FPU ----------------
+    case Op::kFaddS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) + u2f(fr(w, l, in.rs2)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFsubS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) - u2f(fr(w, l, in.rs2)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFmulS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) * u2f(fr(w, l, in.rs2)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFdivS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) / u2f(fr(w, l, in.rs2)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFsqrtS:
+      for_lanes([&](uint32_t l) { fr(w, l, in.rd) = f2u(std::sqrt(u2f(fr(w, l, in.rs1)))); });
+      schedule_rd(true);
+      break;
+    case Op::kFsgnjS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = (fr(w, l, in.rs1) & 0x7FFFFFFFu) | (fr(w, l, in.rs2) & 0x80000000u);
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFsgnjnS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = (fr(w, l, in.rs1) & 0x7FFFFFFFu) | (~fr(w, l, in.rs2) & 0x80000000u);
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFsgnjxS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = fr(w, l, in.rs1) ^ (fr(w, l, in.rs2) & 0x80000000u);
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFminS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(std::fmin(u2f(fr(w, l, in.rs1)), u2f(fr(w, l, in.rs2))));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFmaxS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(std::fmax(u2f(fr(w, l, in.rs1)), u2f(fr(w, l, in.rs2))));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFcvtWS:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = fcvt_w_s(u2f(fr(w, l, in.rs1)), false); });
+      schedule_rd(false);
+      break;
+    case Op::kFcvtWuS:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = fcvt_w_s(u2f(fr(w, l, in.rs1)), true); });
+      schedule_rd(false);
+      break;
+    case Op::kFcvtSW:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(static_cast<float>(as_i32(xr(w, l, in.rs1))));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFcvtSWu:
+      for_lanes([&](uint32_t l) { fr(w, l, in.rd) = f2u(static_cast<float>(xr(w, l, in.rs1))); });
+      schedule_rd(true);
+      break;
+    case Op::kFmvXW:
+      for_lanes([&](uint32_t l) { xr(w, l, in.rd) = fr(w, l, in.rs1); });
+      schedule_rd(false);
+      break;
+    case Op::kFmvWX:
+      for_lanes([&](uint32_t l) { fr(w, l, in.rd) = xr(w, l, in.rs1); });
+      schedule_rd(true);
+      break;
+    case Op::kFclassS:
+      for_lanes([&](uint32_t l) {
+        const float f = u2f(fr(w, l, in.rs1));
+        uint32_t cls = 0;
+        if (std::isnan(f)) {
+          cls = 1u << 9;  // quiet NaN (we do not distinguish signalling)
+        } else if (std::isinf(f)) {
+          cls = f < 0 ? 1u << 0 : 1u << 7;
+        } else if (f == 0.0f) {
+          cls = std::signbit(f) ? 1u << 3 : 1u << 4;
+        } else if (std::fpclassify(f) == FP_SUBNORMAL) {
+          cls = f < 0 ? 1u << 2 : 1u << 5;
+        } else {
+          cls = f < 0 ? 1u << 1 : 1u << 6;
+        }
+        xr(w, l, in.rd) = cls;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kFeqS:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = u2f(fr(w, l, in.rs1)) == u2f(fr(w, l, in.rs2)) ? 1 : 0;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kFltS:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = u2f(fr(w, l, in.rs1)) < u2f(fr(w, l, in.rs2)) ? 1 : 0;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kFleS:
+      for_lanes([&](uint32_t l) {
+        xr(w, l, in.rd) = u2f(fr(w, l, in.rs1)) <= u2f(fr(w, l, in.rs2)) ? 1 : 0;
+      });
+      schedule_rd(false);
+      break;
+    case Op::kFmaddS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) * u2f(fr(w, l, in.rs2)) + u2f(fr(w, l, in.rs3)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFmsubS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) = f2u(u2f(fr(w, l, in.rs1)) * u2f(fr(w, l, in.rs2)) - u2f(fr(w, l, in.rs3)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFnmsubS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) =
+            f2u(-(u2f(fr(w, l, in.rs1)) * u2f(fr(w, l, in.rs2))) + u2f(fr(w, l, in.rs3)));
+      });
+      schedule_rd(true);
+      break;
+    case Op::kFnmaddS:
+      for_lanes([&](uint32_t l) {
+        fr(w, l, in.rd) =
+            f2u(-(u2f(fr(w, l, in.rs1)) * u2f(fr(w, l, in.rs2))) - u2f(fr(w, l, in.rs3)));
+      });
+      schedule_rd(true);
+      break;
+    // ---------------- memory ----------------
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kFlw:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kFsw:
+    case Op::kLrW:
+    case Op::kScW:
+    case Op::kAmoswapW:
+    case Op::kAmoaddW:
+    case Op::kAmoandW:
+    case Op::kAmoorW:
+    case Op::kAmoxorW:
+    case Op::kAmominW:
+    case Op::kAmomaxW:
+      execute_memory(w, in, cycle);
+      break;
+    default:
+      FGPU_LOG(kError, "core %u: unimplemented op '%s' at %08x", core_id_,
+               arch::op_info(in.op).name, pc);
+      warp.active = false;
+      break;
+  }
+}
+
+void Core::execute_memory(uint32_t w, const Instr& in, uint64_t cycle) {
+  Warp& warp = warps_[w];
+  const uint64_t mask = warp.tmask;
+  const bool is_amo = arch::op_info(in.op).fmt == arch::Format::kAmo;
+  const bool is_store = in.op == Op::kSb || in.op == Op::kSh || in.op == Op::kSw ||
+                        in.op == Op::kFsw;
+  const bool is_float = in.op == Op::kFlw;
+  const bool has_rd = !is_store && (is_float || in.rd != 0 || is_amo);
+
+  if (is_store) {
+    ++perf_.stores;
+  } else if (is_amo) {
+    ++perf_.atomics;
+  } else {
+    ++perf_.loads;
+  }
+
+  std::vector<uint32_t> lines;
+  bool all_local = true;
+  bool any_local = false;
+
+  for (uint32_t lane = 0; lane < config_.threads; ++lane) {
+    if (!(mask & (1ull << lane))) continue;
+    const uint32_t base = xr(w, lane, in.rs1);
+    const uint32_t addr = base + static_cast<uint32_t>(is_amo ? 0 : in.imm);
+    const bool local = is_local_addr(addr);
+    all_local &= local;
+    any_local |= local;
+    mem::MainMemory& memory = local ? local_mem_ : gmem_;
+
+    // Functional access now; timing modelled below.
+    switch (in.op) {
+      case Op::kLb: xr(w, lane, in.rd) = static_cast<uint32_t>(static_cast<int8_t>(memory.load8(addr))); break;
+      case Op::kLbu: xr(w, lane, in.rd) = memory.load8(addr); break;
+      case Op::kLh: xr(w, lane, in.rd) = static_cast<uint32_t>(static_cast<int16_t>(memory.load16(addr))); break;
+      case Op::kLhu: xr(w, lane, in.rd) = memory.load16(addr); break;
+      case Op::kLw: xr(w, lane, in.rd) = memory.load32(addr); break;
+      case Op::kFlw: fr(w, lane, in.rd) = memory.load32(addr); break;
+      case Op::kSb: memory.store8(addr, static_cast<uint8_t>(xr(w, lane, in.rs2))); break;
+      case Op::kSh: memory.store16(addr, static_cast<uint16_t>(xr(w, lane, in.rs2))); break;
+      case Op::kSw: memory.store32(addr, xr(w, lane, in.rs2)); break;
+      case Op::kFsw: memory.store32(addr, fr(w, lane, in.rs2)); break;
+      case Op::kLrW: xr(w, lane, in.rd) = memory.load32(addr); break;
+      case Op::kScW:
+        // Single-context simulation: SC always succeeds.
+        memory.store32(addr, xr(w, lane, in.rs2));
+        xr(w, lane, in.rd) = 0;
+        break;
+      default: {  // AMOs
+        const uint32_t old = memory.load32(addr);
+        const uint32_t src = xr(w, lane, in.rs2);
+        uint32_t next = old;
+        switch (in.op) {
+          case Op::kAmoswapW: next = src; break;
+          case Op::kAmoaddW: next = old + src; break;
+          case Op::kAmoandW: next = old & src; break;
+          case Op::kAmoorW: next = old | src; break;
+          case Op::kAmoxorW: next = old ^ src; break;
+          case Op::kAmominW:
+            next = static_cast<uint32_t>(std::min(as_i32(old), as_i32(src)));
+            break;
+          case Op::kAmomaxW:
+            next = static_cast<uint32_t>(std::max(as_i32(old), as_i32(src)));
+            break;
+          default: break;
+        }
+        memory.store32(addr, next);
+        if (in.rd != 0) xr(w, lane, in.rd) = old;
+        break;
+      }
+    }
+
+    if (!local) {
+      if (is_amo) {
+        // Atomics serialize: one request per lane, no coalescing.
+        lines.push_back(mem::line_of(addr));
+      } else {
+        const uint32_t line = mem::line_of(addr);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end()) lines.push_back(line);
+      }
+    }
+  }
+  (void)any_local;
+
+  if (all_local || lines.empty()) {
+    // Shared-memory path: fixed low latency, no cache traffic.
+    if (has_rd) {
+      if (is_float) {
+        warp.busy_f |= (1u << in.rd);
+      } else if (in.rd != 0) {
+        warp.busy_x |= (1u << in.rd);
+      }
+      if (is_float || in.rd != 0) {
+        completions_.push_back(Completion{cycle + config_.smem_latency, w, in.rd, is_float});
+      }
+    }
+    return;
+  }
+
+  // Allocate the LSU slot (availability checked in can_issue()).
+  for (auto& entry : lsu_queue_) {
+    if (entry.valid) continue;
+    entry.valid = true;
+    entry.warp = w;
+    entry.is_write = is_store;
+    entry.has_rd = has_rd && (is_float || in.rd != 0);
+    entry.writes_float = is_float;
+    entry.rd = in.rd;
+    entry.lines_pending = std::move(lines);
+    entry.outstanding = 0;
+    if (entry.has_rd) {
+      if (is_float) {
+        warp.busy_f |= (1u << in.rd);
+      } else {
+        warp.busy_x |= (1u << in.rd);
+      }
+    }
+    return;
+  }
+  assert(false && "LSU slot must be available at issue");
+}
+
+void Core::do_lsu(uint64_t cycle) {
+  (void)cycle;
+  uint32_t sent = 0;
+  for (auto& entry : lsu_queue_) {
+    if (!entry.valid || entry.lines_pending.empty()) continue;
+    while (!entry.lines_pending.empty() && sent < config_.lsu_ports && l1d_.can_accept()) {
+      const uint32_t line = entry.lines_pending.back();
+      entry.lines_pending.pop_back();
+      const uint64_t id = next_mem_id_++;
+      lsu_inflight_.push_back({id, static_cast<size_t>(&entry - lsu_queue_.data())});
+      l1d_.send(mem::MemRequest{.id = id, .addr = line << mem::kLineShift,
+                                .is_write = entry.is_write});
+      ++entry.outstanding;
+      ++sent;
+    }
+    if (sent >= config_.lsu_ports) break;
+  }
+}
+
+void Core::do_fetch(uint64_t cycle) {
+  for (uint32_t i = 0; i < config_.warps; ++i) {
+    const uint32_t w = (fetch_rr_ + i) % config_.warps;
+    Warp& warp = warps_[w];
+    if (!warp.active || warp.fetch_pending) continue;
+    if (warp.ibuffer.size() >= config_.ibuffer_depth) continue;
+    if (config_.perfect_icache) {
+      const uint32_t word = gmem_.load32(warp.pc);
+      auto decoded = arch::decode(word);
+      if (!decoded) {
+        FGPU_LOG(kError, "core %u warp %u: invalid instruction %08x at %08x", core_id_, w, word,
+                 warp.pc);
+        warp.active = false;
+        return;
+      }
+      warp.ibuffer.push_back(FetchSlot{*decoded, warp.pc});
+      warp.pc += 4;
+      fetch_rr_ = (w + 1) % config_.warps;
+      return;
+    }
+    if (!l1i_.can_accept()) return;
+    const uint64_t id = next_mem_id_++;
+    fetch_inflight_.push_back({id, FetchReq{w, warp.pc, warp.generation}});
+    l1i_.send(mem::MemRequest{.id = id, .addr = warp.pc, .is_write = false});
+    warp.fetch_pending = true;
+    warp.pc += 4;
+    fetch_rr_ = (w + 1) % config_.warps;
+    return;
+  }
+  (void)cycle;
+}
+
+}  // namespace fgpu::vortex

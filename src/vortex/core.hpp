@@ -1,0 +1,179 @@
+// One SIMT core of the soft GPU: the six-stage in-order pipeline of the
+// paper's Fig. 4 (schedule, fetch, decode, issue, execute, commit) modelled
+// at cycle level, SimX-style: instructions execute functionally at issue,
+// while timing (scoreboard occupancy, FU latency, LSU/cache round trips,
+// barriers, IPDOM divergence) is simulated per cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "vortex/config.hpp"
+#include "vortex/perf.hpp"
+
+namespace fgpu::vortex {
+
+// Host upcall for ECALL (used by the runtime to implement OpenCL printf,
+// mirroring the "communication function" challenge in paper §IV-A).
+struct EcallRequest {
+  uint32_t core_id = 0;
+  uint32_t warp_id = 0;
+  uint32_t lane = 0;
+  uint32_t function = 0;  // a7
+  uint32_t arg0 = 0;      // a0
+};
+using EcallHandler = std::function<void(const EcallRequest&, mem::MainMemory&)>;
+
+class Core {
+ public:
+  // `l2_data` / `l2_inst` are distinct interconnect endpoints so that data
+  // and instruction responses route back to the right L1.
+  Core(const Config& config, uint32_t core_id, mem::MainMemory& gmem, mem::MemPort& l2_data,
+       mem::MemPort& l2_inst, EcallHandler ecall_handler);
+
+  // Resets all warps; warp 0 starts at `entry_pc` with one active thread
+  // (the Vortex boot convention: the startup stub then TMCs/WSPAWNs).
+  void reset(uint32_t entry_pc);
+
+  // Ticks the core-internal caches (called by the cluster before logic()).
+  void tick_caches(uint64_t cycle);
+  // One cycle of pipeline logic: writeback, issue, LSU drain, fetch.
+  void tick_logic(uint64_t cycle);
+
+  bool busy() const;
+
+  const PerfCounters& perf() const { return perf_; }
+  PerfCounters& perf() { return perf_; }
+  mem::Cache& l1d() { return l1d_; }
+  mem::Cache& l1i() { return l1i_; }
+  mem::MainMemory& local_mem() { return local_mem_; }
+  uint32_t id() const { return core_id_; }
+
+  // Debug access for tests.
+  uint32_t xreg(uint32_t warp, uint32_t lane, uint32_t index) const;
+  uint32_t freg_bits(uint32_t warp, uint32_t lane, uint32_t index) const;
+  bool warp_active(uint32_t warp) const { return warps_[warp].active; }
+  uint64_t warp_tmask(uint32_t warp) const { return warps_[warp].tmask; }
+
+ private:
+  struct IpdomEntry {
+    enum Kind : uint8_t { kUniform, kElse, kRestore };
+    Kind kind;
+    uint64_t mask;
+    uint32_t pc;
+  };
+
+  struct FetchSlot {
+    arch::Instr instr;
+    uint32_t pc;
+  };
+
+  struct Warp {
+    bool active = false;
+    uint32_t pc = 0;
+    uint64_t tmask = 0;
+    std::vector<IpdomEntry> ipdom;
+    std::deque<FetchSlot> ibuffer;
+    bool fetch_pending = false;
+    uint32_t fetch_pc = 0;
+    uint32_t next_fetch_pc = 0;
+    uint64_t generation = 0;  // bumped on redirects to drop stale fetches
+    bool at_barrier = false;
+    uint32_t barrier_id = 0;
+    uint32_t busy_x = 0;  // scoreboard bitmasks
+    uint32_t busy_f = 0;
+  };
+
+  // A memory instruction in flight in the load-store unit.
+  struct LsuEntry {
+    bool valid = false;
+    uint32_t warp = 0;
+    bool is_write = false;
+    bool has_rd = false;
+    bool writes_float = false;
+    uint8_t rd = 0;
+    std::vector<uint32_t> lines_pending;  // line addresses not yet sent
+    uint32_t outstanding = 0;             // responses still expected
+  };
+
+  // Deferred scoreboard release (register values are committed at issue).
+  struct Completion {
+    uint64_t ready_cycle;
+    uint32_t warp;
+    uint8_t rd;
+    bool is_float;
+  };
+
+  uint32_t& xr(uint32_t warp, uint32_t lane, uint32_t index) {
+    return xregs_[(warp * config_.threads + lane) * 32 + index];
+  }
+  uint32_t& fr(uint32_t warp, uint32_t lane, uint32_t index) {
+    return fregs_[(warp * config_.threads + lane) * 32 + index];
+  }
+
+  void do_writeback(uint64_t cycle);
+  void do_issue(uint64_t cycle);
+  void do_lsu(uint64_t cycle);
+  void do_fetch(uint64_t cycle);
+
+  // Returns false if the instruction cannot issue this cycle (structural or
+  // data hazard); sets *stall_reason for attribution.
+  bool can_issue(const Warp& warp, const arch::Instr& instr, uint64_t cycle, int* stall_reason);
+  void execute(uint32_t warp_id, const FetchSlot& slot, uint64_t cycle);
+  void execute_memory(uint32_t warp_id, const arch::Instr& instr, uint64_t cycle);
+  void redirect(Warp& warp, uint32_t new_pc);
+  uint32_t first_active_lane(uint64_t mask) const;
+  uint32_t read_csr(uint32_t csr, uint32_t warp_id, uint32_t lane, uint64_t cycle) const;
+  void barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count);
+
+  bool is_local_addr(uint32_t addr) const {
+    return addr >= arch::kLocalBase && addr < arch::kLocalBase + arch::kLocalSize;
+  }
+
+  const Config& config_;
+  uint32_t core_id_;
+  mem::MainMemory& gmem_;
+  mem::MainMemory local_mem_;  // per-core OpenCL __local scratchpad
+  mem::Cache l1d_;
+  mem::Cache l1i_;
+  EcallHandler ecall_handler_;
+
+  std::vector<Warp> warps_;
+  std::vector<uint32_t> xregs_;  // [warp][thread][32]
+  std::vector<uint32_t> fregs_;
+
+  std::deque<Completion> completions_;
+  std::vector<LsuEntry> lsu_queue_;
+  uint64_t next_mem_id_ = 1;
+  // L1D response routing: id -> (lsu index generation). We key by a unique
+  // id per line request and keep a side table.
+  std::vector<std::pair<uint64_t, size_t>> lsu_inflight_;  // (req id, entry slot)
+
+  // Fetch response routing.
+  struct FetchReq {
+    uint32_t warp;
+    uint32_t pc;
+    uint64_t generation;
+  };
+  std::vector<std::pair<uint64_t, FetchReq>> fetch_inflight_;
+
+  // Per-FU readiness (structural hazards for non-pipelined units).
+  uint64_t fu_ready_[8] = {0};
+
+  // Barrier bookkeeping: id -> warps arrived.
+  std::vector<uint32_t> barrier_arrived_;
+  std::vector<uint32_t> barrier_expected_;
+
+  uint32_t issue_rr_ = 0;  // round-robin cursors
+  uint32_t fetch_rr_ = 0;
+  uint64_t instret_ = 0;
+
+  PerfCounters perf_;
+};
+
+}  // namespace fgpu::vortex

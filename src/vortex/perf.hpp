@@ -1,0 +1,75 @@
+// Performance counters exposed by the simulator. The stall breakdown is the
+// instrument behind the paper's Fig. 7 analysis ("vector addition ... incurs
+// more LSU stalls with a higher number of threads and warps per core").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace fgpu::vortex {
+
+struct PerfCounters {
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+
+  // Issue-stage stall attribution (cycles where no instruction issued).
+  uint64_t stall_scoreboard = 0;  // RAW hazard on a pending result
+  uint64_t stall_lsu = 0;         // LSU queue full / L1D back-pressure
+  uint64_t stall_fu = 0;          // non-pipelined FU (div/sqrt) busy
+  uint64_t stall_ibuffer = 0;     // no decoded instruction available (fetch-bound)
+  uint64_t stall_barrier = 0;     // all candidate warps blocked on a barrier
+  uint64_t idle_cycles = 0;       // no active warp at all
+
+  // Event counts.
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t atomics = 0;
+  uint64_t branches = 0;
+  uint64_t divergent_branches = 0;  // SPLITs that actually diverged
+  uint64_t joins = 0;
+  uint64_t barriers = 0;
+  uint64_t warps_spawned = 0;
+
+  void accumulate(const PerfCounters& other) {
+    cycles = std::max(cycles, other.cycles);
+    instrs += other.instrs;
+    stall_scoreboard += other.stall_scoreboard;
+    stall_lsu += other.stall_lsu;
+    stall_fu += other.stall_fu;
+    stall_ibuffer += other.stall_ibuffer;
+    stall_barrier += other.stall_barrier;
+    idle_cycles += other.idle_cycles;
+    loads += other.loads;
+    stores += other.stores;
+    atomics += other.atomics;
+    branches += other.branches;
+    divergent_branches += other.divergent_branches;
+    joins += other.joins;
+    barriers += other.barriers;
+    warps_spawned += other.warps_spawned;
+  }
+
+  double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(instrs) / static_cast<double>(cycles);
+  }
+
+  std::string summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu instrs=%llu ipc=%.3f stalls[sb=%llu lsu=%llu fu=%llu ib=%llu "
+                  "bar=%llu idle=%llu]",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(instrs), ipc(),
+                  static_cast<unsigned long long>(stall_scoreboard),
+                  static_cast<unsigned long long>(stall_lsu),
+                  static_cast<unsigned long long>(stall_fu),
+                  static_cast<unsigned long long>(stall_ibuffer),
+                  static_cast<unsigned long long>(stall_barrier),
+                  static_cast<unsigned long long>(idle_cycles));
+    return buf;
+  }
+};
+
+}  // namespace fgpu::vortex

@@ -1,0 +1,138 @@
+// Analytical performance model tests: profile extraction correctness and
+// first-order agreement with the cycle-level simulator (the model's job is
+// ranking configurations, not exact cycle counts).
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "kir/build.hpp"
+#include "runtime/vortex_device.hpp"
+#include "vortex/analytical.hpp"
+
+namespace fgpu::vortex {
+namespace {
+
+using kir::Buf;
+using kir::KernelBuilder;
+using kir::NDRange;
+using kir::Val;
+
+kir::Kernel vecadd_kernel() {
+  KernelBuilder kb("vecadd");
+  Buf a = kb.buf_f32("a"), b = kb.buf_f32("b"), c = kb.buf_f32("c");
+  Val gid = kb.global_id(0);
+  kb.store(c, gid, kb.load(a, gid) + kb.load(b, gid));
+  return kb.build();
+}
+
+TEST(AnalyticalProfileTest, CountsMatchKernelStructure) {
+  const uint32_t n = 256;
+  std::vector<uint32_t> a(n, f2u(1.0f)), b(n, f2u(2.0f)), c(n, 0);
+  auto profile = profile_kernel(
+      vecadd_kernel(),
+      {kir::KernelArg::buffer(&a), kir::KernelArg::buffer(&b), kir::KernelArg::buffer(&c)},
+      NDRange::linear(n, 64));
+  ASSERT_TRUE(profile.is_ok()) << profile.status().to_string();
+  EXPECT_EQ(profile->items, n);
+  EXPECT_DOUBLE_EQ(profile->loads_per_item, 2.0);
+  EXPECT_DOUBLE_EQ(profile->stores_per_item, 1.0);
+  EXPECT_DOUBLE_EQ(profile->consecutive_fraction, 1.0);
+  EXPECT_GT(profile->ops_per_item, 4.0);   // loads, add, ids, indices
+  EXPECT_LT(profile->ops_per_item, 30.0);
+  EXPECT_FALSE(profile->uses_barriers);
+}
+
+TEST(AnalyticalProfileTest, StridedAccessLowersConsecutiveFraction) {
+  KernelBuilder kb("strided");
+  Buf a = kb.buf_f32("a"), out = kb.buf_f32("out");
+  Val gid = kb.global_id(0);
+  kb.store(out, gid, kb.load(a, gid * 8));  // strided load, consecutive store
+  const uint32_t n = 64;
+  std::vector<uint32_t> data(n * 8, 0), result(n, 0);
+  auto profile = profile_kernel(
+      kb.build(), {kir::KernelArg::buffer(&data), kir::KernelArg::buffer(&result)},
+      NDRange::linear(n, 64));
+  ASSERT_TRUE(profile.is_ok());
+  EXPECT_NEAR(profile->consecutive_fraction, 0.5, 1e-9);
+}
+
+TEST(AnalyticalProfileTest, LoopsMultiplyDynamicCounts) {
+  KernelBuilder kb("loopy");
+  Buf a = kb.buf_f32("a"), out = kb.buf_f32("out");
+  Val gid = kb.global_id(0);
+  Val acc = kb.let_("acc", Val(0.0f));
+  kb.for_("i", Val(0), Val(16), [&](Val i) { kb.assign(acc, acc + kb.load(a, gid + i)); });
+  kb.store(out, gid, acc);
+  const uint32_t n = 64;
+  std::vector<uint32_t> data(n + 16, f2u(1.0f)), result(n, 0);
+  auto profile = profile_kernel(
+      kb.build(), {kir::KernelArg::buffer(&data), kir::KernelArg::buffer(&result)},
+      NDRange::linear(n, 64));
+  ASSERT_TRUE(profile.is_ok());
+  EXPECT_DOUBLE_EQ(profile->loads_per_item, 16.0);
+}
+
+TEST(AnalyticalPredictTest, MoreThreadsReduceIssueBound) {
+  KernelProfile profile;
+  profile.items = 65536;
+  profile.ops_per_item = 20;
+  profile.loads_per_item = 0.5;  // compute-heavy
+  const auto narrow = predict_cycles(profile, Config::with(4, 8, 4));
+  const auto wide = predict_cycles(profile, Config::with(4, 8, 16));
+  EXPECT_LT(wide.issue_bound, narrow.issue_bound);
+}
+
+TEST(AnalyticalPredictTest, MemoryBoundKernelSaturates) {
+  KernelProfile profile;
+  profile.items = 65536;
+  profile.ops_per_item = 6;
+  profile.loads_per_item = 2;
+  profile.stores_per_item = 1;
+  profile.consecutive_fraction = 1.0;
+  const auto small = predict_cycles(profile, Config::with(4, 4, 4));
+  const auto big = predict_cycles(profile, Config::with(4, 16, 16));
+  // Both memory-bound; the big configuration pays the MSHR contention tax.
+  EXPECT_STREQ(big.bottleneck, "memory");
+  EXPECT_GT(big.memory_bound, small.memory_bound * 1.05);
+}
+
+TEST(AnalyticalPredictTest, FewWarpsExposeLatency) {
+  KernelProfile profile;
+  profile.items = 16384;
+  profile.ops_per_item = 8;
+  profile.loads_per_item = 2;
+  const auto solo = predict_cycles(profile, Config::with(4, 1, 8));
+  const auto many = predict_cycles(profile, Config::with(4, 8, 8));
+  EXPECT_GT(solo.latency_bound, many.latency_bound);
+}
+
+TEST(AnalyticalVsSimulatorTest, WithinFirstOrderAgreement) {
+  Log::level() = LogLevel::kOff;
+  const uint32_t n = 4096;
+  kir::Module module;
+  module.kernels.push_back(vecadd_kernel());
+
+  std::vector<uint32_t> a(n, f2u(1.0f)), b(n, f2u(2.0f)), c(n, 0);
+  auto profile = profile_kernel(
+      vecadd_kernel(),
+      {kir::KernelArg::buffer(&a), kir::KernelArg::buffer(&b), kir::KernelArg::buffer(&c)},
+      NDRange::linear(n, 64));
+  ASSERT_TRUE(profile.is_ok());
+
+  for (const auto& config : {Config::with(4, 4, 4), Config::with(4, 8, 8)}) {
+    vcl::VortexDevice device(config);
+    ASSERT_TRUE(device.build(module).is_ok());
+    auto ab = device.upload(a);
+    auto bb = device.upload(b);
+    auto cb = device.alloc(n * 4);
+    auto stats = device.launch("vecadd", {ab, bb, cb}, NDRange::linear(n, 64));
+    ASSERT_TRUE(stats.is_ok());
+    const auto prediction = predict_cycles(*profile, config);
+    const double ratio = prediction.cycles / static_cast<double>(stats->device_cycles);
+    EXPECT_GT(ratio, 0.25) << config.to_string();
+    EXPECT_LT(ratio, 4.0) << config.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fgpu::vortex

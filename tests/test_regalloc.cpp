@@ -1,0 +1,204 @@
+// Register-allocator tests: live-interval computation (including the
+// loop-extension rule), allocation under pressure, spill decisions, and the
+// area/vortex model sanity checks that share this file.
+#include <gtest/gtest.h>
+
+#include "codegen/regalloc.hpp"
+#include "vortex/area.hpp"
+
+namespace fgpu::codegen {
+namespace {
+
+using arch::Op;
+
+MInstr alu(int rd, int rs1, int rs2) {
+  MInstr m;
+  m.op = Op::kAdd;
+  m.rd = rd;
+  m.rs1 = rs1;
+  m.rs2 = rs2;
+  return m;
+}
+
+MInstr fpu(int rd, int rs1, int rs2) {
+  MInstr m;
+  m.op = Op::kFaddS;
+  m.rd = rd;
+  m.rs1 = rs1;
+  m.rs2 = rs2;
+  return m;
+}
+
+TEST(RegAllocTest, SimpleIntervals) {
+  MFunction fn;
+  const int a = fn.new_vreg(), b = fn.new_vreg(), c = fn.new_vreg();
+  fn.code.push_back(alu(a, 0, 0));  // 0: def a
+  fn.code.push_back(alu(b, a, 0));  // 1: def b, use a
+  fn.code.push_back(alu(c, b, a));  // 2: def c, last use of a and b
+  auto intervals = compute_intervals(fn);
+  ASSERT_EQ(intervals.size(), 3u);
+  for (const auto& interval : intervals) {
+    if (interval.vreg == a) {
+      EXPECT_EQ(interval.start, 0);
+      EXPECT_EQ(interval.end, 2);
+    }
+    if (interval.vreg == c) {
+      EXPECT_EQ(interval.start, 2);
+      EXPECT_EQ(interval.end, 2);
+    }
+  }
+}
+
+TEST(RegAllocTest, LoopExtendsPreLoopValues) {
+  MFunction fn;
+  const int pre = fn.new_vreg();   // defined before the loop, used inside
+  const int body = fn.new_vreg();  // defined+used strictly inside
+  const int top = fn.make_label();
+  fn.code.push_back(alu(pre, 0, 0));    // 0
+  fn.label(top);                        // 1
+  fn.code.push_back(alu(body, pre, 0)); // 2
+  fn.code.push_back(alu(body, body, body));  // 3 (last textual use of both)
+  MInstr back;
+  back.op = Op::kBne;
+  back.rs1 = 0;
+  back.rs2 = 0;
+  back.target = top;
+  fn.code.push_back(back);  // 4: back edge
+  auto intervals = compute_intervals(fn);
+  for (const auto& interval : intervals) {
+    if (interval.vreg == pre) {
+      EXPECT_EQ(interval.end, 4) << "pre-loop value must live across the back edge";
+    }
+    if (interval.vreg == body) {
+      EXPECT_EQ(interval.end, 3) << "in-body temporary must NOT be extended";
+    }
+  }
+}
+
+TEST(RegAllocTest, NoSpillWhenRegistersSuffice) {
+  MFunction fn;
+  std::vector<int> regs;
+  for (int i = 0; i < 10; ++i) {
+    regs.push_back(fn.new_vreg());
+    fn.code.push_back(alu(regs.back(), 0, 0));
+  }
+  for (int i = 0; i < 10; ++i) fn.code.push_back(alu(0, regs[static_cast<size_t>(i)], 0));
+  auto alloc = allocate_registers(fn);
+  EXPECT_EQ(alloc.num_spill_slots, 0);
+  EXPECT_EQ(alloc.assignment.size(), 10u);
+}
+
+TEST(RegAllocTest, SpillsUnderPressure) {
+  RegAllocConfig config;
+  config.int_regs = {5, 6, 7};  // only three registers
+  MFunction fn;
+  std::vector<int> regs;
+  for (int i = 0; i < 6; ++i) {
+    regs.push_back(fn.new_vreg());
+    fn.code.push_back(alu(regs.back(), 0, 0));
+  }
+  // All six live simultaneously at the end.
+  for (int i = 0; i < 6; ++i) fn.code.push_back(alu(0, regs[static_cast<size_t>(i)], 0));
+  auto alloc = allocate_registers(fn, config);
+  EXPECT_EQ(alloc.assignment.size() + alloc.spill_slot.size(), 6u);
+  EXPECT_EQ(alloc.num_spill_slots, 3);
+  // Assigned registers come from the pool.
+  for (const auto& [vreg, phys] : alloc.assignment) {
+    (void)vreg;
+    EXPECT_TRUE(phys == 5 || phys == 6 || phys == 7);
+  }
+}
+
+TEST(RegAllocTest, NoTwoLiveVregsShareARegister) {
+  RegAllocConfig config;
+  config.int_regs = {5, 6, 7, 8};
+  MFunction fn;
+  // Staggered lifetimes: i defined at i, dies at i+3.
+  std::vector<int> regs;
+  for (int i = 0; i < 12; ++i) {
+    const int r = fn.new_vreg();
+    regs.push_back(r);
+    fn.code.push_back(alu(r, i >= 3 ? regs[static_cast<size_t>(i - 3)] : 0, 0));
+  }
+  auto alloc = allocate_registers(fn, config);
+  auto intervals = compute_intervals(fn);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      const auto& a = intervals[i];
+      const auto& b = intervals[j];
+      if (!alloc.assignment.contains(a.vreg) || !alloc.assignment.contains(b.vreg)) continue;
+      const bool overlap = a.start <= b.end && b.start <= a.end;
+      if (overlap) {
+        EXPECT_NE(alloc.assignment.at(a.vreg), alloc.assignment.at(b.vreg))
+            << "vregs " << a.vreg << " and " << b.vreg << " overlap";
+      }
+    }
+  }
+}
+
+TEST(RegAllocTest, FloatAndIntPoolsAreIndependent) {
+  MFunction fn;
+  const int iv = fn.new_vreg(), fv = fn.new_vreg();
+  fn.code.push_back(alu(iv, 0, 0));
+  fn.code.push_back(fpu(fv, fv, fv));
+  fn.code.push_back(alu(0, iv, 0));
+  auto alloc = allocate_registers(fn);
+  ASSERT_TRUE(alloc.assignment.contains(iv));
+  ASSERT_TRUE(alloc.assignment.contains(fv));
+  EXPECT_LT(alloc.assignment.at(iv), kPhysFloatBase);
+  EXPECT_GE(alloc.assignment.at(fv), kPhysFloatBase);
+}
+
+}  // namespace
+}  // namespace fgpu::codegen
+
+namespace fgpu::vortex {
+namespace {
+
+TEST(VortexAreaTest, MatchesPaperTableIvWithinTolerance) {
+  struct Row {
+    uint32_t c, w, t;
+    fpga::AreaReport paper;
+  };
+  const Row rows[] = {
+      {2, 4, 16, {332'143, 459'349, 1'275, 896}},
+      {2, 8, 16, {336'568, 459'353, 1'299, 896}},
+      {2, 16, 16, {341'134, 478'735, 1'299, 896}},
+      {4, 8, 16, {617'748, 793'976, 2'235, 1'792}},
+      {4, 16, 16, {626'688, 827'757, 2'235, 1'792}},
+  };
+  for (const auto& row : rows) {
+    const auto area = estimate_area(Config::with(row.c, row.w, row.t));
+    EXPECT_NEAR(static_cast<double>(area.aluts), static_cast<double>(row.paper.aluts),
+                0.05 * static_cast<double>(row.paper.aluts));
+    EXPECT_NEAR(static_cast<double>(area.ffs), static_cast<double>(row.paper.ffs),
+                0.05 * static_cast<double>(row.paper.ffs));
+    EXPECT_NEAR(static_cast<double>(area.brams), static_cast<double>(row.paper.brams),
+                0.05 * static_cast<double>(row.paper.brams));
+    EXPECT_EQ(area.dsps, row.paper.dsps);
+  }
+}
+
+TEST(VortexAreaTest, MonotoneInEveryDimension) {
+  const auto base = estimate_area(Config::with(2, 4, 8));
+  EXPECT_GT(estimate_area(Config::with(4, 4, 8)).aluts, base.aluts);
+  EXPECT_GT(estimate_area(Config::with(2, 8, 8)).aluts, base.aluts);
+  EXPECT_GT(estimate_area(Config::with(2, 4, 16)).aluts, base.aluts);
+  EXPECT_GT(estimate_area(Config::with(2, 4, 16)).dsps, base.dsps);
+}
+
+TEST(VortexAreaTest, BramSaturatesAtEightWarps) {
+  // Visible in the paper's Table IV: W=8 and W=16 rows share BRAM counts.
+  EXPECT_EQ(estimate_area(Config::with(2, 8, 16)).brams,
+            estimate_area(Config::with(2, 16, 16)).brams);
+  EXPECT_LT(estimate_area(Config::with(2, 4, 16)).brams,
+            estimate_area(Config::with(2, 8, 16)).brams);
+}
+
+TEST(VortexAreaTest, FitsChecksBoard) {
+  EXPECT_TRUE(fits(Config::with(4, 8, 16), fpga::stratix10_sx2800()));
+  EXPECT_FALSE(fits(Config::with(64, 16, 32), fpga::stratix10_sx2800()));
+}
+
+}  // namespace
+}  // namespace fgpu::vortex
