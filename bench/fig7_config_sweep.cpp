@@ -2,13 +2,18 @@
 // warp/thread configurations on a 4-core soft GPU (the paper's SimX design-
 // space exploration). Cycles are normalized to each benchmark's minimum,
 // matching the paper's heat-map presentation.
+//
+//   fig7_config_sweep [--json=PATH]   # also dump the raw grids as JSON
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "runtime/vortex_device.hpp"
 #include "suite/suite.hpp"
+#include "trace/json.hpp"
 
 using namespace fgpu;
 
@@ -73,10 +78,43 @@ double pct(uint64_t a, uint64_t b) {
   return 100.0 * (static_cast<double>(a) - static_cast<double>(b)) / static_cast<double>(b);
 }
 
+// Raw (un-normalized) sweep grid as JSON, schema fgpu.fig7.v1 — see
+// OBSERVABILITY.md. Rows are warps, columns threads, both in kSizes order.
+void write_sweep_json(trace::JsonWriter& w, const std::string& name, const SweepResult& r) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("best_warps", r.best_w);
+  w.field("best_threads", r.best_t);
+  w.key("cycles").begin_array();
+  for (const auto& row : r.cycles) {
+    w.begin_array();
+    for (uint64_t v : row) w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("lsu_stalls").begin_array();
+  for (const auto& row : r.lsu_stalls) {
+    w.begin_array();
+    for (uint64_t v : row) w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::level() = LogLevel::kOff;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   printf("Fig. 7 — Cycle comparison for warp/thread configurations (Vortex simulator, 4 cores)\n\n");
 
   const auto vec = sweep("vecadd");
@@ -106,5 +144,28 @@ int main() {
   printf("\nShape check (vecadd optimal at 4w4t, 8w8t >10%% worse;\n"
          "transpose optimal at 8w8t among the paper's configs): %s\n",
          (vec_shape && tr_shape) ? "HOLDS" : "VIOLATED");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "fig7_config_sweep: cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    trace::JsonWriter w(out, /*pretty=*/true);
+    w.begin_object();
+    w.field("schema", "fgpu.fig7.v1");
+    w.field("cores", static_cast<uint32_t>(4));
+    w.key("sizes").begin_array();
+    for (uint32_t s : kSizes) w.value(s);
+    w.end_array();
+    w.key("benchmarks").begin_array();
+    write_sweep_json(w, "vecadd", vec);
+    write_sweep_json(w, "transpose", tr);
+    w.end_array();
+    w.field("shape_check", vec_shape && tr_shape);
+    w.end_object();
+    out << '\n';
+    printf("stats -> %s\n", json_path.c_str());
+  }
   return (vec_shape && tr_shape) ? 0 : 1;
 }

@@ -2,10 +2,12 @@
 
 #include <cassert>
 
+#include "trace/trace.hpp"
+
 namespace fgpu::mem {
 
 Cache::Cache(CacheConfig config, MemPort* lower)
-    : config_(std::move(config)), lower_(lower) {
+    : config_(std::move(config)), lower_(lower), trace_name_(config_.name) {
   assert(is_pow2(config_.size_bytes) && "cache size must be a power of two");
   assert(config_.num_lines() % config_.ways == 0);
   lines_.resize(config_.num_lines());
@@ -133,7 +135,27 @@ void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
   }
 }
 
+// Bucketed counter samples of the cumulative hit/miss/eviction totals —
+// bounded trace volume regardless of traffic, and only when totals moved.
+void Cache::trace_counters(uint64_t cycle) {
+  trace::Sink* sink = trace::current();
+  if (sink == nullptr) return;
+  const uint64_t total = stats_.hits + stats_.misses + stats_.evictions + stats_.writebacks;
+  if (total == trace_last_total_) return;
+  trace_last_total_ = total;
+  // Interned: the sink may outlive this cache.
+  sink->counter(sink->intern(trace_name_), trace_tid_, cycle,
+                {{"hits", stats_.hits},
+                 {"misses", stats_.misses},
+                 {"evictions", stats_.evictions},
+                 {"writebacks", stats_.writebacks},
+                 {"mshr_merges", stats_.mshr_merges}});
+}
+
 void Cache::tick(uint64_t cycle) {
+  if constexpr (trace::kEnabled) {
+    if ((cycle & (trace::kCounterBucketCycles - 1)) == 0) trace_counters(cycle);
+  }
   now_ = cycle;
   accepted_this_cycle_ = 0;
 

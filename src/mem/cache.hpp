@@ -40,7 +40,18 @@ class Cache final : public MemPort {
 
   const CacheConfig& config() const { return config_; }
   const MemStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MemStats{}; }
+  void reset_stats() {
+    stats_ = MemStats{};
+    trace_last_total_ = 0;
+  }
+
+  // Names this cache's counter track in exported traces ("l1d.c2"). The
+  // owning core/cluster sets this once; caches sharing a config name (one
+  // L1D per core) stay distinguishable in the viewer.
+  void set_trace_id(uint32_t tid) {
+    trace_tid_ = tid;
+    trace_name_ = config_.name + ".c" + std::to_string(tid);
+  }
 
   // Invalidates all lines (kernel-launch boundary).
   void flush();
@@ -67,6 +78,7 @@ class Cache final : public MemPort {
   LineState* lookup(uint32_t line_addr);
   void install(uint32_t line_addr);
   void on_lower_response(uint64_t id, bool was_write);
+  void trace_counters(uint64_t cycle);
 
   CacheConfig config_;
   MemPort* lower_;
@@ -81,6 +93,11 @@ class Cache final : public MemPort {
   uint64_t next_lower_id_ = 1;
   std::unordered_map<uint64_t, uint32_t> fill_ids_;  // lower-level id -> line addr
   MemStats stats_;
+
+  // Trace hook state (see trace/trace.hpp).
+  uint32_t trace_tid_ = 0;
+  std::string trace_name_;
+  uint64_t trace_last_total_ = 0;
 };
 
 }  // namespace fgpu::mem

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/trace.hpp"
+
 namespace fgpu::mem {
 
 DramModel::DramModel(DramConfig config)
@@ -38,6 +40,9 @@ void DramModel::send(const MemRequest& req) {
 }
 
 void DramModel::tick(uint64_t cycle) {
+  if constexpr (trace::kEnabled) {
+    if ((cycle & (trace::kCounterBucketCycles - 1)) == 0) trace_counters(cycle);
+  }
   now_ = cycle;
   for (auto& count : accepted_this_cycle_) count = 0;
   for (uint32_t c = 0; c < config_.channels; ++c) {
@@ -50,6 +55,17 @@ void DramModel::tick(uint64_t cycle) {
       if (handler_) handler_(entry.req.id, entry.req.is_write);
     }
   }
+}
+
+void DramModel::trace_counters(uint64_t cycle) {
+  trace::Sink* sink = trace::current();
+  if (sink == nullptr) return;
+  const uint64_t total = stats_.reads + stats_.writes;
+  if (total == trace_last_total_) return;
+  trace_last_total_ = total;
+  // Interned: the sink may outlive this DRAM model.
+  sink->counter(sink->intern(config_.name), 0, cycle,
+                {{"reads", stats_.reads}, {"writes", stats_.writes}});
 }
 
 }  // namespace fgpu::mem

@@ -43,7 +43,10 @@ class DramModel final : public MemPort {
   double peak_lines_per_cycle() const {
     return static_cast<double>(config_.channels * config_.requests_per_channel);
   }
-  void reset_stats() { stats_ = MemStats{}; }
+  void reset_stats() {
+    stats_ = MemStats{};
+    trace_last_total_ = 0;
+  }
 
  private:
   struct Inflight {
@@ -52,6 +55,7 @@ class DramModel final : public MemPort {
   };
 
   uint32_t channel_of(uint32_t addr) const { return line_of(addr) % config_.channels; }
+  void trace_counters(uint64_t cycle);
 
   DramConfig config_;
   std::vector<std::deque<Inflight>> queues_;  // per channel
@@ -59,6 +63,7 @@ class DramModel final : public MemPort {
   uint64_t now_ = 0;
   ResponseHandler handler_;
   MemStats stats_;
+  uint64_t trace_last_total_ = 0;  // trace hook state (see trace/trace.hpp)
 };
 
 }  // namespace fgpu::mem

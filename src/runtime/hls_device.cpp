@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "kir/passes.hpp"
+#include "trace/trace.hpp"
 
 namespace fgpu::vcl {
 namespace {
@@ -161,6 +162,16 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
   stats.memory_stall_cycles =
       static_cast<uint64_t>(std::max(0.0, bandwidth_cycles - issue_cycles));
   stats.dram_bytes = static_cast<uint64_t>(bytes_moved);
+  if (trace::Sink* sink = trace::kEnabled ? trace::current() : nullptr) {
+    sink->set_thread_name(0, "hls-pipeline");
+    sink->complete(sink->intern(kernel_name), "kernel", 0, 0, stats.device_cycles,
+                   {{"pipeline_depth", stats.pipeline_depth},
+                    {"initiation_interval", stats.initiation_interval},
+                    {"memory_stall_cycles", stats.memory_stall_cycles},
+                    {"items", ndrange.global_items()},
+                    {"dram_bytes", stats.dram_bytes}});
+    sink->set_time_base(sink->time_base() + stats.device_cycles + 1);
+  }
   return stats;
 }
 

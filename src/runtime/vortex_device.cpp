@@ -5,6 +5,7 @@
 
 #include "codegen/abi.hpp"
 #include "common/bits.hpp"
+#include "trace/trace.hpp"
 
 namespace fgpu::vcl {
 
@@ -175,6 +176,19 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
 
   auto stats = cluster_->run(built.compiled.program.entry());
   if (!stats.is_ok()) return stats.status();
+  if (trace::Sink* sink = trace::kEnabled ? trace::current() : nullptr) {
+    // Kernel begin/end on the sink's monotonic timeline: the per-launch
+    // events emitted during cluster_->run() used the same time base; the
+    // base then advances past this kernel so launches do not overlap.
+    for (uint32_t c = 0; c < config_.cores; ++c) {
+      sink->set_thread_name(c, "core" + std::to_string(c));
+    }
+    sink->complete(sink->intern(kernel_name), "kernel", 0, 0, stats->perf.cycles,
+                   {{"instrs", stats->perf.instrs},
+                    {"items", ndrange.global_items()},
+                    {"dram_bytes", stats->dram_bytes}});
+    sink->set_time_base(sink->time_base() + stats->perf.cycles + 1);
+  }
   for (auto& [key, partial] : print_partial_) {
     if (!partial.empty()) console_.push_back(partial);
   }

@@ -1,0 +1,120 @@
+#include "suite/report.hpp"
+
+namespace fgpu::suite {
+
+void write_json(trace::JsonWriter& w, const vortex::PerfCounters& perf) {
+  w.begin_object();
+  w.field("cycles", perf.cycles);
+  w.field("instrs", perf.instrs);
+  w.field("ipc", perf.ipc());
+  w.key("stalls").begin_object();
+  w.field("scoreboard", perf.stall_scoreboard);
+  w.field("lsu", perf.stall_lsu);
+  w.field("fu", perf.stall_fu);
+  w.field("ibuffer", perf.stall_ibuffer);
+  w.field("barrier", perf.stall_barrier);
+  w.field("idle", perf.idle_cycles);
+  w.end_object();
+  w.key("events").begin_object();
+  w.field("loads", perf.loads);
+  w.field("stores", perf.stores);
+  w.field("atomics", perf.atomics);
+  w.field("branches", perf.branches);
+  w.field("divergent_branches", perf.divergent_branches);
+  w.field("joins", perf.joins);
+  w.field("barriers", perf.barriers);
+  w.field("warps_spawned", perf.warps_spawned);
+  w.end_object();
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const mem::MemStats& stats) {
+  w.begin_object();
+  w.field("reads", stats.reads);
+  w.field("writes", stats.writes);
+  w.field("hits", stats.hits);
+  w.field("misses", stats.misses);
+  w.field("evictions", stats.evictions);
+  w.field("writebacks", stats.writebacks);
+  w.field("mshr_merges", stats.mshr_merges);
+  w.field("stall_rejects", stats.stall_rejects);
+  w.field("hit_rate", stats.hit_rate());
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const fpga::AreaReport& area) {
+  w.begin_object();
+  w.field("aluts", area.aluts);
+  w.field("ffs", area.ffs);
+  w.field("brams", area.brams);
+  w.field("dsps", area.dsps);
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const vortex::ClusterStats& stats) {
+  w.begin_object();
+  w.key("perf");
+  write_json(w, stats.perf);
+  w.key("l1d");
+  write_json(w, stats.l1d);
+  w.key("l1i");
+  write_json(w, stats.l1i);
+  w.key("l2");
+  write_json(w, stats.l2);
+  w.key("dram");
+  write_json(w, stats.dram);
+  w.field("dram_bytes", stats.dram_bytes);
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const vcl::LaunchStats& stats, DeviceKind kind) {
+  w.begin_object();
+  w.field("device_cycles", stats.device_cycles);
+  w.field("clock_mhz", stats.clock_mhz);
+  w.field("time_ms", stats.time_ms());
+  w.field("dram_bytes", stats.dram_bytes);
+  if (kind == DeviceKind::kVortex) {
+    w.key("perf");
+    write_json(w, stats.perf);
+    w.key("mem").begin_object();
+    w.key("l1d");
+    write_json(w, stats.l1d);
+    w.key("l2");
+    write_json(w, stats.l2);
+    w.key("dram");
+    write_json(w, stats.dram);
+    w.end_object();
+  } else {
+    w.key("hls").begin_object();
+    w.field("pipeline_depth", stats.pipeline_depth);
+    w.field("initiation_interval", stats.initiation_interval);
+    w.field("memory_stall_cycles", stats.memory_stall_cycles);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
+                const std::string& device_name) {
+  w.begin_object();
+  w.field("device", device_name);
+  w.field("build_ok", run.build.is_ok());
+  w.field("run_ok", run.run.is_ok());
+  w.field("verify_ok", run.verify.is_ok());
+  w.field("ok", run.ok());
+  w.field("fail_reason", run.fail_reason);
+  w.field("total_cycles", run.total_cycles);
+  w.field("total_time_ms", run.total_time_ms);
+  if (kind == DeviceKind::kHls) {
+    w.field("synthesis_hours", run.synthesis_hours);
+    w.key("area");
+    write_json(w, run.area);
+  }
+  if (run.ok()) {
+    w.key("last_launch");
+    write_json(w, run.last, kind);
+  }
+  w.end_object();
+}
+
+}  // namespace fgpu::suite

@@ -1,0 +1,41 @@
+// Structured stats export: serializes the simulator's counter types
+// (vortex::PerfCounters, vortex::ClusterStats, mem::MemStats,
+// fpga::AreaReport, vcl::LaunchStats, suite::DeviceRun) to the versioned
+// JSON schema documented field-by-field in OBSERVABILITY.md.
+//
+// The writers are deliberately free functions over a JsonWriter so bench
+// binaries and the suite runner compose them into larger documents (one
+// file per suite run) instead of each maintaining an ad-hoc printf table.
+//
+// Determinism contract: output depends only on the counter values — no
+// wall-clock time, hostnames, pointers, or iteration over unordered
+// containers — so two runs of the same workloads produce byte-identical
+// JSON regardless of --jobs (asserted by tests/test_runner.cpp).
+#pragma once
+
+#include "fpga/board.hpp"
+#include "mem/timing.hpp"
+#include "suite/suite.hpp"
+#include "trace/json.hpp"
+#include "vortex/cluster.hpp"
+#include "vortex/perf.hpp"
+
+namespace fgpu::suite {
+
+// Version tag stamped into every stats document. Bump on any breaking
+// change to field names, units, or aggregation rules (OBSERVABILITY.md).
+inline constexpr const char* kStatsSchema = "fgpu.stats.v1";
+
+// Which sections of a LaunchStats/DeviceRun are meaningful.
+enum class DeviceKind { kVortex, kHls };
+
+// Each writes one JSON object at the writer's current position.
+void write_json(trace::JsonWriter& w, const vortex::PerfCounters& perf);
+void write_json(trace::JsonWriter& w, const mem::MemStats& stats);
+void write_json(trace::JsonWriter& w, const fpga::AreaReport& area);
+void write_json(trace::JsonWriter& w, const vortex::ClusterStats& stats);
+void write_json(trace::JsonWriter& w, const vcl::LaunchStats& stats, DeviceKind kind);
+void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
+                const std::string& device_name);
+
+}  // namespace fgpu::suite

@@ -1,0 +1,173 @@
+#include "suite/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <regex>
+#include <thread>
+
+#include "runtime/hls_device.hpp"
+#include "runtime/vortex_device.hpp"
+#include "suite/report.hpp"
+
+namespace fgpu::suite {
+
+int SuiteRunResult::vortex_passes() const {
+  int n = 0;
+  for (const auto& outcome : outcomes) n += outcome.ran_vortex && outcome.vortex.ok();
+  return n;
+}
+
+int SuiteRunResult::hls_passes() const {
+  int n = 0;
+  for (const auto& outcome : outcomes) n += outcome.ran_hls && outcome.hls.ok();
+  return n;
+}
+
+uint64_t benchmark_seed(uint64_t suite_seed, const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ull ^ suite_seed;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Result<std::vector<std::string>> filter_names(const std::string& regex) {
+  std::vector<std::string> selected;
+  if (regex.empty()) {
+    selected = all_benchmark_names();
+    return selected;
+  }
+  try {
+    const std::regex re(regex, std::regex::ECMAScript);
+    for (const auto& name : all_benchmark_names()) {
+      if (std::regex_search(name, re)) selected.push_back(name);
+    }
+  } catch (const std::regex_error& e) {
+    return Result<std::vector<std::string>>(ErrorKind::kInvalidArgument,
+                                            "bad --filter regex '" + regex + "': " + e.what());
+  }
+  return selected;
+}
+
+namespace {
+
+void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOutcome& outcome) {
+  outcome.name = name;
+  outcome.workload_seed = benchmark_seed(options.suite_seed, name);
+  if (options.capture_trace) outcome.trace = std::make_unique<trace::Sink>();
+  // Install this benchmark's sink on the worker thread for the duration of
+  // both device runs; instrumentation in vortex::/mem::/vcl:: picks it up
+  // through trace::current().
+  trace::ScopedSink scoped(outcome.trace.get());
+
+  const Benchmark bench = make_benchmark(name);
+  outcome.origin = bench.origin;
+
+  if (options.run_vortex) {
+    const fpga::Board& board =
+        options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
+    vcl::VortexDevice device(options.vortex_config, board);
+    outcome.vortex_device = device.name();
+    outcome.vortex = run_benchmark(device, bench);
+    outcome.ran_vortex = true;
+  }
+  if (options.run_hls) {
+    const fpga::Board& board =
+        options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
+    vcl::HlsDevice device(board);
+    outcome.hls_device = device.name();
+    outcome.hls = run_benchmark(device, bench);
+    outcome.ran_hls = true;
+  }
+}
+
+}  // namespace
+
+Result<SuiteRunResult> run_all(const RunnerOptions& options) {
+  auto names = filter_names(options.filter);
+  if (!names.is_ok()) return Result<SuiteRunResult>(names.status());
+
+  SuiteRunResult result;
+  result.outcomes.resize(names->size());
+  const auto start = std::chrono::steady_clock::now();
+
+  uint32_t jobs = options.jobs != 0 ? options.jobs : std::thread::hardware_concurrency();
+  jobs = std::min<uint32_t>(std::max(1u, jobs), static_cast<uint32_t>(names->size()));
+
+  if (jobs <= 1) {
+    for (size_t i = 0; i < names->size(); ++i) run_one(options, (*names)[i], result.outcomes[i]);
+  } else {
+    // Work-stealing by atomic index; each worker writes only its claimed
+    // slots, so the outcome vector needs no lock and stays in canonical
+    // order for aggregation.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (uint32_t t = 0; t < jobs; ++t) {
+      workers.emplace_back([&]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= names->size()) return;
+          run_one(options, (*names)[i], result.outcomes[i]);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+void write_stats_json(std::ostream& os, const RunnerOptions& options,
+                      const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kStatsSchema);
+  w.key("suite").begin_object();
+  w.field("filter", options.filter);
+  w.field("suite_seed", options.suite_seed);
+  w.field("vortex_config", options.vortex_config.to_string());
+  const fpga::Board& vx_board =
+      options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
+  const fpga::Board& hls_board =
+      options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
+  w.field("vortex_board", vx_board.name);
+  w.field("hls_board", hls_board.name);
+  w.field("benchmark_count", static_cast<uint64_t>(result.outcomes.size()));
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    w.begin_object();
+    w.field("name", outcome.name);
+    w.field("origin", outcome.origin);
+    w.field("workload_seed", outcome.workload_seed);
+    if (outcome.ran_vortex) {
+      w.key("vortex");
+      write_json(w, outcome.vortex, DeviceKind::kVortex, outcome.vortex_device);
+    }
+    if (outcome.ran_hls) {
+      w.key("hls");
+      write_json(w, outcome.hls, DeviceKind::kHls, outcome.hls_device);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_trace_json(std::ostream& os, const SuiteRunResult& result) {
+  std::vector<trace::Process> processes;
+  for (size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& outcome = result.outcomes[i];
+    if (outcome.trace == nullptr) continue;
+    processes.push_back(
+        trace::Process{static_cast<uint32_t>(i + 1), outcome.name, outcome.trace.get()});
+  }
+  trace::write_chrome_trace(os, processes);
+}
+
+}  // namespace fgpu::suite

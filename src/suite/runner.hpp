@@ -1,0 +1,85 @@
+// Parallel suite runner: shards the 28 Table-I benchmarks across worker
+// threads. Safe because each benchmark run is fully independent — every
+// worker constructs its own Benchmark (factories seed their Rng with fixed
+// per-benchmark constants) and its own device instances, so a run's cycle
+// counts are identical whether it executed on 1 thread or 16. Results are
+// aggregated in canonical suite order regardless of completion order; the
+// determinism test (tests/test_runner.cpp) asserts jobs=1 and jobs=4
+// produce byte-identical stats JSON.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "suite/suite.hpp"
+#include "trace/trace.hpp"
+#include "vortex/config.hpp"
+
+namespace fgpu::suite {
+
+struct RunnerOptions {
+  // ECMAScript regex matched (std::regex_search) against benchmark names;
+  // empty selects all 28.
+  std::string filter;
+  // Worker threads; 0 = std::thread::hardware_concurrency().
+  uint32_t jobs = 1;
+  bool run_vortex = true;
+  bool run_hls = true;
+  vortex::Config vortex_config = vortex::Config::with(4, 8, 8);
+  // Boards default to the paper's pairing: SX2800 (DDR4) for the soft GPU,
+  // MX2100 (HBM2) for the HLS flow.
+  const fpga::Board* vortex_board = nullptr;
+  const fpga::Board* hls_board = nullptr;
+  // Mixed into each benchmark's workload_seed (recorded in the stats
+  // schema; consumed by workloads that randomize beyond their built-in
+  // fixed seeds).
+  uint64_t suite_seed = 0xF69A;
+  // Record a trace::Sink per benchmark (exported via write_trace_json).
+  bool capture_trace = false;
+};
+
+struct BenchmarkOutcome {
+  std::string name;
+  std::string origin;
+  uint64_t workload_seed = 0;
+  bool ran_vortex = false;
+  bool ran_hls = false;
+  DeviceRun vortex;
+  DeviceRun hls;
+  std::string vortex_device;  // device name strings for the report
+  std::string hls_device;
+  std::unique_ptr<trace::Sink> trace;  // set when capture_trace
+};
+
+struct SuiteRunResult {
+  std::vector<BenchmarkOutcome> outcomes;  // canonical Table-I order
+  // Host wall-clock of the whole run. Intentionally NOT serialized: the
+  // stats JSON must be identical across --jobs values.
+  double wall_ms = 0.0;
+
+  int vortex_passes() const;
+  int hls_passes() const;
+};
+
+// FNV-1a derivation: stable across platforms, distinct per benchmark.
+uint64_t benchmark_seed(uint64_t suite_seed, const std::string& name);
+
+// Benchmark names matching `regex`, in canonical order. Error on a bad
+// regex; empty regex selects everything.
+Result<std::vector<std::string>> filter_names(const std::string& regex);
+
+// Runs every selected benchmark on the selected device(s).
+Result<SuiteRunResult> run_all(const RunnerOptions& options);
+
+// Serializes the run to the fgpu.stats.v1 schema (OBSERVABILITY.md).
+void write_stats_json(std::ostream& os, const RunnerOptions& options,
+                      const SuiteRunResult& result);
+
+// Merges per-benchmark trace sinks into one Chrome trace_event file
+// (pid = benchmark position, process name = benchmark name).
+void write_trace_json(std::ostream& os, const SuiteRunResult& result);
+
+}  // namespace fgpu::suite

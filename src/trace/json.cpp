@@ -1,0 +1,129 @@
+#include "trace/json.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace fgpu::trace {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (size_t i = 1; i < first_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    // The comma (if any) was written by key(); the value follows directly.
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  if (first_.size() > 1) indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(first_.size() > 1 && "end_object without begin_object");
+  const bool was_empty = first_.back();
+  first_.pop_back();
+  if (!was_empty) indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(first_.size() > 1 && "end_array without begin_array");
+  const bool was_empty = first_.back();
+  first_.pop_back();
+  if (!was_empty) indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!pending_key_ && "two key() calls without a value");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  indent();
+  os_ << '"' << json_escape(name) << "\":";
+  if (pretty_) os_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  os_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  // Fixed recipe, locale-independent digits: shortest-ish round-trippable
+  // form. %.9g keeps float-derived values exact and is stable across
+  // invocations of the same binary (the determinism contract).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os_ << buf;
+  return *this;
+}
+
+}  // namespace fgpu::trace

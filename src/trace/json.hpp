@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer shared by the observability layer (Chrome
+// trace export and the versioned stats schema, see OBSERVABILITY.md).
+//
+// Deterministic by construction: fields are emitted in call order, doubles
+// are formatted with a fixed printf recipe, and no host state (time, locale,
+// pointers) leaks into the output — the property the suite's determinism
+// test (jobs=1 vs jobs=N byte-identical stats) relies on.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgpu::trace {
+
+// Escapes `raw` for inclusion inside a JSON string literal (quotes not
+// included): ", \, and control characters below 0x20 become escape
+// sequences; everything else (including UTF-8 bytes) passes through.
+std::string json_escape(std::string_view raw);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = false) : os_(os), pretty_(pretty) {}
+
+  // Containers ------------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // `key(...)` names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  // Values ----------------------------------------------------------------
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint32_t v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(int32_t v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(double v);
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void separate();  // comma/newline bookkeeping before a new element
+  void indent();
+
+  std::ostream& os_;
+  bool pretty_ = false;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_{true};
+  bool pending_key_ = false;
+};
+
+}  // namespace fgpu::trace

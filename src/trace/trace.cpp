@@ -1,0 +1,86 @@
+#include "trace/trace.hpp"
+
+#include "trace/json.hpp"
+
+namespace fgpu::trace {
+
+namespace {
+thread_local Sink* g_current_sink = nullptr;
+}  // namespace
+
+Sink* current() { return g_current_sink; }
+
+Sink* set_current(Sink* sink) {
+  Sink* previous = g_current_sink;
+  g_current_sink = sink;
+  return previous;
+}
+
+const char* Sink::intern(std::string_view s) {
+  auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  interned_.emplace_back(s);
+  const char* stable = interned_.back().c_str();
+  intern_index_.emplace(interned_.back(), stable);
+  return stable;
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const Event& e, uint32_t pid) {
+  w.begin_object();
+  w.field("name", e.name == nullptr ? "" : e.name);
+  w.field("cat", e.cat == nullptr ? "" : e.cat);
+  const char phase[2] = {static_cast<char>(e.phase), '\0'};
+  w.field("ph", phase);
+  w.field("ts", e.ts);
+  if (e.phase == Phase::kComplete) w.field("dur", e.dur);
+  if (e.phase == Phase::kInstant) w.field("s", "t");  // thread-scoped instant
+  w.field("pid", pid);
+  w.field("tid", e.tid);
+  if (e.nargs > 0) {
+    w.key("args").begin_object();
+    for (uint32_t i = 0; i < e.nargs; ++i) {
+      w.field(e.arg_keys[i] == nullptr ? "" : e.arg_keys[i], e.arg_vals[i]);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_metadata(JsonWriter& w, const char* name, uint32_t pid, uint32_t tid,
+                    const std::string& value) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("ph", "M");
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.key("args").begin_object().field("name", value).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Process>& processes) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& proc : processes) {
+    if (proc.sink == nullptr) continue;
+    if (!proc.name.empty()) write_metadata(w, "process_name", proc.pid, 0, proc.name);
+    for (const auto& [tid, name] : proc.sink->thread_names()) {
+      write_metadata(w, "thread_name", proc.pid, tid, name);
+    }
+    for (const Event& e : proc.sink->events()) write_event(w, e, proc.pid);
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_chrome_trace(std::ostream& os, const Sink& sink, const std::string& process_name) {
+  write_chrome_trace(os, {Process{1, process_name, &sink}});
+}
+
+}  // namespace fgpu::trace

@@ -1,0 +1,213 @@
+// trace:: — low-overhead structured event recording for the simulators.
+//
+// Design (see OBSERVABILITY.md and DESIGN.md "Trace & metrics architecture"):
+//
+//   * Events are fixed-size PODs appended to a per-sink vector; names,
+//     categories and argument keys are `const char*` — string literals or
+//     strings interned on the sink — so recording an event is a bounds
+//     check, a few stores, and no allocation in the steady state.
+//   * Instrumentation sites use the FGPU_TRACE_* macros. They test a
+//     thread-local "current sink" pointer, so the hot simulation loop pays
+//     one predictable branch when tracing is off — and nothing at all when
+//     the library is compiled with FGPU_TRACE_ENABLED=0 (CMake option
+//     -DFGPU_TRACE=OFF), which compiles the macros out entirely.
+//   * Each sink is single-threaded by design: the parallel suite runner
+//     installs one sink per worker thread (thread_local current()), and the
+//     exporter merges sinks as separate Chrome processes.
+//   * Timestamps are simulated cycles. The exporter writes them as
+//     microseconds (1 cycle == 1 us) so Chrome's timeline axis reads as
+//     cycles directly. A per-sink time base turns per-launch cycle counts
+//     (each kernel restarts at cycle 0) into one monotonic timeline.
+//
+// Export target: Chrome's trace_event JSON ("catapult") format — load the
+// file at chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgpu::trace {
+
+#ifndef FGPU_TRACE_ENABLED
+#define FGPU_TRACE_ENABLED 1
+#endif
+
+inline constexpr bool kEnabled = FGPU_TRACE_ENABLED != 0;
+
+// Chrome trace_event phase characters (the subset we emit).
+enum class Phase : char {
+  kComplete = 'X',  // name + ts + dur
+  kInstant = 'i',   // point event
+  kCounter = 'C',   // named series sampled over time
+  kBegin = 'B',
+  kEnd = 'E',
+};
+
+struct Event {
+  static constexpr uint32_t kMaxArgs = 6;
+
+  const char* name = nullptr;  // literal or sink-interned
+  const char* cat = nullptr;
+  Phase phase = Phase::kInstant;
+  uint32_t tid = 0;    // simulated thread (core id, warp id, ...)
+  uint64_t ts = 0;     // cycles, already including the sink's time base
+  uint64_t dur = 0;    // kComplete only
+  uint32_t nargs = 0;
+  const char* arg_keys[kMaxArgs] = {};
+  uint64_t arg_vals[kMaxArgs] = {};
+};
+
+// Span of (key, value) pairs accepted by the record helpers.
+struct Args {
+  const char* keys[Event::kMaxArgs];
+  uint64_t vals[Event::kMaxArgs];
+  uint32_t count = 0;
+
+  Args() = default;
+  Args(std::initializer_list<std::pair<const char*, uint64_t>> list) {
+    for (const auto& [k, v] : list) {
+      if (count == Event::kMaxArgs) break;
+      keys[count] = k;
+      vals[count] = v;
+      ++count;
+    }
+  }
+};
+
+class Sink {
+ public:
+  Sink() { events_.reserve(1024); }
+
+  // Recording --------------------------------------------------------------
+  // `cycle` is launch-local; the sink adds its time base.
+  void complete(const char* name, const char* cat, uint32_t tid, uint64_t cycle, uint64_t dur,
+                const Args& args = {}) {
+    push(name, cat, Phase::kComplete, tid, cycle, dur, args);
+  }
+  void instant(const char* name, const char* cat, uint32_t tid, uint64_t cycle,
+               const Args& args = {}) {
+    push(name, cat, Phase::kInstant, tid, cycle, 0, args);
+  }
+  // One counter event carries up to kMaxArgs series values; Chrome stacks
+  // them under `name`.
+  void counter(const char* name, uint32_t tid, uint64_t cycle, const Args& args) {
+    push(name, "counter", Phase::kCounter, tid, cycle, 0, args);
+  }
+
+  // Interns a runtime string (kernel or benchmark names); returned pointer
+  // is stable for the sink's lifetime.
+  const char* intern(std::string_view s);
+
+  // Names a simulated thread in the viewer ("core0", "hls", ...).
+  void set_thread_name(uint32_t tid, std::string name) { thread_names_[tid] = std::move(name); }
+
+  // Timeline base: launch-local cycles are offset by this. The device
+  // advances it past each kernel so successive launches do not overlap.
+  uint64_t time_base() const { return time_base_; }
+  void set_time_base(uint64_t base) { time_base_ = base; }
+
+  // Introspection / export -------------------------------------------------
+  const std::vector<Event>& events() const { return events_; }
+  // std::map: deterministic metadata order in the exported file.
+  const std::map<uint32_t, std::string>& thread_names() const { return thread_names_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() {
+    events_.clear();
+    time_base_ = 0;
+  }
+
+ private:
+  void push(const char* name, const char* cat, Phase phase, uint32_t tid, uint64_t cycle,
+            uint64_t dur, const Args& args) {
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.phase = phase;
+    e.tid = tid;
+    e.ts = time_base_ + cycle;
+    e.dur = dur;
+    e.nargs = args.count;
+    for (uint32_t i = 0; i < args.count; ++i) {
+      e.arg_keys[i] = args.keys[i];
+      e.arg_vals[i] = args.vals[i];
+    }
+    events_.push_back(e);
+  }
+
+  std::vector<Event> events_;
+  std::deque<std::string> interned_;  // deque: stable addresses
+  std::map<std::string, const char*, std::less<>> intern_index_;
+  std::map<uint32_t, std::string> thread_names_;
+  uint64_t time_base_ = 0;
+};
+
+// Thread-local current sink -------------------------------------------------
+
+// The installed sink for this thread, or nullptr when tracing is off.
+Sink* current();
+// Returns the previously installed sink (for save/restore).
+Sink* set_current(Sink* sink);
+
+// RAII installer used around a traced region (one benchmark run).
+class ScopedSink {
+ public:
+  explicit ScopedSink(Sink* sink) : previous_(set_current(sink)) {}
+  ~ScopedSink() { set_current(previous_); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Sink* previous_;
+};
+
+// Chrome trace_event export -------------------------------------------------
+
+// One viewer "process" per sink (the merged view the parallel runner writes:
+// pid = benchmark index, process_name = benchmark name).
+struct Process {
+  uint32_t pid = 1;
+  std::string name;
+  const Sink* sink = nullptr;
+};
+
+void write_chrome_trace(std::ostream& os, const std::vector<Process>& processes);
+
+// Single-sink convenience.
+void write_chrome_trace(std::ostream& os, const Sink& sink, const std::string& process_name);
+
+// Instrumentation macros ----------------------------------------------------
+//
+// Args evaluate only when a sink is installed; with FGPU_TRACE_ENABLED=0
+// they compile to nothing (arguments unevaluated).
+
+#if FGPU_TRACE_ENABLED
+#define FGPU_TRACE_ACTIVE() (::fgpu::trace::current() != nullptr)
+#define FGPU_TRACE_INSTANT(name, cat, tid, cycle, ...)                               \
+  do {                                                                               \
+    if (::fgpu::trace::Sink* fgpu_trace_s = ::fgpu::trace::current()) {              \
+      fgpu_trace_s->instant((name), (cat), (tid), (cycle), ::fgpu::trace::Args{__VA_ARGS__}); \
+    }                                                                                \
+  } while (0)
+#define FGPU_TRACE_COUNTER(name, tid, cycle, ...)                                    \
+  do {                                                                               \
+    if (::fgpu::trace::Sink* fgpu_trace_s = ::fgpu::trace::current()) {              \
+      fgpu_trace_s->counter((name), (tid), (cycle), ::fgpu::trace::Args{__VA_ARGS__}); \
+    }                                                                                \
+  } while (0)
+#else
+#define FGPU_TRACE_ACTIVE() (false)
+#define FGPU_TRACE_INSTANT(name, cat, tid, cycle, ...) ((void)0)
+#define FGPU_TRACE_COUNTER(name, tid, cycle, ...) ((void)0)
+#endif
+
+// Cycle granularity of periodic counter samples (stall attribution, cache
+// hit/miss/eviction tracks). Power of two so the modulo folds to a mask.
+inline constexpr uint64_t kCounterBucketCycles = 1024;
+
+}  // namespace fgpu::trace

@@ -1,5 +1,7 @@
 #include "vortex/cluster.hpp"
 
+#include "trace/trace.hpp"
+
 namespace fgpu::vortex {
 namespace {
 
@@ -18,10 +20,15 @@ void add_stats(mem::MemStats& into, const mem::MemStats& from) {
 
 Cluster::Cluster(const Config& config, mem::MainMemory& gmem, EcallHandler ecall_handler)
     : config_(config), gmem_(gmem), dram_(config.dram), l2_(config.l2, &dram_), noc_(&l2_) {
+  l2_.set_trace_id(0);
   cores_.reserve(config_.cores);
+  stall_track_names_.reserve(config_.cores);
   for (uint32_t c = 0; c < config_.cores; ++c) {
     cores_.push_back(std::make_unique<Core>(config_, c, gmem_, *noc_.new_port(), *noc_.new_port(),
                                             ecall_handler));
+    cores_.back()->l1d().set_trace_id(c);
+    cores_.back()->l1i().set_trace_id(c);
+    stall_track_names_.push_back("stalls.c" + std::to_string(c));
   }
 }
 
@@ -41,12 +48,39 @@ bool Cluster::busy() const {
 }
 
 void Cluster::tick() {
+  if constexpr (trace::kEnabled) {
+    if ((cycle_ & (trace::kCounterBucketCycles - 1)) == 0) trace_counters();
+  }
   // Bottom-up so responses ripple one level per cycle.
   dram_.tick(cycle_);
   l2_.tick(cycle_);
   for (auto& core : cores_) core->tick_caches(cycle_);
   for (auto& core : cores_) core->tick_logic(cycle_);
   ++cycle_;
+}
+
+// Per-bucket stall-attribution samples: one cumulative counter track per
+// core, broken down by the issue-stage bubble reasons behind the paper's
+// Fig. 7 analysis. Counter values are running totals; the slope in the
+// trace viewer is the per-bucket stall rate.
+void Cluster::trace_counters() const {
+  trace::Sink* sink = trace::current();
+  if (sink == nullptr) return;
+  for (uint32_t c = 0; c < num_cores(); ++c) {
+    const PerfCounters& perf = cores_[c]->perf();
+    const uint64_t total = perf.stall_scoreboard + perf.stall_lsu + perf.stall_fu +
+                           perf.stall_ibuffer + perf.stall_barrier + perf.idle_cycles;
+    if (total == 0 && cycle_ != 0) continue;
+    // Interned: the sink may outlive this cluster (the suite runner exports
+    // after the devices are destroyed).
+    sink->counter(sink->intern(stall_track_names_[c]), c, cycle_,
+                  {{"scoreboard", perf.stall_scoreboard},
+                   {"lsu", perf.stall_lsu},
+                   {"fu", perf.stall_fu},
+                   {"ibuffer", perf.stall_ibuffer},
+                   {"barrier", perf.stall_barrier},
+                   {"idle", perf.idle_cycles}});
+  }
 }
 
 ClusterStats Cluster::collect_stats() const {

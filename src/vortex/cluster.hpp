@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
@@ -44,12 +45,15 @@ class Cluster {
   ClusterStats collect_stats() const;
 
  private:
+  void trace_counters() const;
+
   Config config_;
   mem::MainMemory& gmem_;
   mem::DramModel dram_;
   mem::Cache l2_;
   mem::Interconnect noc_;
   std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::string> stall_track_names_;  // "stalls.cN" trace tracks
   uint64_t cycle_ = 0;
 };
 

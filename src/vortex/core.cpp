@@ -9,6 +9,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace fgpu::vortex {
 namespace {
@@ -165,7 +166,7 @@ void Core::redirect(Warp& warp, uint32_t new_pc) {
   warp.ibuffer.clear();
 }
 
-void Core::barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count) {
+void Core::barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count, uint64_t cycle) {
   assert(id < barrier_arrived_.size());
   Warp& warp = warps_[warp_id];
   warp.at_barrier = true;
@@ -173,11 +174,15 @@ void Core::barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count) {
   barrier_expected_[id] = count;
   ++barrier_arrived_[id];
   ++perf_.barriers;
+  FGPU_TRACE_INSTANT("barrier_arrive", "warp", core_id_, cycle,
+                     {{"warp", warp_id}, {"barrier", id}, {"arrived", barrier_arrived_[id]}});
   if (barrier_arrived_[id] >= barrier_expected_[id]) {
     for (auto& other : warps_) {
       if (other.at_barrier && other.barrier_id == id) other.at_barrier = false;
     }
     barrier_arrived_[id] = 0;
+    FGPU_TRACE_INSTANT("barrier_release", "warp", core_id_, cycle,
+                       {{"barrier", id}, {"warps", count}});
   }
 }
 
@@ -614,13 +619,17 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
       const uint64_t full = (config_.threads >= 64) ? ~0ull : ((1ull << config_.threads) - 1);
       const uint64_t value = xr(w, first_active_lane(mask), in.rs1) & full;
       warp.tmask = value;
-      if (value == 0) warp.active = false;
+      if (value == 0) {
+        warp.active = false;
+        FGPU_TRACE_INSTANT("warp_exit", "warp", core_id_, cycle, {{"warp", w}});
+      }
       break;
     }
     case Op::kWspawn: {
       const uint32_t lane = first_active_lane(mask);
       const uint32_t count = std::min(xr(w, lane, in.rs1), config_.warps);
       const uint32_t target = xr(w, lane, in.rs2);
+      uint32_t spawned_now = 0;
       for (uint32_t i = 1; i < count; ++i) {
         Warp& spawned = warps_[i];
         if (spawned.active) continue;
@@ -629,7 +638,10 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
         spawned.pc = target;
         spawned.tmask = 1;
         ++perf_.warps_spawned;
+        ++spawned_now;
       }
+      FGPU_TRACE_INSTANT("wspawn", "warp", core_id_, cycle,
+                         {{"by_warp", w}, {"spawned", spawned_now}, {"entry_pc", target}});
       break;
     }
     case Op::kSplit: {
@@ -692,7 +704,7 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
     }
     case Op::kBar: {
       const uint32_t lane = first_active_lane(mask);
-      barrier_arrive(w, xr(w, lane, in.rs1) & 31, xr(w, lane, in.rs2));
+      barrier_arrive(w, xr(w, lane, in.rs1) & 31, xr(w, lane, in.rs2), cycle);
       break;
     }
     // ---------------- FPU ----------------

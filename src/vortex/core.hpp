@@ -129,7 +129,7 @@ class Core {
   void redirect(Warp& warp, uint32_t new_pc);
   uint32_t first_active_lane(uint64_t mask) const;
   uint32_t read_csr(uint32_t csr, uint32_t warp_id, uint32_t lane, uint64_t cycle) const;
-  void barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count);
+  void barrier_arrive(uint32_t warp_id, uint32_t id, uint32_t count, uint64_t cycle);
 
   bool is_local_addr(uint32_t addr) const {
     return addr >= arch::kLocalBase && addr < arch::kLocalBase + arch::kLocalSize;

@@ -55,20 +55,37 @@ struct PerfCounters {
     return cycles == 0 ? 0.0 : static_cast<double>(instrs) / static_cast<double>(cycles);
   }
 
+  // Full human-readable summary. Built with std::string (no fixed buffer:
+  // the old char[256] snprintf silently truncated once the event section
+  // was added) and includes the event counts the one-liner used to drop.
   std::string summary() const {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "cycles=%llu instrs=%llu ipc=%.3f stalls[sb=%llu lsu=%llu fu=%llu ib=%llu "
-                  "bar=%llu idle=%llu]",
-                  static_cast<unsigned long long>(cycles),
-                  static_cast<unsigned long long>(instrs), ipc(),
-                  static_cast<unsigned long long>(stall_scoreboard),
-                  static_cast<unsigned long long>(stall_lsu),
-                  static_cast<unsigned long long>(stall_fu),
-                  static_cast<unsigned long long>(stall_ibuffer),
-                  static_cast<unsigned long long>(stall_barrier),
-                  static_cast<unsigned long long>(idle_cycles));
-    return buf;
+    std::string out;
+    out.reserve(256);
+    const auto add = [&out](const char* key, uint64_t v) {
+      out += key;
+      out += std::to_string(v);
+    };
+    add("cycles=", cycles);
+    add(" instrs=", instrs);
+    char ipc_buf[32];
+    std::snprintf(ipc_buf, sizeof(ipc_buf), " ipc=%.3f", ipc());
+    out += ipc_buf;
+    add(" stalls[sb=", stall_scoreboard);
+    add(" lsu=", stall_lsu);
+    add(" fu=", stall_fu);
+    add(" ib=", stall_ibuffer);
+    add(" bar=", stall_barrier);
+    add(" idle=", idle_cycles);
+    add("] events[loads=", loads);
+    add(" stores=", stores);
+    add(" atomics=", atomics);
+    add(" branches=", branches);
+    add(" divergent=", divergent_branches);
+    add(" joins=", joins);
+    add(" barriers=", barriers);
+    add(" wspawn=", warps_spawned);
+    out += ']';
+    return out;
   }
 };
 

@@ -1,0 +1,125 @@
+// Tests for the parallel suite runner and the fgpu.stats.v1 exporter:
+// regex filtering, workload-seed derivation, trace capture through the
+// runner, and the central determinism contract — the stats JSON is
+// byte-identical whether the suite ran on 1 worker thread or 4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "suite/report.hpp"
+#include "suite/runner.hpp"
+
+namespace fgpu::suite {
+namespace {
+
+TEST(FilterNames, EmptySelectsAllInCanonicalOrder) {
+  auto names = filter_names("");
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(*names, all_benchmark_names());
+  EXPECT_EQ(names->size(), 28u);
+}
+
+TEST(FilterNames, RegexSubsetsPreserveOrder) {
+  auto names = filter_names("^(transpose|vecadd)$");
+  ASSERT_TRUE(names.is_ok());
+  ASSERT_EQ(names->size(), 2u);
+  // Canonical suite order, not regex-alternation order.
+  const auto all = all_benchmark_names();
+  const auto pos = [&](const std::string& n) {
+    return std::find(all.begin(), all.end(), n) - all.begin();
+  };
+  EXPECT_LT(pos((*names)[0]), pos((*names)[1]));
+}
+
+TEST(FilterNames, BadRegexIsAnError) {
+  auto names = filter_names("(unclosed");
+  EXPECT_FALSE(names.is_ok());
+  EXPECT_EQ(names.status().kind(), ErrorKind::kInvalidArgument);
+}
+
+TEST(BenchmarkSeed, StableAndDistinct) {
+  EXPECT_EQ(benchmark_seed(1, "vecadd"), benchmark_seed(1, "vecadd"));
+  EXPECT_NE(benchmark_seed(1, "vecadd"), benchmark_seed(1, "saxpy"));
+  EXPECT_NE(benchmark_seed(1, "vecadd"), benchmark_seed(2, "vecadd"));
+}
+
+TEST(RunAll, RunsFilteredSubsetOnBothDevices) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  options.filter = "^vecadd$";
+  auto result = run_all(options);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  const auto& outcome = result->outcomes[0];
+  EXPECT_EQ(outcome.name, "vecadd");
+  EXPECT_TRUE(outcome.ran_vortex);
+  EXPECT_TRUE(outcome.ran_hls);
+  EXPECT_TRUE(outcome.vortex.ok());
+  EXPECT_TRUE(outcome.hls.ok());
+  EXPECT_EQ(result->vortex_passes(), 1);
+  EXPECT_EQ(outcome.workload_seed, benchmark_seed(options.suite_seed, "vecadd"));
+  EXPECT_EQ(outcome.trace, nullptr);  // capture_trace defaults off
+}
+
+TEST(RunAll, CapturesTraceWithKernelEvents) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  options.filter = "^vecadd$";
+  options.capture_trace = true;
+  auto result = run_all(options);
+  ASSERT_TRUE(result.is_ok());
+  const auto& outcome = result->outcomes[0];
+  if (!trace::kEnabled) {
+    GTEST_SKIP() << "built with -DFGPU_TRACE=OFF";
+  }
+  ASSERT_NE(outcome.trace, nullptr);
+  EXPECT_FALSE(outcome.trace->empty());
+  // Both devices must have emitted a kernel-launch complete event whose
+  // duration matches the recorded cycle count.
+  int kernel_events = 0;
+  for (const auto& e : outcome.trace->events()) {
+    if (e.phase == trace::Phase::kComplete) {
+      ++kernel_events;
+      EXPECT_GT(e.dur, 0u);
+    }
+  }
+  EXPECT_EQ(kernel_events, 2);
+
+  std::ostringstream os;
+  write_trace_json(os, *result);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"vecadd\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'), std::count(out.begin(), out.end(), '}'));
+}
+
+// The PR's acceptance criterion: sharding across threads must not change
+// the stats in any observable way — same bytes, not just same numbers.
+TEST(RunAll, StatsJsonIsByteIdenticalAcrossJobCounts) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  options.filter = "^(vecadd|saxpy|dotproduct|transpose)$";
+
+  options.jobs = 1;
+  auto serial = run_all(options);
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_EQ(serial->outcomes.size(), 4u);
+  std::ostringstream serial_json;
+  write_stats_json(serial_json, options, *serial);
+
+  options.jobs = 4;
+  auto parallel = run_all(options);
+  ASSERT_TRUE(parallel.is_ok());
+  std::ostringstream parallel_json;
+  write_stats_json(parallel_json, options, *parallel);
+
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+  // And the schema header is what OBSERVABILITY.md documents.
+  EXPECT_NE(serial_json.str().find(std::string("\"schema\": \"") + kStatsSchema + "\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgpu::suite
