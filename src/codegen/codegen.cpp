@@ -60,6 +60,17 @@ class Lowering {
 
  private:
   // ---- tiny emit helpers on the machine IR ----------------------------
+  // Every emitted MInstr carries the current provenance cursor; the line
+  // table this produces is the profiler's PC -> KIR source attribution.
+  void push(MInstr m) {
+    m.src = cur_src_;
+    fn_.code.push_back(m);
+  }
+  void set_source(const std::string& text) {
+    const auto [it, inserted] = source_ids_.try_emplace(text, static_cast<int>(fn_.sources.size()));
+    if (inserted) fn_.sources.push_back(text);
+    cur_src_ = it->second;
+  }
   void op_r(Op op, int rd, int rs1, int rs2, int rs3 = -1) {
     MInstr m;
     m.op = op;
@@ -67,7 +78,7 @@ class Lowering {
     m.rs1 = rs1;
     m.rs2 = rs2;
     m.rs3 = rs3;
-    fn_.code.push_back(m);
+    push(m);
   }
   void op_i(Op op, int rd, int rs1, int32_t imm) {
     MInstr m;
@@ -75,7 +86,7 @@ class Lowering {
     m.rd = rd;
     m.rs1 = rs1;
     m.imm = imm;
-    fn_.code.push_back(m);
+    push(m);
   }
   void op_s(Op op, int rs1, int rs2, int32_t imm) {
     MInstr m;
@@ -83,14 +94,14 @@ class Lowering {
     m.rs1 = rs1;
     m.rs2 = rs2;
     m.imm = imm;
-    fn_.code.push_back(m);
+    push(m);
   }
   void jump(int label) {
     MInstr m;
     m.op = Op::kJal;
     m.rd = 0;
     m.target = label;
-    fn_.code.push_back(m);
+    push(m);
   }
   // Conditional branch to `label`. B-type reach is only +-4 KiB and kernel
   // bodies routinely exceed it, so we emit the inverted branch over an
@@ -112,7 +123,7 @@ class Lowering {
     m.rs1 = rs1;
     m.rs2 = rs2;
     m.target = skip;
-    fn_.code.push_back(m);
+    push(m);
     jump(label);
     fn_.label(skip);
   }
@@ -121,34 +132,34 @@ class Lowering {
     m.op = Op::kSplit;
     m.rs1 = rs1;
     m.target = else_label;
-    fn_.code.push_back(m);
+    push(m);
   }
   void pred(int rs1, int exit_label) {
     MInstr m;
     m.op = Op::kPred;
     m.rs1 = rs1;
     m.target = exit_label;
-    fn_.code.push_back(m);
+    push(m);
   }
   void join(int merge_label) {
     MInstr m;
     m.op = Op::kJoin;
     m.target = merge_label;
-    fn_.code.push_back(m);
+    push(m);
   }
   void li(int rd, int32_t value) {
     MInstr m;
     m.is_li = true;
     m.rd = rd;
     m.imm = value;
-    fn_.code.push_back(m);
+    push(m);
   }
   void la(int rd, int label) {
     MInstr m;
     m.is_la = true;
     m.rd = rd;
     m.target = label;
-    fn_.code.push_back(m);
+    push(m);
   }
   void csr_read(int rd, uint32_t csr) { op_i(Op::kCsrrs, rd, 0, static_cast<int32_t>(csr)); }
   void mv_int(int rd, int rs) { op_i(Op::kAddi, rd, rs, 0); }
@@ -167,6 +178,7 @@ class Lowering {
   // scratch registers: the stack pointer is not set up yet, so nothing here
   // may be spillable.
   void emit_entry() {
+    set_source("<entry: wspawn + lane activation>");
     warp_main_ = fn_.make_label();
     li(kArgBaseReg, static_cast<int32_t>(arch::kArgBase));
     if (barrier_mode_) {
@@ -240,6 +252,7 @@ class Lowering {
 
   // Loads kernel parameters and launch geometry into long-lived vregs.
   void emit_warp_prologue() {
+    set_source("<prologue: params + geometry>");
     // Materialize __local array base addresses here, under the full lane
     // mask: values cached in registers must never be first computed inside
     // divergent control flow, or inactive lanes would read garbage later.
@@ -299,6 +312,7 @@ class Lowering {
   // instead — same results, very different memory coalescing (paper §IV-A
   // challenge 4; see bench/ablation_distribution).
   void emit_grid_stride_dispatch() {
+    set_source("<dispatch: grid-stride loop>");
     const int total = fresh();
     op_i(Op::kLw, total, kArgBaseReg, static_cast<int32_t>(abi::kTotalItems));
     const int nthreads = fresh();
@@ -351,6 +365,7 @@ class Lowering {
   // Work-group dispatch: groups round-robin over cores; local items map to
   // the core's lanes; BAR synchronizes the group's warps.
   void emit_group_dispatch() {
+    set_source("<dispatch: work-group loop>");
     nbw_vreg_ = fresh();
     op_i(Op::kLw, nbw_vreg_, kArgBaseReg, static_cast<int32_t>(abi::kNbw));
     const int total_groups = fresh();
@@ -769,7 +784,67 @@ class Lowering {
   // ---- statement lowering -------------------------------------------------
 
   void lower_block(const std::vector<kir::StmtPtr>& block) {
-    for (const auto& s : block) lower_stmt(*s);
+    // Each statement becomes the provenance of the code it lowers to; the
+    // cursor is restored on exit so a loop's trailing step/branch code is
+    // attributed to the loop statement, not to its last body statement.
+    const int saved = cur_src_;
+    for (const auto& s : block) {
+      set_source(stmt_label(*s));
+      lower_stmt(*s);
+      cur_src_ = saved;
+    }
+  }
+
+  // Short one-line rendering of a statement for the source map. Nested
+  // bodies are elided (their statements carry their own labels).
+  std::string stmt_label(const Stmt& s) const {
+    const auto buf_name = [&](int buffer, bool is_local) -> std::string {
+      if (is_local) {
+        return buffer >= 0 && buffer < static_cast<int>(kernel_.locals.size())
+                   ? kernel_.locals[static_cast<size_t>(buffer)].name
+                   : "<local>";
+      }
+      return buffer >= 0 && buffer < static_cast<int>(kernel_.params.size())
+                 ? kernel_.params[static_cast<size_t>(buffer)].name
+                 : "<buffer>";
+    };
+    std::string text;
+    switch (s.kind) {
+      case StmtKind::kLet:
+        text = "let " + s.var + " = " + kir::expr_to_string(s.a);
+        break;
+      case StmtKind::kAssign:
+        text = s.var + " = " + kir::expr_to_string(s.a);
+        break;
+      case StmtKind::kStore:
+        text = buf_name(s.buffer, s.is_local) + "[" + kir::expr_to_string(s.a) +
+               "] = " + kir::expr_to_string(s.b);
+        break;
+      case StmtKind::kIf:
+        text = "if (" + kir::expr_to_string(s.a) + ")";
+        break;
+      case StmtKind::kFor:
+        text = "for (" + s.var + " = " + kir::expr_to_string(s.a) + "; " + s.var + " < " +
+               kir::expr_to_string(s.b) + "; " + s.var + " += " + kir::expr_to_string(s.c) + ")";
+        break;
+      case StmtKind::kWhile:
+        text = "while (" + kir::expr_to_string(s.a) + ")";
+        break;
+      case StmtKind::kBarrier:
+        text = "barrier()";
+        break;
+      case StmtKind::kAtomic:
+        text = (s.result_var.empty() ? std::string() : s.result_var + " = ") + "atomic(&" +
+               buf_name(s.buffer, s.is_local) + "[" + kir::expr_to_string(s.a) + "], " +
+               kir::expr_to_string(s.b) + ")";
+        break;
+      case StmtKind::kPrint:
+        text = "printf(\"" + s.text + "\", ...)";
+        break;
+    }
+    constexpr size_t kMaxLabel = 80;
+    if (text.size() > kMaxLabel) text = text.substr(0, kMaxLabel - 3) + "...";
+    return text;
   }
 
   void bind_var(const std::string& name, const Value& value, Scalar type) {
@@ -958,7 +1033,7 @@ class Lowering {
     const std::string& fmt = s.text;
     auto ecall = [&](uint32_t function) {
       li(kA7, static_cast<int32_t>(function));
-      fn_.code.push_back(MInstr{.op = Op::kEcall});
+      push(MInstr{.op = Op::kEcall});
     };
     for (size_t p = 0; p < fmt.size(); ++p) {
       if (fmt[p] == '%' && p + 1 < fmt.size() && fmt[p + 1] != '%') {
@@ -993,6 +1068,8 @@ class Lowering {
 
   int warp_main_ = -1;
   int nbw_vreg_ = -1;
+  int cur_src_ = -1;  // provenance cursor for push()
+  std::unordered_map<std::string, int> source_ids_;
 
   std::unordered_map<int, int> param_vreg_;
   std::unordered_map<int, int> local_base_;
@@ -1020,6 +1097,15 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
     return Result<vasm::Program>(ErrorKind::kCompileError,
                                  "spill frame exceeds 2 KiB (too much register pressure)");
   }
+
+  // Word-level line table: every word emitted for MInstr m (including li/la
+  // expansions, far-branch pairs, and spill fills/spills around it) inherits
+  // m's provenance. AsmBuilder slots are exactly one word each, so
+  // instruction_count() doubles as the word index.
+  std::vector<int32_t> word_src;
+  const auto map_words_to = [&](int32_t src) {
+    word_src.resize(builder.instruction_count(), src);
+  };
 
   for (const MInstr& m : fn.code) {
     if (m.is_label()) {
@@ -1055,12 +1141,14 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
       const int rd = resolve(m.rd, false, true);
       builder.li(static_cast<unsigned>(rd), m.imm);
       if (rd_spill) builder.emit_s(Op::kSw, kSp, static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
+      map_words_to(m.src);
       continue;
     }
     if (m.is_la) {
       const int rd = resolve(m.rd, false, true);
       builder.la(static_cast<unsigned>(rd), labels[static_cast<size_t>(m.target)]);
       if (rd_spill) builder.emit_s(Op::kSw, kSp, static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
+      map_words_to(m.src);
       continue;
     }
 
@@ -1107,11 +1195,16 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
       builder.emit_s(rd_spill->flt ? Op::kFsw : Op::kSw, kSp,
                      static_cast<unsigned>(rd_spill->phys), rd_spill->slot * 4);
     }
+    map_words_to(m.src);
   }
   builder.mark_symbol(".end");
   // Fetch runs ahead of issue; pad so the prefetcher beyond the final
   // instruction still sees valid (warp-retiring) encodings.
   for (int i = 0; i < 4; ++i) builder.tmc(0);
+  meta.source_map.sources = fn.sources;
+  meta.source_map.sources.push_back("<epilogue: fetch padding>");
+  map_words_to(static_cast<int32_t>(meta.source_map.sources.size()) - 1);
+  meta.source_map.word_source = std::move(word_src);
   return builder.finalize(arch::kCodeBase);
 }
 

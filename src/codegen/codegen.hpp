@@ -44,6 +44,9 @@ struct Options {
 
 struct CompiledKernel {
   vasm::Program program;
+  // PC -> KIR provenance line table (profiler source attribution); entry i
+  // describes program.words[i].
+  vasm::SourceMap source_map;
   bool barrier_dispatch = false;  // work-group-per-core mapping used
   int spill_slots = 0;
   size_t instruction_count = 0;

@@ -32,6 +32,7 @@ struct MInstr {
 
   int target = -1;      // label id for control flow (branch/jal/split/pred/join)
   int bind_label = -1;  // >= 0: label marker pseudo-instruction (no code)
+  int src = -1;         // index into MFunction::sources (provenance), or -1
 
   bool is_li = false;  // load-immediate pseudo (expands to lui+addi)
   bool is_la = false;  // load-label-address pseudo (expands to auipc+addi)
@@ -43,6 +44,9 @@ struct MFunction {
   std::vector<MInstr> code;
   int num_labels = 0;
   int next_vreg = kFirstVirtual;
+  // Provenance strings referenced by MInstr::src: KIR statement renderings
+  // and codegen-phase tags, emitted into the binary's vasm::SourceMap.
+  std::vector<std::string> sources;
 
   int make_label() { return num_labels++; }
   int new_vreg() { return next_vreg++; }

@@ -11,6 +11,7 @@ Cache::Cache(CacheConfig config, MemPort* lower)
   assert(is_pow2(config_.size_bytes) && "cache size must be a power of two");
   assert(config_.num_lines() % config_.ways == 0);
   lines_.resize(config_.num_lines());
+  set_conflicts_.resize(config_.num_sets(), 0);
   lower_->set_response_handler(
       [this](uint64_t id, bool was_write) { on_lower_response(id, was_write); });
 }
@@ -42,6 +43,7 @@ void Cache::install(uint32_t line_addr) {
   }
   if (victim->valid) {
     ++stats_.evictions;
+    ++set_conflicts_[set];
     if (victim->dirty) {
       ++stats_.writebacks;
       const uint32_t victim_line = victim->tag * config_.num_sets() + set;

@@ -4,6 +4,7 @@
 // burst-coalesced LSU global-memory interface.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -40,8 +41,12 @@ class Cache final : public MemPort {
 
   const CacheConfig& config() const { return config_; }
   const MemStats& stats() const { return stats_; }
+  // Evictions per set (the profiler's cache-conflict histogram: a hot set
+  // with many evictions marks addresses fighting over the same ways).
+  const std::vector<uint64_t>& set_conflicts() const { return set_conflicts_; }
   void reset_stats() {
     stats_ = MemStats{};
+    std::fill(set_conflicts_.begin(), set_conflicts_.end(), 0ull);
     trace_last_total_ = 0;
   }
 
@@ -93,6 +98,7 @@ class Cache final : public MemPort {
   uint64_t next_lower_id_ = 1;
   std::unordered_map<uint64_t, uint32_t> fill_ids_;  // lower-level id -> line addr
   MemStats stats_;
+  std::vector<uint64_t> set_conflicts_;  // evictions per set
 
   // Trace hook state (see trace/trace.hpp).
   uint32_t trace_tid_ = 0;

@@ -22,7 +22,9 @@
 #include "fpga/board.hpp"
 #include "kir/kir.hpp"
 #include "mem/timing.hpp"
+#include "vasm/program.hpp"
 #include "vortex/perf.hpp"
+#include "vortex/profile.hpp"
 
 namespace fgpu::vcl {
 
@@ -49,6 +51,9 @@ struct LaunchStats {
   vortex::PerfCounters perf;
   mem::MemStats l1d, l2, dram;
   uint64_t dram_bytes = 0;
+  // Per-PC issue/stall profile of this launch (enabled only when the
+  // device's vortex::Config::profile is set).
+  vortex::PcProfile profile;
 
   // HLS detail.
   uint64_t pipeline_depth = 0;
@@ -65,6 +70,10 @@ struct KernelBuildInfo {
   double synthesis_hours = 0.0;   // HLS: modelled synthesis time (§IV-B)
   size_t binary_words = 0;        // soft GPU: instruction count
   bool barrier_dispatch = false;  // soft GPU: work-group dispatch used
+  // Soft GPU: the kernel image and its PC -> KIR line table, kept so
+  // profiles can be rendered as annotated disassembly after the run.
+  vasm::Program binary;
+  vasm::SourceMap source_map;
 };
 
 class Device {

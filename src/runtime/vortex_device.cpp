@@ -91,6 +91,8 @@ Status VortexDevice::build(const kir::Module& module) {
       info.log = "compiled to " + std::to_string(info.binary_words) + " instructions (" +
                  (compiled->barrier_dispatch ? "work-group dispatch" : "grid-stride dispatch") +
                  ", " + std::to_string(compiled->spill_slots) + " spill slots)";
+      info.binary = compiled->program;
+      info.source_map = compiled->source_map;
       kernels_[kernel.name] = Built{compiled.take(), &kernel};
     } else {
       info.status = compiled.status();
@@ -202,6 +204,7 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
   out.l2 = stats->l2;
   out.dram = stats->dram;
   out.dram_bytes = stats->dram_bytes;
+  if (config_.profile) out.profile = cluster_->collect_profile();
   return out;
 }
 

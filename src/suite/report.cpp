@@ -1,5 +1,7 @@
 #include "suite/report.hpp"
 
+#include "arch/isa.hpp"
+
 namespace fgpu::suite {
 
 void write_json(trace::JsonWriter& w, const vortex::PerfCounters& perf) {
@@ -91,6 +93,70 @@ void write_json(trace::JsonWriter& w, const vcl::LaunchStats& stats, DeviceKind 
     w.field("memory_stall_cycles", stats.memory_stall_cycles);
     w.end_object();
   }
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const KernelProfile& profile) {
+  w.begin_object();
+  w.field("kernel", profile.kernel);
+  w.field("launches", profile.launches);
+  w.key("perf");
+  write_json(w, profile.perf);
+  // Per-PC attribution table, ascending PC (by_pc is ordered). For each
+  // bucket, the "stalls" sub-objects sum to perf.stalls exactly.
+  w.key("pcs").begin_array();
+  for (const auto& [pc, stat] : profile.profile.by_pc) {
+    w.begin_object();
+    w.field("pc", pc);
+    const size_t index = (pc - profile.binary.base) / 4;
+    std::string text = "<unknown>";
+    if (index < profile.binary.words.size()) {
+      const auto instr = arch::decode(profile.binary.words[index]);
+      text = instr ? arch::to_string(*instr) : "<invalid>";
+    }
+    w.field("instr", text);
+    w.field("source", profile.source_map.source_for(index));
+    w.field("issued", stat.issued);
+    w.field("issue_rate", stat.issue_rate());
+    w.key("stalls").begin_object();
+    w.field("scoreboard", stat.stall_scoreboard);
+    w.field("lsu", stat.stall_lsu);
+    w.field("fu", stat.stall_fu);
+    w.field("ibuffer", stat.stall_ibuffer);
+    w.field("barrier", stat.stall_barrier);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  // Warp-occupancy timeline: per-sample warp-slot counts summed over cores
+  // (and over this kernel's launches).
+  w.field("occupancy_interval", profile.profile.occupancy_interval);
+  w.key("occupancy").begin_array();
+  for (const auto& sample : profile.profile.occupancy) {
+    w.begin_object();
+    w.field("cycle", sample.cycle);
+    w.field("ready", sample.ready);
+    w.field("blocked", sample.blocked);
+    w.field("idle", sample.idle);
+    w.end_object();
+  }
+  w.end_array();
+  // Sparse per-set eviction histograms (sets with zero conflicts omitted).
+  const auto conflicts = [&w](const char* name, const std::vector<uint64_t>& sets) {
+    w.key(name).begin_array();
+    for (size_t set = 0; set < sets.size(); ++set) {
+      if (sets[set] == 0) continue;
+      w.begin_object();
+      w.field("set", static_cast<uint64_t>(set));
+      w.field("evictions", sets[set]);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  w.key("cache_conflicts").begin_object();
+  conflicts("l1d", profile.profile.l1d_set_conflicts);
+  conflicts("l2", profile.profile.l2_set_conflicts);
+  w.end_object();
   w.end_object();
 }
 

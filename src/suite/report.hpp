@@ -26,6 +26,10 @@ namespace fgpu::suite {
 // change to field names, units, or aggregation rules (OBSERVABILITY.md).
 inline constexpr const char* kStatsSchema = "fgpu.stats.v1";
 
+// Version tag of the per-PC profiler export (fgpu-run --profile; see
+// OBSERVABILITY.md "Profiles" for the field-by-field schema).
+inline constexpr const char* kProfileSchema = "fgpu.profile.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls };
 
@@ -37,5 +41,9 @@ void write_json(trace::JsonWriter& w, const vortex::ClusterStats& stats);
 void write_json(trace::JsonWriter& w, const vcl::LaunchStats& stats, DeviceKind kind);
 void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
                 const std::string& device_name);
+// One kernel's accumulated per-PC profile (per-PC table with decoded
+// instructions and KIR provenance, occupancy timeline, cache-conflict
+// histograms) — the "kernels" array elements of fgpu.profile.v1.
+void write_json(trace::JsonWriter& w, const KernelProfile& profile);
 
 }  // namespace fgpu::suite

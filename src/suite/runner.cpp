@@ -67,7 +67,9 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
   if (options.run_vortex) {
     const fpga::Board& board =
         options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
-    vcl::VortexDevice device(options.vortex_config, board);
+    vortex::Config config = options.vortex_config;
+    config.profile = config.profile || options.capture_profile;
+    vcl::VortexDevice device(config, board);
     outcome.vortex_device = device.name();
     outcome.vortex = run_benchmark(device, bench);
     outcome.ran_vortex = true;
@@ -121,11 +123,11 @@ Result<SuiteRunResult> run_all(const RunnerOptions& options) {
   return result;
 }
 
-void write_stats_json(std::ostream& os, const RunnerOptions& options,
-                      const SuiteRunResult& result) {
-  trace::JsonWriter w(os, /*pretty=*/true);
-  w.begin_object();
-  w.field("schema", kStatsSchema);
+namespace {
+
+// Common "suite" header object of the stats and profile documents.
+void write_suite_header(trace::JsonWriter& w, const RunnerOptions& options,
+                        const SuiteRunResult& result) {
   w.key("suite").begin_object();
   w.field("filter", options.filter);
   w.field("suite_seed", options.suite_seed);
@@ -138,6 +140,16 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
   w.field("hls_board", hls_board.name);
   w.field("benchmark_count", static_cast<uint64_t>(result.outcomes.size()));
   w.end_object();
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const RunnerOptions& options,
+                      const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kStatsSchema);
+  write_suite_header(w, options, result);
   w.key("benchmarks").begin_array();
   for (const auto& outcome : result.outcomes) {
     w.begin_object();
@@ -152,6 +164,29 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
       w.key("hls");
       write_json(w, outcome.hls, DeviceKind::kHls, outcome.hls_device);
     }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_profile_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kProfileSchema);
+  write_suite_header(w, options, result);
+  w.key("benchmarks").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.ran_vortex) continue;
+    w.begin_object();
+    w.field("name", outcome.name);
+    w.field("device", outcome.vortex_device);
+    w.field("ok", outcome.vortex.ok());
+    w.key("kernels").begin_array();
+    for (const auto& profile : outcome.vortex.kernel_profiles) write_json(w, profile);
+    w.end_array();
     w.end_object();
   }
   w.end_array();

@@ -39,6 +39,9 @@ struct RunnerOptions {
   uint64_t suite_seed = 0xF69A;
   // Record a trace::Sink per benchmark (exported via write_trace_json).
   bool capture_trace = false;
+  // Collect the per-PC cycle profile on the soft GPU (exported via
+  // write_profile_json; see vortex/profile.hpp and OBSERVABILITY.md).
+  bool capture_profile = false;
 };
 
 struct BenchmarkOutcome {
@@ -77,6 +80,11 @@ Result<SuiteRunResult> run_all(const RunnerOptions& options);
 // Serializes the run to the fgpu.stats.v1 schema (OBSERVABILITY.md).
 void write_stats_json(std::ostream& os, const RunnerOptions& options,
                       const SuiteRunResult& result);
+
+// Serializes the per-PC profiles to the fgpu.profile.v1 schema. Same
+// determinism contract as the stats: byte-identical across --jobs.
+void write_profile_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result);
 
 // Merges per-benchmark trace sinks into one Chrome trace_event file
 // (pid = benchmark position, process name = benchmark name).

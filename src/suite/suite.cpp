@@ -189,6 +189,27 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
     }
     result.total_cycles += stats->device_cycles;
     result.total_time_ms += stats->time_ms();
+    if (stats->profile.enabled) {
+      KernelProfile* kp = nullptr;
+      for (auto& existing : result.kernel_profiles) {
+        if (existing.kernel == launch.kernel) kp = &existing;
+      }
+      if (kp == nullptr) {
+        kp = &result.kernel_profiles.emplace_back();
+        kp->kernel = launch.kernel;
+        if (const auto* info = device.find_build_info(launch.kernel)) {
+          kp->binary = info->binary;
+          kp->source_map = info->source_map;
+        }
+      }
+      ++kp->launches;
+      kp->profile.merge(stats->profile);
+      // Across launches cycles add up (accumulate()'s max rule is for
+      // cores within one launch).
+      const uint64_t cycles = kp->perf.cycles + stats->perf.cycles;
+      kp->perf.accumulate(stats->perf);
+      kp->perf.cycles = cycles;
+    }
     result.last = *stats;
   }
 

@@ -74,6 +74,20 @@ Benchmark make_benchmark(const std::string& name);
 
 // Runner ---------------------------------------------------------------------
 
+// Accumulated per-PC profile of one kernel across a benchmark's launches.
+// Kept per kernel *name*: all binaries load at arch::kCodeBase, so PCs from
+// different kernels of one benchmark must never merge into one table.
+struct KernelProfile {
+  std::string kernel;
+  uint64_t launches = 0;
+  // Aggregate counters over this kernel's launches (cycles summed, unlike
+  // PerfCounters::accumulate's max-over-cores rule).
+  vortex::PerfCounters perf;
+  vortex::PcProfile profile;
+  vasm::Program binary;        // for annotated disassembly
+  vasm::SourceMap source_map;  // PC -> KIR provenance
+};
+
 struct DeviceRun {
   Status build;          // program build (HLS synthesis can fail here)
   Status run;            // launch execution
@@ -84,6 +98,9 @@ struct DeviceRun {
   vcl::LaunchStats last;  // stats of the final launch
   fpga::AreaReport area;  // HLS: summed module area
   double synthesis_hours = 0.0;
+  // Per-kernel profiles in first-launch order; filled only when the device
+  // collects profiles (soft GPU with Config::profile set).
+  std::vector<KernelProfile> kernel_profiles;
 
   bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
 };

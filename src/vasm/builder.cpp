@@ -57,24 +57,96 @@ Result<Program> AsmBuilder::finalize(uint32_t base) const {
   return prog;
 }
 
-std::string Program::disassemble() const {
-  // Invert the symbol table for label printing.
+std::string Program::disassemble() const { return disassemble(DisasmOptions{}); }
+
+namespace {
+
+// True for ops whose immediate is a pc-relative control-flow offset
+// (branches, JAL, and the SIMT split/pred/join family).
+bool is_pc_relative(arch::Format fmt) {
+  return fmt == arch::Format::kB || fmt == arch::Format::kJ || fmt == arch::Format::kJr;
+}
+
+// Renders `instr` with its control-flow offset replaced by `label`
+// (arch::to_string prints numeric offsets, which the assembler does not
+// accept back — targets must be labels).
+std::string to_string_with_label(const arch::Instr& instr, const std::string& label) {
+  const auto& info = arch::op_info(instr.op);
+  char buf[96];
+  switch (info.fmt) {
+    case arch::Format::kB:
+      std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", info.name, arch::xreg_name(instr.rs1),
+                    arch::xreg_name(instr.rs2), label.c_str());
+      break;
+    case arch::Format::kJ:
+      if (instr.op == arch::Op::kJoin) {
+        std::snprintf(buf, sizeof(buf), "%s %s", info.name, label.c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s %s, %s", info.name, arch::xreg_name(instr.rd),
+                      label.c_str());
+      }
+      break;
+    case arch::Format::kJr:
+      std::snprintf(buf, sizeof(buf), "%s %s, %s", info.name, arch::xreg_name(instr.rs1),
+                    label.c_str());
+      break;
+    default:
+      return arch::to_string(instr);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Program::disassemble(const DisasmOptions& options) const {
+  // Invert the symbol table for label printing. Synthetic-label mode builds
+  // its own names instead: symbol names like ".end" are not valid assembler
+  // identifiers, and every branch target needs a label for re-assembly.
   std::unordered_map<uint32_t, std::string> by_addr;
-  for (const auto& [name, addr] : symbols) by_addr[addr] = name;
+  if (options.synth_labels) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const auto instr = arch::decode(words[i]);
+      if (!instr || !is_pc_relative(arch::op_info(instr->op).fmt)) continue;
+      const uint32_t target = base + static_cast<uint32_t>(i * 4) +
+                              static_cast<uint32_t>(instr->imm);
+      char name[16];
+      std::snprintf(name, sizeof(name), "L%08x", target);
+      by_addr[target] = name;
+    }
+  } else {
+    for (const auto& [name, addr] : symbols) by_addr[addr] = name;
+  }
 
   std::ostringstream os;
+  int32_t last_source = -1;
   for (size_t i = 0; i < words.size(); ++i) {
     const uint32_t addr = base + static_cast<uint32_t>(i * 4);
+    if (options.source_map != nullptr && i < options.source_map->word_source.size()) {
+      const int32_t src = options.source_map->word_source[i];
+      if (src >= 0 && src != last_source) {
+        os << "# " << options.source_map->sources[static_cast<size_t>(src)] << "\n";
+        last_source = src;
+      }
+    }
     if (auto it = by_addr.find(addr); it != by_addr.end()) {
       os << it->second << ":\n";
     }
-    char head[32];
-    std::snprintf(head, sizeof(head), "  %08x:  %08x  ", addr, words[i]);
-    os << head;
-    if (auto instr = arch::decode(words[i])) {
-      os << arch::to_string(*instr);
+    if (options.annotate) os << options.annotate(addr, i);
+    if (options.addresses) {
+      char head[32];
+      std::snprintf(head, sizeof(head), "  %08x:  %08x  ", addr, words[i]);
+      os << head;
     } else {
+      os << "  ";
+    }
+    const auto instr = arch::decode(words[i]);
+    if (!instr) {
       os << "<invalid>";
+    } else if (options.synth_labels && is_pc_relative(arch::op_info(instr->op).fmt)) {
+      const uint32_t target = addr + static_cast<uint32_t>(instr->imm);
+      os << to_string_with_label(*instr, by_addr.at(target));
+    } else {
+      os << arch::to_string(*instr);
     }
     os << "\n";
   }

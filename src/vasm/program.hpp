@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,41 @@
 #include "arch/isa.hpp"
 
 namespace fgpu::vasm {
+
+// Line table mapping program words back to the source construct that
+// generated them (for the soft-GPU compiler: a KIR statement or a codegen
+// phase like the dispatch loop). `word_source[i]` indexes `sources` for
+// words[i] of the owning Program; -1 means "no provenance recorded".
+struct SourceMap {
+  std::vector<std::string> sources;
+  std::vector<int32_t> word_source;
+
+  bool empty() const { return word_source.empty(); }
+  // Provenance string for word `index`, or "" when unknown.
+  const std::string& source_for(size_t index) const {
+    static const std::string kNone;
+    if (index >= word_source.size() || word_source[index] < 0) return kNone;
+    return sources[static_cast<size_t>(word_source[index])];
+  }
+};
+
+// Knobs for Program::disassemble(). The default-constructed options match
+// the classic listing (addresses + raw words + symbol labels).
+struct DisasmOptions {
+  // Prefix each line with "address:  word".
+  bool addresses = true;
+  // Emit synthetic labels ("L00010060:") at every control-flow target and
+  // render branch/jump operands as label names instead of numeric offsets.
+  // The resulting text (with addresses off) re-assembles through
+  // vasm::assemble() to the identical word sequence.
+  bool synth_labels = false;
+  // Interleave provenance comment lines ("; <source>") whenever the
+  // source-map entry changes between consecutive words.
+  const SourceMap* source_map = nullptr;
+  // Per-word annotation column, prepended to the instruction line (profiler
+  // cycle/stall/IPC columns). Receives the word's address and index.
+  std::function<std::string(uint32_t addr, size_t word_index)> annotate;
+};
 
 struct Program {
   uint32_t base = arch::kCodeBase;       // load address of words[0]
@@ -22,6 +58,8 @@ struct Program {
 
   // Full-image disassembly with addresses and symbolized label lines.
   std::string disassemble() const;
+  // Annotated/customizable listing (see DisasmOptions).
+  std::string disassemble(const DisasmOptions& options) const;
 };
 
 }  // namespace fgpu::vasm

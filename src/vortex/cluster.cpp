@@ -5,6 +5,11 @@
 namespace fgpu::vortex {
 namespace {
 
+void add_histogram(std::vector<uint64_t>& into, const std::vector<uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
 void add_stats(mem::MemStats& into, const mem::MemStats& from) {
   into.reads += from.reads;
   into.writes += from.writes;
@@ -96,6 +101,17 @@ ClusterStats Cluster::collect_stats() const {
   add_stats(stats.dram, dram_.stats());
   stats.dram_bytes = dram_.bytes_read() + dram_.bytes_written();
   return stats;
+}
+
+PcProfile Cluster::collect_profile() const {
+  PcProfile profile;
+  if (!config_.profile) return profile;
+  for (const auto& core : cores_) {
+    profile.merge(core->profile());
+    add_histogram(profile.l1d_set_conflicts, core->l1d().set_conflicts());
+  }
+  profile.l2_set_conflicts = l2_.set_conflicts();
+  return profile;
 }
 
 Result<ClusterStats> Cluster::run(uint32_t entry_pc) {

@@ -43,6 +43,9 @@ class Cluster {
   bool busy() const;
   uint64_t cycle() const { return cycle_; }
   ClusterStats collect_stats() const;
+  // Per-PC profile merged across cores, plus the cluster-level cache
+  // conflict histograms (empty PcProfile unless Config::profile).
+  PcProfile collect_profile() const;
 
  private:
   void trace_counters() const;

@@ -49,6 +49,12 @@ struct Config {
 
   uint64_t max_cycles = 400'000'000;  // runaway-kernel guard
 
+  // Per-PC cycle profiler (vortex/profile.hpp): attribute every issue-stage
+  // cycle to a PC and sample the warp-occupancy timeline. Off by default —
+  // collection costs a map update per cycle.
+  bool profile = false;
+  uint32_t profile_interval = 256;  // cycles between occupancy samples
+
   // Optional instruction trace: invoked once per issued instruction.
   // Costly — leave unset except when debugging kernels.
   std::function<void(const TraceEvent&)> trace;

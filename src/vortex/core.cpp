@@ -110,6 +110,9 @@ void Core::reset(uint32_t entry_pc) {
   issue_rr_ = fetch_rr_ = 0;
   instret_ = 0;
   perf_ = PerfCounters{};
+  profile_ = PcProfile{};
+  profile_.enabled = config_.profile;
+  profile_.occupancy_interval = config_.profile_interval;
   local_mem_.clear();
   l1d_.flush();
   l1i_.flush();
@@ -192,10 +195,31 @@ void Core::tick_caches(uint64_t cycle) {
 }
 
 void Core::tick_logic(uint64_t cycle) {
+  if (profile_.enabled && cycle % config_.profile_interval == 0) sample_occupancy(cycle);
   do_writeback(cycle);
   do_issue(cycle);
   do_lsu(cycle);
   do_fetch(cycle);
+}
+
+// One occupancy-timeline sample: how this core's warp slots are spent.
+// "Ready" warps have a decoded instruction buffered and are not barred —
+// they may still stall at issue (scoreboard/LSU/FU), which the per-PC
+// table attributes; the timeline shows how much parallelism the scheduler
+// had available at all (the latency-hiding story behind Fig. 7).
+void Core::sample_occupancy(uint64_t cycle) {
+  OccupancySample sample;
+  sample.cycle = cycle;
+  for (const Warp& warp : warps_) {
+    if (!warp.active) {
+      ++sample.idle;
+    } else if (warp.at_barrier || warp.ibuffer.empty()) {
+      ++sample.blocked;
+    } else {
+      ++sample.ready;
+    }
+  }
+  profile_.occupancy.push_back(sample);
 }
 
 void Core::do_writeback(uint64_t cycle) {
@@ -297,24 +321,37 @@ bool Core::can_issue(const Warp& warp, const Instr& instr, uint64_t cycle, int* 
 void Core::do_issue(uint64_t cycle) {
   bool any_active = false, saw_barrier = false, saw_empty = false;
   bool saw_scoreboard = false, saw_lsu = false, saw_fu = false;
+  // First warp (in round-robin order) blocked for each reason; a bubble
+  // cycle is charged to exactly one of these PCs — the same single bucket
+  // the aggregate counters use — so per-PC sums match PerfCounters exactly.
+  uint32_t barrier_pc = 0, empty_pc = 0, scoreboard_pc = 0, lsu_pc = 0, fu_pc = 0;
   for (uint32_t i = 0; i < config_.warps; ++i) {
     const uint32_t w = (issue_rr_ + i) % config_.warps;
     Warp& warp = warps_[w];
     if (!warp.active) continue;
     any_active = true;
     if (warp.at_barrier) {
+      if (!saw_barrier) {
+        // Resume point: the buffered instruction after the BAR, or the
+        // warp's next fetch PC when the buffer drained.
+        barrier_pc = warp.ibuffer.empty() ? warp.pc : warp.ibuffer.front().pc;
+      }
       saw_barrier = true;
       continue;
     }
     if (warp.ibuffer.empty()) {
+      if (!saw_empty) empty_pc = warp.pc;  // next fetch PC (fetch-bound)
       saw_empty = true;
       continue;
     }
     int reason = kStallNone;
     if (!can_issue(warp, warp.ibuffer.front().instr, cycle, &reason)) {
+      if (reason == kStallScoreboard && !saw_scoreboard) scoreboard_pc = warp.ibuffer.front().pc;
+      if (reason == kStallFu && !saw_fu) fu_pc = warp.ibuffer.front().pc;
       saw_scoreboard |= reason == kStallScoreboard;
       saw_fu |= reason == kStallFu;
       if (reason == kStallLsu) {
+        if (!saw_lsu) lsu_pc = warp.ibuffer.front().pc;
         saw_lsu = true;
         // The LSU input port is a shared structural resource: a ready LOAD
         // that cannot enter the queue blocks the issue stage (head-of-line),
@@ -334,22 +371,29 @@ void Core::do_issue(uint64_t cycle) {
     issue_rr_ = (w + 1) % config_.warps;
     ++perf_.instrs;
     ++instret_;
+    if (profile_.enabled) ++profile_.by_pc[slot.pc].issued;
     execute(w, slot, cycle);
     return;
   }
-  // Attribute the bubble.
+  // Attribute the bubble (and, when profiling, the PC behind it — the same
+  // priority order, so each bucket's per-PC sum equals the aggregate).
   if (!any_active) {
     ++perf_.idle_cycles;
   } else if (saw_lsu) {
     ++perf_.stall_lsu;
+    if (profile_.enabled) ++profile_.by_pc[lsu_pc].stall_lsu;
   } else if (saw_scoreboard) {
     ++perf_.stall_scoreboard;
+    if (profile_.enabled) ++profile_.by_pc[scoreboard_pc].stall_scoreboard;
   } else if (saw_fu) {
     ++perf_.stall_fu;
+    if (profile_.enabled) ++profile_.by_pc[fu_pc].stall_fu;
   } else if (saw_empty) {
     ++perf_.stall_ibuffer;
+    if (profile_.enabled) ++profile_.by_pc[empty_pc].stall_ibuffer;
   } else if (saw_barrier) {
     ++perf_.stall_barrier;
+    if (profile_.enabled) ++profile_.by_pc[barrier_pc].stall_barrier;
   }
 }
 

@@ -15,6 +15,7 @@
 #include "mem/memory.hpp"
 #include "vortex/config.hpp"
 #include "vortex/perf.hpp"
+#include "vortex/profile.hpp"
 
 namespace fgpu::vortex {
 
@@ -49,6 +50,9 @@ class Core {
 
   const PerfCounters& perf() const { return perf_; }
   PerfCounters& perf() { return perf_; }
+  // Per-PC issue/stall attribution + occupancy timeline; empty unless
+  // Config::profile is set.
+  const PcProfile& profile() const { return profile_; }
   mem::Cache& l1d() { return l1d_; }
   mem::Cache& l1i() { return l1i_; }
   mem::MainMemory& local_mem() { return local_mem_; }
@@ -174,6 +178,9 @@ class Core {
   uint64_t instret_ = 0;
 
   PerfCounters perf_;
+  PcProfile profile_;
+
+  void sample_occupancy(uint64_t cycle);
 };
 
 }  // namespace fgpu::vortex

@@ -55,12 +55,17 @@ struct PerfCounters {
     return cycles == 0 ? 0.0 : static_cast<double>(instrs) / static_cast<double>(cycles);
   }
 
+  // Structural comparison (tests assert on counters, not summary strings).
+  bool operator==(const PerfCounters&) const = default;
+
   // Full human-readable summary. Built with std::string (no fixed buffer:
   // the old char[256] snprintf silently truncated once the event section
   // was added) and includes the event counts the one-liner used to drop.
   std::string summary() const {
     std::string out;
-    out.reserve(256);
+    // Worst case: 16 uint64 fields at up to 20 digits each plus the key
+    // text comes to ~460 bytes; 256 forced a mid-build reallocation.
+    out.reserve(512);
     const auto add = [&out](const char* key, uint64_t v) {
       out += key;
       out += std::to_string(v);

@@ -1,0 +1,115 @@
+#include "vortex/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fgpu::vortex {
+namespace {
+
+void add_histogram(std::vector<uint64_t>& into, const std::vector<uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+// Dominant stall bucket of a PC, for the hot-spot report.
+const char* dominant_reason(const PcStat& stat) {
+  const char* name = "scoreboard";
+  uint64_t best = stat.stall_scoreboard;
+  const auto consider = [&](uint64_t v, const char* n) {
+    if (v > best) {
+      best = v;
+      name = n;
+    }
+  };
+  consider(stat.stall_lsu, "lsu");
+  consider(stat.stall_fu, "fu");
+  consider(stat.stall_ibuffer, "ibuffer");
+  consider(stat.stall_barrier, "barrier");
+  return name;
+}
+
+}  // namespace
+
+void PcProfile::merge(const PcProfile& other) {
+  enabled = enabled || other.enabled;
+  if (occupancy_interval == 0) occupancy_interval = other.occupancy_interval;
+  for (const auto& [pc, stat] : other.by_pc) by_pc[pc] += stat;
+  if (occupancy.size() < other.occupancy.size()) {
+    occupancy.resize(other.occupancy.size());
+  }
+  for (size_t i = 0; i < other.occupancy.size(); ++i) {
+    occupancy[i].cycle = other.occupancy[i].cycle;
+    occupancy[i].ready += other.occupancy[i].ready;
+    occupancy[i].blocked += other.occupancy[i].blocked;
+    occupancy[i].idle += other.occupancy[i].idle;
+  }
+  add_histogram(l1d_set_conflicts, other.l1d_set_conflicts);
+  add_histogram(l2_set_conflicts, other.l2_set_conflicts);
+}
+
+PcStat PcProfile::totals() const {
+  PcStat total;
+  for (const auto& [pc, stat] : by_pc) total += stat;
+  return total;
+}
+
+std::string annotated_disassembly(const vasm::Program& program, const vasm::SourceMap& source_map,
+                                  const PcProfile& profile) {
+  vasm::DisasmOptions options;
+  options.source_map = source_map.empty() ? nullptr : &source_map;
+  options.annotate = [&profile](uint32_t addr, size_t /*word_index*/) -> std::string {
+    char col[64];
+    const auto it = profile.by_pc.find(addr);
+    if (it == profile.by_pc.end()) {
+      std::snprintf(col, sizeof(col), "%10s %10s %6s |", "", "", "");
+    } else {
+      std::snprintf(col, sizeof(col), "%10llu %10llu %6.3f |",
+                    static_cast<unsigned long long>(it->second.issued),
+                    static_cast<unsigned long long>(it->second.total_stalls()),
+                    it->second.issue_rate());
+    }
+    return col;
+  };
+  std::ostringstream os;
+  char head[64];
+  std::snprintf(head, sizeof(head), "%10s %10s %6s |\n", "issued", "stalls", "ipc");
+  os << head << program.disassemble(options);
+  return os.str();
+}
+
+std::string hotspot_report(const vasm::Program& program, const vasm::SourceMap& source_map,
+                           const PcProfile& profile, size_t top_k) {
+  std::vector<std::pair<uint32_t, PcStat>> ranked(profile.by_pc.begin(), profile.by_pc.end());
+  // Stable order: stall cycles descending, PC ascending on ties.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    const uint64_t sa = a.second.total_stalls(), sb = b.second.total_stalls();
+    return sa != sb ? sa > sb : a.first < b.first;
+  });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+
+  std::ostringstream os;
+  os << "hot spots (top " << ranked.size() << " PCs by stall cycles)\n";
+  for (size_t rank = 0; rank < ranked.size(); ++rank) {
+    const auto& [pc, stat] = ranked[rank];
+    char line[160];
+    std::snprintf(line, sizeof(line), "#%-2zu pc=%08x  stalls=%-10llu (%s)  issued=%-8llu  ",
+                  rank + 1, pc, static_cast<unsigned long long>(stat.total_stalls()),
+                  dominant_reason(stat), static_cast<unsigned long long>(stat.issued));
+    os << line;
+    const size_t index = (pc - program.base) / 4;
+    if (index < program.words.size()) {
+      if (const auto instr = arch::decode(program.words[index])) {
+        os << arch::to_string(*instr);
+      } else {
+        os << "<invalid>";
+      }
+      const std::string& src = source_map.source_for(index);
+      if (!src.empty()) os << "   ; " << src;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fgpu::vortex

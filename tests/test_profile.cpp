@@ -1,0 +1,202 @@
+// Per-PC profiler tests: the exact-sum contract between the per-PC stall
+// buckets and the aggregate PerfCounters, KIR source attribution through
+// the compiler's line table, profile merging, and the annotated
+// disassembly / hot-spot reports (see OBSERVABILITY.md "Profiles").
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hpp"
+#include "common/log.hpp"
+#include "kir/build.hpp"
+#include "suite/runner.hpp"
+#include "vortex/perf.hpp"
+#include "vortex/profile.hpp"
+
+namespace fgpu {
+namespace {
+
+TEST(PerfCounters, EqualityComparesAllFields) {
+  vortex::PerfCounters a, b;
+  EXPECT_EQ(a, b);
+  b.stall_lsu = 1;
+  EXPECT_FALSE(a == b);
+  a.stall_lsu = 1;
+  EXPECT_EQ(a, b);
+}
+
+TEST(PerfCounters, SummaryFitsReservationWithLargeCounters) {
+  vortex::PerfCounters perf;
+  // Force every numeric field near its widest rendering; summary() must not
+  // have been sized for the small-number case (the reserve(256) bug).
+  perf.cycles = perf.instrs = ~0ull;
+  perf.stall_scoreboard = perf.stall_lsu = perf.stall_fu = ~0ull;
+  perf.stall_ibuffer = perf.stall_barrier = perf.idle_cycles = ~0ull;
+  perf.loads = perf.stores = perf.atomics = perf.branches = ~0ull;
+  perf.divergent_branches = perf.joins = perf.barriers = perf.warps_spawned = ~0ull;
+  const std::string text = perf.summary();
+  EXPECT_GT(text.size(), 256u);
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(PcStat, IssueRateAndTotals) {
+  vortex::PcStat stat;
+  EXPECT_EQ(stat.issue_rate(), 0.0);
+  stat.issued = 3;
+  stat.stall_lsu = 6;
+  stat.stall_scoreboard = 3;
+  EXPECT_EQ(stat.total_stalls(), 9u);
+  EXPECT_DOUBLE_EQ(stat.issue_rate(), 0.25);
+}
+
+TEST(PcProfile, MergeSumsTablesElementWise) {
+  vortex::PcProfile a, b;
+  a.enabled = b.enabled = true;
+  a.occupancy_interval = b.occupancy_interval = 64;
+  a.by_pc[0x100].issued = 3;
+  a.by_pc[0x100].stall_lsu = 2;
+  b.by_pc[0x100].issued = 1;
+  b.by_pc[0x104].stall_scoreboard = 5;
+  a.occupancy.push_back({0, 1, 2, 3});
+  a.occupancy.push_back({64, 2, 2, 2});
+  b.occupancy.push_back({0, 4, 0, 1});
+  a.l1d_set_conflicts = {1, 0};
+  b.l1d_set_conflicts = {0, 7, 9};  // longer histogram grows the target
+
+  a.merge(b);
+  EXPECT_EQ(a.by_pc[0x100].issued, 4u);
+  EXPECT_EQ(a.by_pc[0x100].stall_lsu, 2u);
+  EXPECT_EQ(a.by_pc[0x104].stall_scoreboard, 5u);
+  ASSERT_EQ(a.occupancy.size(), 2u);
+  EXPECT_EQ(a.occupancy[0].ready, 5u);
+  EXPECT_EQ(a.occupancy[0].idle, 4u);
+  EXPECT_EQ(a.occupancy[1].ready, 2u);  // no partner sample: unchanged
+  ASSERT_EQ(a.l1d_set_conflicts.size(), 3u);
+  EXPECT_EQ(a.l1d_set_conflicts[0], 1u);
+  EXPECT_EQ(a.l1d_set_conflicts[1], 7u);
+  EXPECT_EQ(a.l1d_set_conflicts[2], 9u);
+
+  const vortex::PcStat totals = a.totals();
+  EXPECT_EQ(totals.issued, 4u);
+  EXPECT_EQ(totals.stall_lsu, 2u);
+  EXPECT_EQ(totals.stall_scoreboard, 5u);
+}
+
+// The compiler's PC -> KIR line table: every emitted word (including li/la
+// expansions and the entry/dispatch scaffolding) carries a provenance
+// string.
+TEST(SourceMap, CompilerMapsEveryWord) {
+  kir::KernelBuilder kb("vecadd");
+  auto a = kb.buf_f32("a");
+  auto b = kb.buf_f32("b");
+  auto c = kb.buf_f32("c");
+  auto count = kb.param_i32("count");
+  auto gid = kb.global_id(0);
+  kb.if_(gid < count, [&] { kb.store(c, gid, kb.load(a, gid) + kb.load(b, gid)); });
+
+  auto compiled = codegen::compile_kernel(kb.build());
+  ASSERT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+  const auto& map = compiled->source_map;
+  ASSERT_FALSE(map.empty());
+  ASSERT_EQ(map.word_source.size(), compiled->program.words.size());
+  for (size_t i = 0; i < map.word_source.size(); ++i) {
+    EXPECT_GE(map.word_source[i], 0) << "word " << i << " has no provenance";
+    EXPECT_FALSE(map.source_for(i).empty()) << "word " << i;
+  }
+  // The scaffolding stages and the kernel body are all represented.
+  const std::string all = [&] {
+    std::string joined;
+    for (const auto& s : map.sources) joined += s + "\n";
+    return joined;
+  }();
+  EXPECT_NE(all.find("<entry:"), std::string::npos);
+  EXPECT_NE(all.find("<dispatch:"), std::string::npos);
+  EXPECT_NE(all.find("c["), std::string::npos);  // the store statement
+}
+
+// Acceptance criterion of the profiler PR: for every stall bucket, the sum
+// over all PCs equals the aggregate PerfCounters total exactly — same
+// increment site, not a sampled approximation.
+TEST(Profiler, PerPcStallsSumExactlyToAggregateCounters) {
+  Log::level() = LogLevel::kOff;
+  suite::RunnerOptions options;
+  options.filter = "^vecadd$";
+  options.run_hls = false;
+  options.capture_profile = true;
+  auto result = suite::run_all(options);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  const auto& outcome = result->outcomes[0];
+  ASSERT_TRUE(outcome.vortex.ok()) << outcome.vortex.fail_reason;
+  ASSERT_EQ(outcome.vortex.kernel_profiles.size(), 1u);
+  const suite::KernelProfile& kp = outcome.vortex.kernel_profiles[0];
+  EXPECT_EQ(kp.kernel, "vecadd");
+  EXPECT_EQ(kp.launches, 1u);
+  EXPECT_FALSE(kp.profile.by_pc.empty());
+
+  const vortex::PcStat totals = kp.profile.totals();
+  EXPECT_EQ(totals.stall_scoreboard, kp.perf.stall_scoreboard);
+  EXPECT_EQ(totals.stall_lsu, kp.perf.stall_lsu);
+  EXPECT_EQ(totals.stall_fu, kp.perf.stall_fu);
+  EXPECT_EQ(totals.stall_ibuffer, kp.perf.stall_ibuffer);
+  EXPECT_EQ(totals.stall_barrier, kp.perf.stall_barrier);
+
+  // Every profiled PC falls inside the loaded binary.
+  for (const auto& [pc, stat] : kp.profile.by_pc) {
+    EXPECT_GE(pc, kp.binary.base);
+    EXPECT_LT(pc, kp.binary.base + kp.binary.words.size() * 4);
+  }
+
+  // The occupancy timeline was sampled and never reports more warp slots
+  // than the config provides (4 cores x 8 warps by default).
+  ASSERT_FALSE(kp.profile.occupancy.empty());
+  EXPECT_GT(kp.profile.occupancy_interval, 0u);
+  for (const auto& sample : kp.profile.occupancy) {
+    EXPECT_LE(sample.ready + sample.blocked + sample.idle, 4u * 8u);
+  }
+}
+
+// Fig. 7's LSU-stall narrative, localized: the hottest LSU-stall PC of
+// vecadd must be one of its loads/stores, and both reports must say so
+// with KIR provenance.
+TEST(Profiler, HotspotAndAnnotatedReportsNameTheLsuBoundMemoryOp) {
+  Log::level() = LogLevel::kOff;
+  suite::RunnerOptions options;
+  options.filter = "^vecadd$";
+  options.run_hls = false;
+  options.capture_profile = true;
+  auto result = suite::run_all(options);
+  ASSERT_TRUE(result.is_ok());
+  const suite::KernelProfile& kp = result->outcomes[0].vortex.kernel_profiles[0];
+
+  uint32_t top_pc = 0;
+  uint64_t top_lsu = 0;
+  for (const auto& [pc, stat] : kp.profile.by_pc) {
+    if (stat.stall_lsu > top_lsu) {
+      top_lsu = stat.stall_lsu;
+      top_pc = pc;
+    }
+  }
+  ASSERT_GT(top_lsu, 0u) << "vecadd is memory-bound; expected LSU stalls";
+  const auto instr = arch::decode(kp.binary.words[(top_pc - kp.binary.base) / 4]);
+  ASSERT_TRUE(instr.has_value());
+  EXPECT_EQ(arch::op_info(instr->op).fu, arch::FuClass::kLsu)
+      << "top LSU-stall PC decodes to " << arch::to_string(*instr);
+  // Its provenance is the vecadd store statement (the load/store sequence).
+  const std::string source = kp.source_map.source_for((top_pc - kp.binary.base) / 4);
+  EXPECT_NE(source.find("c["), std::string::npos) << source;
+
+  const std::string hotspots =
+      vortex::hotspot_report(kp.binary, kp.source_map, kp.profile, 3);
+  EXPECT_NE(hotspots.find("(lsu)"), std::string::npos);
+  EXPECT_NE(hotspots.find("c["), std::string::npos);
+
+  const std::string annotated =
+      vortex::annotated_disassembly(kp.binary, kp.source_map, kp.profile);
+  EXPECT_NE(annotated.find("issued"), std::string::npos);  // column header
+  EXPECT_NE(annotated.find("# <entry:"), std::string::npos);
+  char pc_text[16];
+  std::snprintf(pc_text, sizeof(pc_text), "%08x:", top_pc);
+  EXPECT_NE(annotated.find(pc_text), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgpu

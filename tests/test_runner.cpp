@@ -121,5 +121,36 @@ TEST(RunAll, StatsJsonIsByteIdenticalAcrossJobCounts) {
             std::string::npos);
 }
 
+// Same contract for the profiler export: per-PC tables, occupancy
+// timelines, and conflict histograms come out of worker threads, yet the
+// fgpu.profile.v1 document must not depend on scheduling.
+TEST(RunAll, ProfileJsonIsByteIdenticalAcrossJobCounts) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  options.filter = "^(vecadd|saxpy|dotproduct|transpose)$";
+  options.run_hls = false;
+  options.capture_profile = true;
+
+  options.jobs = 1;
+  auto serial = run_all(options);
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_EQ(serial->outcomes.size(), 4u);
+  for (const auto& outcome : serial->outcomes) {
+    EXPECT_FALSE(outcome.vortex.kernel_profiles.empty()) << outcome.name;
+  }
+  std::ostringstream serial_json;
+  write_profile_json(serial_json, options, *serial);
+
+  options.jobs = 4;
+  auto parallel = run_all(options);
+  ASSERT_TRUE(parallel.is_ok());
+  std::ostringstream parallel_json;
+  write_profile_json(parallel_json, options, *parallel);
+
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+  EXPECT_NE(serial_json.str().find(std::string("\"schema\": \"") + kProfileSchema + "\""),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace fgpu::suite

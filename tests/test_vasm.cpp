@@ -157,6 +157,105 @@ TEST(AssemblerTest, DisassembleRoundTrip) {
   EXPECT_NE(dis.find("tmc zero"), std::string::npos);
 }
 
+// The synthetic-label listing must survive a full assemble -> disassemble
+// -> assemble cycle bit-for-bit, including the SIMT extension (SPLIT /
+// JOIN / PRED / TMC / WSPAWN / BAR), branches, and memory operands. This
+// is what makes profiler listings pasteable back into the assembler.
+TEST(DisassemblerTest, SynthLabelListingReassemblesBitExactly) {
+  const char* source = R"(
+    csrr t0, 0xCC0
+    andi t1, t0, 1
+    wspawn t2, t3
+    split t1, odd
+    addi t2, zero, 1
+    join merge
+  odd:
+    addi t2, zero, 2
+    join merge
+  merge:
+    pred t1, after_pred
+  after_pred:
+    bar t0, t1
+    lw a0, 8(sp)
+    fadd.s f1, f2, f3
+    fsw f1, 12(a1)
+    amoadd.w t0, t1, (a2)
+  loop:
+    beq t2, zero, done
+    addi t2, t2, -1
+    jal ra, helper
+    j loop
+  helper:
+    sw a0, -4(s0)
+  done:
+    tmc zero
+  )";
+  auto prog = assemble(source);
+  ASSERT_TRUE(prog.is_ok()) << prog.status().to_string();
+
+  DisasmOptions options;
+  options.addresses = false;
+  options.synth_labels = true;
+  const std::string listing = prog->disassemble(options);
+  EXPECT_EQ(listing.find("0x00"), std::string::npos) << "addresses leaked into the listing";
+
+  auto again = assemble(listing, prog->base);
+  ASSERT_TRUE(again.is_ok()) << again.status().to_string() << "\nlisting was:\n" << listing;
+  EXPECT_EQ(again->words, prog->words);
+  EXPECT_EQ(again->base, prog->base);
+}
+
+TEST(DisassemblerTest, UndecodableWordRendersAsInvalid) {
+  auto prog = assemble("tmc zero");
+  ASSERT_TRUE(prog.is_ok());
+  ASSERT_FALSE(arch::decode(0u).has_value());  // opcode 0 is unassigned
+  prog->words.push_back(0u);
+  EXPECT_NE(prog->disassemble().find("<invalid>"), std::string::npos);
+}
+
+TEST(DisassemblerTest, AnnotateColumnAndSourceCommentsInterleave) {
+  auto prog = assemble(R"(
+    addi t0, zero, 1
+    addi t1, zero, 2
+    tmc zero
+  )");
+  ASSERT_TRUE(prog.is_ok());
+
+  SourceMap map;
+  map.sources = {"first statement", "second statement"};
+  map.word_source = {0, 0, 1};
+  DisasmOptions options;
+  options.source_map = &map;
+  options.annotate = [](uint32_t, size_t index) { return "[" + std::to_string(index) + "] "; };
+  const std::string listing = prog->disassemble(options);
+
+  // One comment per source-id *change*, not one per word.
+  size_t count = 0;
+  for (size_t at = listing.find("# first statement"); at != std::string::npos;
+       at = listing.find("# first statement", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  EXPECT_NE(listing.find("# second statement"), std::string::npos);
+  // The annotate column precedes every word, and the comment precedes the
+  // word it describes.
+  EXPECT_NE(listing.find("[0] "), std::string::npos);
+  EXPECT_NE(listing.find("[2] "), std::string::npos);
+  EXPECT_LT(listing.find("# second statement"), listing.find("[2] "));
+}
+
+TEST(SourceMapTest, SourceForHandlesUnmappedWords) {
+  SourceMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.source_for(0), "");
+  map.sources = {"only"};
+  map.word_source = {-1, 0};
+  EXPECT_FALSE(map.empty());
+  EXPECT_EQ(map.source_for(0), "");   // unmapped word
+  EXPECT_EQ(map.source_for(1), "only");
+  EXPECT_EQ(map.source_for(99), "");  // out of range
+}
+
 // Property: every encodable instruction disassembles to text that the
 // mnemonic table recognizes.
 TEST(AssemblerTest, DisassemblyMentionsMnemonic) {

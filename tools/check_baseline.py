@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Guard the committed fgpu.stats.v1 baseline (BENCH_table1.json).
+
+Compares a freshly generated stats document against the golden baseline
+and exits non-zero on:
+
+  * schema drift — the set of key paths in either document differs
+    (fields added, removed, or renamed without bumping the schema tag);
+  * coverage drift — a benchmark changed its ok/fail status on either
+    device (Table I is the paper's central claim);
+  * cycle regression — a passing soft-GPU benchmark got more than
+    --max-regression slower than the baseline (default 10%).
+
+Cycle *improvements* are reported but never fail: refresh the baseline
+(see README of the CI step) when an intentional perf change lands.
+
+Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
+
+Stdlib only — runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def schema_paths(node, prefix=""):
+    """The set of key paths in a JSON tree; array elements share a path."""
+    paths = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            paths.add(path)
+            paths.update(schema_paths(value, path))
+    elif isinstance(node, list):
+        for value in node:
+            paths.update(schema_paths(value, prefix + "[]"))
+    return paths
+
+
+def by_name(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def device_ok(entry, device):
+    run = entry.get(device)
+    return None if run is None else bool(run.get("ok"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed fractional cycle growth (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+
+    if base.get("schema") != cur.get("schema"):
+        failures.append(
+            f"schema tag drift: baseline {base.get('schema')!r} vs current {cur.get('schema')!r}")
+
+    base_paths = schema_paths(base)
+    cur_paths = schema_paths(cur)
+    for path in sorted(base_paths - cur_paths):
+        failures.append(f"schema drift: field '{path}' vanished from the current stats")
+    for path in sorted(cur_paths - base_paths):
+        failures.append(f"schema drift: new field '{path}' not in the baseline "
+                        "(regenerate BENCH_table1.json and bump the schema tag if breaking)")
+
+    base_benchmarks = by_name(base)
+    cur_benchmarks = by_name(cur)
+    for name in sorted(set(base_benchmarks) - set(cur_benchmarks)):
+        failures.append(f"{name}: present in baseline but missing from the run")
+    for name in sorted(set(cur_benchmarks) - set(base_benchmarks)):
+        failures.append(f"{name}: ran but has no baseline entry")
+
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        b, c = base_benchmarks[name], cur_benchmarks[name]
+        for device in ("vortex", "hls"):
+            was, now = device_ok(b, device), device_ok(c, device)
+            if was != now:
+                failures.append(f"{name}/{device}: ok changed {was} -> {now} "
+                                f"(fail_reason: {(c.get(device) or {}).get('fail_reason', '?')!r})")
+        if device_ok(b, "vortex") and device_ok(c, "vortex"):
+            base_cycles = b["vortex"]["total_cycles"]
+            cur_cycles = c["vortex"]["total_cycles"]
+            if base_cycles > 0:
+                delta = (cur_cycles - base_cycles) / base_cycles
+                if delta > args.max_regression:
+                    failures.append(
+                        f"{name}/vortex: cycle regression {base_cycles} -> {cur_cycles} "
+                        f"(+{delta:.1%} > {args.max_regression:.0%})")
+                elif delta != 0:
+                    print(f"note: {name}/vortex cycles {base_cycles} -> {cur_cycles} "
+                          f"({delta:+.1%}, within budget)")
+
+    if failures:
+        print(f"check_baseline: {len(failures)} failure(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"check_baseline: {len(base_benchmarks)} benchmarks match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
