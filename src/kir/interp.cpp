@@ -23,6 +23,17 @@ int32_t rem_i32(int32_t a, int32_t b) {
   return a % b;
 }
 
+using Vec = std::vector<uint32_t>;
+using Mask = std::vector<uint8_t>;
+
+// Static load sites of a store statement's operand expressions (cached per
+// Stmt so the alias check below walks each tree once per run, not once per
+// execution).
+struct LoadSite {
+  int index = 0;
+  bool is_local = false;
+};
+
 struct GroupContext {
   const Kernel* kernel = nullptr;
   const std::vector<KernelArg>* args = nullptr;
@@ -32,23 +43,62 @@ struct GroupContext {
 
   // Per-item local ids.
   std::vector<uint32_t> lid[3];
-  // Variable environment: name -> per-item bits.
+  // Variable environment: name -> per-item bits. unordered_map keeps
+  // references to values stable across inserts (node-based), which kFor
+  // relies on while executing loop bodies that introduce new variables.
   std::unordered_map<std::string, std::vector<uint32_t>> env;
   // Local (__local) arrays: slot -> element bits.
   std::vector<std::vector<uint32_t>> locals;
 
+  // Scratch pools reused across statements and groups so the vectorized
+  // evaluator performs no steady-state allocation.
+  std::vector<Vec> vec_pool;
+  std::vector<Mask> mask_pool;
+  std::unordered_map<const Stmt*, std::vector<LoadSite>> store_loads;
+
   uint64_t statements_executed = 0;
 };
 
+// Evaluates each expression node once per ACTIVE LANE SET instead of once
+// per work item: the tree is walked a single time per statement execution
+// with per-item value vectors flowing between nodes, which removes the
+// per-item dispatch overhead (and the per-item env hash lookups) that
+// dominated the item-major evaluator. Observable behaviour is identical:
+//   * op_count advances by the active-lane count at every node visit —
+//     exactly the per-(node, item) visits of the item-major walk, including
+//     lanes skipped by && / || short-circuit and by select;
+//   * on_load / on_store fire once per executed per-item access;
+//   * atomics, printf, and stores whose operands may read the stored buffer
+//     run item-sequentially (singleton masks) to preserve item-order
+//     read-modify-write semantics.
 class GroupExec {
  public:
   GroupExec(GroupContext& ctx, const InterpOptions& options) : ctx_(ctx), options_(options) {}
 
-  Status run_block(const std::vector<StmtPtr>& block, const std::vector<uint8_t>& active);
+  Status run_block(const std::vector<StmtPtr>& block, const Mask& active, uint32_t n_active);
 
  private:
-  Status eval(const ExprPtr& e, uint32_t item, uint32_t& out);
-  Status exec(const Stmt& s, const std::vector<uint8_t>& active);
+  Status eval(const ExprPtr& e, const Mask& m, uint32_t n, Vec& out);
+  Status exec(const Stmt& s, const Mask& active, uint32_t n_active);
+  Status exec_store_sequential(const Stmt& s, const Mask& active);
+  bool store_may_alias(const Stmt& s);
+
+  Vec take_vec() {
+    if (ctx_.vec_pool.empty()) return Vec(ctx_.items, 0);
+    Vec v = std::move(ctx_.vec_pool.back());
+    ctx_.vec_pool.pop_back();
+    v.resize(ctx_.items);
+    return v;
+  }
+  void give_vec(Vec&& v) { ctx_.vec_pool.push_back(std::move(v)); }
+  Mask take_mask() {
+    if (ctx_.mask_pool.empty()) return Mask(ctx_.items, 0);
+    Mask m = std::move(ctx_.mask_pool.back());
+    ctx_.mask_pool.pop_back();
+    m.assign(ctx_.items, 0);
+    return m;
+  }
+  void give_mask(Mask&& m) { ctx_.mask_pool.push_back(std::move(m)); }
 
   Status fail(const std::string& message) {
     return Status(ErrorKind::kRuntimeError, ctx_.kernel->name + ": " + message);
@@ -92,349 +142,590 @@ class GroupExec {
   const InterpOptions& options_;
 };
 
-Status GroupExec::eval(const ExprPtr& e, uint32_t item, uint32_t& out) {
-  if (options_.op_count != nullptr) ++*options_.op_count;
+Status GroupExec::eval(const ExprPtr& e, const Mask& m, uint32_t n, Vec& out) {
+  if (options_.op_count != nullptr) *options_.op_count += n;
+  const uint32_t items = ctx_.items;
+  out.resize(items);
   switch (e->kind) {
     case ExprKind::kConstInt:
-      out = static_cast<uint32_t>(e->ival);
+      out.assign(items, static_cast<uint32_t>(e->ival));
       return Status::ok();
     case ExprKind::kConstFloat:
-      out = f2u(e->fval);
+      out.assign(items, f2u(e->fval));
       return Status::ok();
     case ExprKind::kVar: {
       auto it = ctx_.env.find(e->var);
       if (it == ctx_.env.end()) return fail("use of undefined variable '" + e->var + "'");
-      out = it->second[item];
+      out.assign(it->second.begin(), it->second.end());
       return Status::ok();
     }
     case ExprKind::kParam: {
       const KernelArg& arg = (*ctx_.args)[static_cast<size_t>(e->index)];
       if (arg.is_buffer) return fail("scalar read of buffer param");
-      out = arg.scalar_bits;
+      out.assign(items, arg.scalar_bits);
       return Status::ok();
     }
     case ExprKind::kSpecial: {
       const int d = e->index;
       switch (e->special) {
-        case SpecialReg::kGlobalId:
-          out = ctx_.group[d] * ctx_.ndrange->local[d] + ctx_.lid[d][item];
+        case SpecialReg::kGlobalId: {
+          const uint32_t base = ctx_.group[d] * ctx_.ndrange->local[d];
+          for (uint32_t i = 0; i < items; ++i) out[i] = base + ctx_.lid[d][i];
           break;
-        case SpecialReg::kLocalId: out = ctx_.lid[d][item]; break;
-        case SpecialReg::kGroupId: out = ctx_.group[d]; break;
-        case SpecialReg::kGlobalSize: out = ctx_.ndrange->global[d]; break;
-        case SpecialReg::kLocalSize: out = ctx_.ndrange->local[d]; break;
-        case SpecialReg::kNumGroups: out = ctx_.ndrange->num_groups(d); break;
+        }
+        case SpecialReg::kLocalId:
+          for (uint32_t i = 0; i < items; ++i) out[i] = ctx_.lid[d][i];
+          break;
+        case SpecialReg::kGroupId: out.assign(items, ctx_.group[d]); break;
+        case SpecialReg::kGlobalSize: out.assign(items, ctx_.ndrange->global[d]); break;
+        case SpecialReg::kLocalSize: out.assign(items, ctx_.ndrange->local[d]); break;
+        case SpecialReg::kNumGroups: out.assign(items, ctx_.ndrange->num_groups(d)); break;
       }
       return Status::ok();
     }
     case ExprKind::kBinary: {
-      uint32_t a = 0, b = 0;
-      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
-      // Logical && / || short-circuit like C.
-      if (e->bin == BinOp::kLAnd && a == 0) {
-        out = 0;
-        return Status::ok();
+      // Logical && / || short-circuit like C: the second operand evaluates
+      // only for lanes the first did not decide (shrinks the active mask,
+      // so op_count and load instrumentation match per-item execution).
+      if (e->bin == BinOp::kLAnd || e->bin == BinOp::kLOr) {
+        Vec ta = take_vec();
+        if (auto st = eval(e->a(), m, n, ta); !st.is_ok()) {
+          give_vec(std::move(ta));
+          return st;
+        }
+        Mask sub = take_mask();
+        uint32_t n2 = 0;
+        const bool is_and = e->bin == BinOp::kLAnd;
+        for (uint32_t i = 0; i < items; ++i) {
+          if (!m[i]) continue;
+          if (is_and ? ta[i] == 0 : ta[i] != 0) {
+            out[i] = is_and ? 0u : 1u;
+          } else {
+            sub[i] = 1;
+            ++n2;
+          }
+        }
+        Status st = Status::ok();
+        if (n2 > 0) {
+          Vec tb = take_vec();
+          st = eval(e->b(), sub, n2, tb);
+          if (st.is_ok()) {
+            for (uint32_t i = 0; i < items; ++i) {
+              if (sub[i]) out[i] = tb[i] != 0 ? 1u : 0u;
+            }
+          }
+          give_vec(std::move(tb));
+        }
+        give_mask(std::move(sub));
+        give_vec(std::move(ta));
+        return st;
       }
-      if (e->bin == BinOp::kLOr && a != 0) {
-        out = 1;
-        return Status::ok();
+      Vec ta = take_vec();
+      Vec tb = take_vec();
+      Status st = eval(e->a(), m, n, ta);
+      if (st.is_ok()) st = eval(e->b(), m, n, tb);
+      if (!st.is_ok()) {
+        give_vec(std::move(tb));
+        give_vec(std::move(ta));
+        return st;
       }
-      if (auto st = eval(e->b(), item, b); !st.is_ok()) return st;
       const bool flt = e->a()->type == Scalar::kF32;
       if (flt) {
-        const float x = u2f(a), y = u2f(b);
-        switch (e->bin) {
-          case BinOp::kAdd: out = f2u(x + y); break;
-          case BinOp::kSub: out = f2u(x - y); break;
-          case BinOp::kMul: out = f2u(x * y); break;
-          case BinOp::kDiv: out = f2u(x / y); break;
-          case BinOp::kMin: out = f2u(std::fmin(x, y)); break;
-          case BinOp::kMax: out = f2u(std::fmax(x, y)); break;
-          case BinOp::kLt: out = x < y; break;
-          case BinOp::kLe: out = x <= y; break;
-          case BinOp::kGt: out = x > y; break;
-          case BinOp::kGe: out = x >= y; break;
-          case BinOp::kEq: out = x == y; break;
-          case BinOp::kNe: out = x != y; break;
-          default: return fail("invalid float binary op");
+        for (uint32_t i = 0; i < items; ++i) {
+          if (!m[i]) continue;
+          const float x = u2f(ta[i]), y = u2f(tb[i]);
+          switch (e->bin) {
+            case BinOp::kAdd: out[i] = f2u(x + y); break;
+            case BinOp::kSub: out[i] = f2u(x - y); break;
+            case BinOp::kMul: out[i] = f2u(x * y); break;
+            case BinOp::kDiv: out[i] = f2u(x / y); break;
+            case BinOp::kMin: out[i] = f2u(std::fmin(x, y)); break;
+            case BinOp::kMax: out[i] = f2u(std::fmax(x, y)); break;
+            case BinOp::kLt: out[i] = x < y; break;
+            case BinOp::kLe: out[i] = x <= y; break;
+            case BinOp::kGt: out[i] = x > y; break;
+            case BinOp::kGe: out[i] = x >= y; break;
+            case BinOp::kEq: out[i] = x == y; break;
+            case BinOp::kNe: out[i] = x != y; break;
+            default:
+              give_vec(std::move(tb));
+              give_vec(std::move(ta));
+              return fail("invalid float binary op");
+          }
         }
       } else {
-        const int32_t x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
-        switch (e->bin) {
-          case BinOp::kAdd: out = a + b; break;
-          case BinOp::kSub: out = a - b; break;
-          case BinOp::kMul: out = a * b; break;
-          case BinOp::kDiv: out = static_cast<uint32_t>(div_i32(x, y)); break;
-          case BinOp::kRem: out = static_cast<uint32_t>(rem_i32(x, y)); break;
-          case BinOp::kAnd: out = a & b; break;
-          case BinOp::kOr: out = a | b; break;
-          case BinOp::kXor: out = a ^ b; break;
-          case BinOp::kShl: out = a << (b & 31); break;
-          case BinOp::kShr: out = static_cast<uint32_t>(x >> (b & 31)); break;
-          case BinOp::kMin: out = static_cast<uint32_t>(std::min(x, y)); break;
-          case BinOp::kMax: out = static_cast<uint32_t>(std::max(x, y)); break;
-          case BinOp::kLt: out = x < y; break;
-          case BinOp::kLe: out = x <= y; break;
-          case BinOp::kGt: out = x > y; break;
-          case BinOp::kGe: out = x >= y; break;
-          case BinOp::kEq: out = a == b; break;
-          case BinOp::kNe: out = a != b; break;
-          case BinOp::kLAnd: out = (a != 0 && b != 0) ? 1 : 0; break;
-          case BinOp::kLOr: out = (a != 0 || b != 0) ? 1 : 0; break;
+        for (uint32_t i = 0; i < items; ++i) {
+          if (!m[i]) continue;
+          const uint32_t a = ta[i], b = tb[i];
+          const int32_t x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
+          switch (e->bin) {
+            case BinOp::kAdd: out[i] = a + b; break;
+            case BinOp::kSub: out[i] = a - b; break;
+            case BinOp::kMul: out[i] = a * b; break;
+            case BinOp::kDiv: out[i] = static_cast<uint32_t>(div_i32(x, y)); break;
+            case BinOp::kRem: out[i] = static_cast<uint32_t>(rem_i32(x, y)); break;
+            case BinOp::kAnd: out[i] = a & b; break;
+            case BinOp::kOr: out[i] = a | b; break;
+            case BinOp::kXor: out[i] = a ^ b; break;
+            case BinOp::kShl: out[i] = a << (b & 31); break;
+            case BinOp::kShr: out[i] = static_cast<uint32_t>(x >> (b & 31)); break;
+            case BinOp::kMin: out[i] = static_cast<uint32_t>(std::min(x, y)); break;
+            case BinOp::kMax: out[i] = static_cast<uint32_t>(std::max(x, y)); break;
+            case BinOp::kLt: out[i] = x < y; break;
+            case BinOp::kLe: out[i] = x <= y; break;
+            case BinOp::kGt: out[i] = x > y; break;
+            case BinOp::kGe: out[i] = x >= y; break;
+            case BinOp::kEq: out[i] = a == b; break;
+            case BinOp::kNe: out[i] = a != b; break;
+            case BinOp::kLAnd: out[i] = (a != 0 && b != 0) ? 1 : 0; break;
+            case BinOp::kLOr: out[i] = (a != 0 || b != 0) ? 1 : 0; break;
+          }
         }
       }
+      give_vec(std::move(tb));
+      give_vec(std::move(ta));
       return Status::ok();
     }
     case ExprKind::kUnary: {
-      uint32_t a = 0;
-      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
-      switch (e->un) {
-        case UnOp::kNeg:
-          out = e->type == Scalar::kF32 ? f2u(-u2f(a)) : static_cast<uint32_t>(-static_cast<int32_t>(a));
-          break;
-        case UnOp::kNot: out = a == 0 ? 1 : 0; break;
-        case UnOp::kAbs:
-          out = e->type == Scalar::kF32 ? (a & 0x7FFFFFFFu)
-                                        : static_cast<uint32_t>(std::abs(static_cast<int32_t>(a)));
-          break;
-        case UnOp::kBitcastI2F:
-        case UnOp::kBitcastF2I:
-          out = a;
-          break;
+      Vec ta = take_vec();
+      if (auto st = eval(e->a(), m, n, ta); !st.is_ok()) {
+        give_vec(std::move(ta));
+        return st;
       }
+      for (uint32_t i = 0; i < items; ++i) {
+        if (!m[i]) continue;
+        const uint32_t a = ta[i];
+        switch (e->un) {
+          case UnOp::kNeg:
+            out[i] = e->type == Scalar::kF32 ? f2u(-u2f(a))
+                                             : static_cast<uint32_t>(-static_cast<int32_t>(a));
+            break;
+          case UnOp::kNot: out[i] = a == 0 ? 1 : 0; break;
+          case UnOp::kAbs:
+            out[i] = e->type == Scalar::kF32
+                         ? (a & 0x7FFFFFFFu)
+                         : static_cast<uint32_t>(std::abs(static_cast<int32_t>(a)));
+            break;
+          case UnOp::kBitcastI2F:
+          case UnOp::kBitcastF2I:
+            out[i] = a;
+            break;
+        }
+      }
+      give_vec(std::move(ta));
       return Status::ok();
     }
     case ExprKind::kSelect: {
-      uint32_t c = 0;
-      if (auto st = eval(e->a(), item, c); !st.is_ok()) return st;
-      return eval(c != 0 ? e->b() : e->c(), item, out);
-    }
-    case ExprKind::kCast: {
-      uint32_t a = 0;
-      if (auto st = eval(e->a(), item, a); !st.is_ok()) return st;
-      if (e->type == Scalar::kF32) {
-        out = f2u(static_cast<float>(static_cast<int32_t>(a)));
-      } else {
-        const float f = u2f(a);
-        // Match fcvt.w.s truncation with clamping.
-        if (std::isnan(f)) {
-          out = 0x7FFFFFFFu;
-        } else if (f <= -2147483648.0f) {
-          out = 0x80000000u;
-        } else if (f >= 2147483648.0f) {
-          out = 0x7FFFFFFFu;
+      Vec tc = take_vec();
+      if (auto st = eval(e->a(), m, n, tc); !st.is_ok()) {
+        give_vec(std::move(tc));
+        return st;
+      }
+      // Each lane evaluates only its taken arm (per-item laziness).
+      Mask mb = take_mask();
+      Mask mc = take_mask();
+      uint32_t nb = 0, nc = 0;
+      for (uint32_t i = 0; i < items; ++i) {
+        if (!m[i]) continue;
+        if (tc[i] != 0) {
+          mb[i] = 1;
+          ++nb;
         } else {
-          out = static_cast<uint32_t>(static_cast<int32_t>(f));
+          mc[i] = 1;
+          ++nc;
         }
       }
+      Status st = Status::ok();
+      Vec tv = take_vec();
+      if (nb > 0) {
+        st = eval(e->b(), mb, nb, tv);
+        if (st.is_ok()) {
+          for (uint32_t i = 0; i < items; ++i) {
+            if (mb[i]) out[i] = tv[i];
+          }
+        }
+      }
+      if (st.is_ok() && nc > 0) {
+        st = eval(e->c(), mc, nc, tv);
+        if (st.is_ok()) {
+          for (uint32_t i = 0; i < items; ++i) {
+            if (mc[i]) out[i] = tv[i];
+          }
+        }
+      }
+      give_vec(std::move(tv));
+      give_mask(std::move(mc));
+      give_mask(std::move(mb));
+      give_vec(std::move(tc));
+      return st;
+    }
+    case ExprKind::kCast: {
+      Vec ta = take_vec();
+      if (auto st = eval(e->a(), m, n, ta); !st.is_ok()) {
+        give_vec(std::move(ta));
+        return st;
+      }
+      for (uint32_t i = 0; i < items; ++i) {
+        if (!m[i]) continue;
+        const uint32_t a = ta[i];
+        if (e->type == Scalar::kF32) {
+          out[i] = f2u(static_cast<float>(static_cast<int32_t>(a)));
+        } else {
+          const float f = u2f(a);
+          // Match fcvt.w.s truncation with clamping.
+          if (std::isnan(f)) {
+            out[i] = 0x7FFFFFFFu;
+          } else if (f <= -2147483648.0f) {
+            out[i] = 0x80000000u;
+          } else if (f >= 2147483648.0f) {
+            out[i] = 0x7FFFFFFFu;
+          } else {
+            out[i] = static_cast<uint32_t>(static_cast<int32_t>(f));
+          }
+        }
+      }
+      give_vec(std::move(ta));
       return Status::ok();
     }
     case ExprKind::kLoad: {
-      uint32_t index = 0;
-      if (auto st = eval(e->a(), item, index); !st.is_ok()) return st;
-      std::vector<uint32_t>* data = nullptr;
-      if (auto st = buffer_access(e->index, e->is_local, index, &data); !st.is_ok()) return st;
-      if (options_.on_load) options_.on_load(e.get());
-      out = (*data)[index];
+      Vec ti = take_vec();
+      if (auto st = eval(e->a(), m, n, ti); !st.is_ok()) {
+        give_vec(std::move(ti));
+        return st;
+      }
+      for (uint32_t i = 0; i < items; ++i) {
+        if (!m[i]) continue;
+        std::vector<uint32_t>* data = nullptr;
+        if (auto st = buffer_access(e->index, e->is_local, ti[i], &data); !st.is_ok()) {
+          give_vec(std::move(ti));
+          return st;
+        }
+        if (options_.on_load) options_.on_load(e.get());
+        out[i] = (*data)[ti[i]];
+      }
+      give_vec(std::move(ti));
       return Status::ok();
     }
     case ExprKind::kCall: {
-      uint32_t a = 0;
-      if (auto st = eval(e->args[0], item, a); !st.is_ok()) return st;
-      const float x = u2f(a);
-      switch (e->call) {
-        case Builtin::kSqrt: out = f2u(std::sqrt(x)); break;
-        case Builtin::kRsqrt: out = f2u(1.0f / std::sqrt(x)); break;
-        case Builtin::kExp: out = f2u(std::exp(x)); break;
-        case Builtin::kLog: out = f2u(std::log(x)); break;
-        case Builtin::kFloor: out = f2u(std::floor(x)); break;
-        case Builtin::kPowi: {
-          uint32_t n_bits = 0;
-          if (auto st = eval(e->args[1], item, n_bits); !st.is_ok()) return st;
-          int32_t n = static_cast<int32_t>(n_bits);
-          float base = x, result = 1.0f;
-          const bool invert = n < 0;
-          if (invert) n = -n;
-          while (n > 0) {
-            if (n & 1) result *= base;
-            base *= base;
-            n >>= 1;
+      Vec ta = take_vec();
+      Status st = eval(e->args[0], m, n, ta);
+      Vec tb = take_vec();
+      if (st.is_ok() && e->call == Builtin::kPowi) st = eval(e->args[1], m, n, tb);
+      if (!st.is_ok()) {
+        give_vec(std::move(tb));
+        give_vec(std::move(ta));
+        return st;
+      }
+      for (uint32_t i = 0; i < items; ++i) {
+        if (!m[i]) continue;
+        const float x = u2f(ta[i]);
+        switch (e->call) {
+          case Builtin::kSqrt: out[i] = f2u(std::sqrt(x)); break;
+          case Builtin::kRsqrt: out[i] = f2u(1.0f / std::sqrt(x)); break;
+          case Builtin::kExp: out[i] = f2u(std::exp(x)); break;
+          case Builtin::kLog: out[i] = f2u(std::log(x)); break;
+          case Builtin::kFloor: out[i] = f2u(std::floor(x)); break;
+          case Builtin::kPowi: {
+            int32_t pow_n = static_cast<int32_t>(tb[i]);
+            float base = x, result = 1.0f;
+            const bool invert = pow_n < 0;
+            if (invert) pow_n = -pow_n;
+            while (pow_n > 0) {
+              if (pow_n & 1) result *= base;
+              base *= base;
+              pow_n >>= 1;
+            }
+            out[i] = f2u(invert ? 1.0f / result : result);
+            break;
           }
-          out = f2u(invert ? 1.0f / result : result);
-          break;
         }
       }
+      give_vec(std::move(tb));
+      give_vec(std::move(ta));
       return Status::ok();
     }
   }
   return fail("unreachable expression kind");
 }
 
-Status GroupExec::exec(const Stmt& s, const std::vector<uint8_t>& active) {
+void collect_loads(const ExprPtr& e, std::vector<LoadSite>& out) {
+  if (e->kind == ExprKind::kLoad) out.push_back(LoadSite{e->index, e->is_local});
+  for (const auto& arg : e->args) collect_loads(arg, out);
+}
+
+// True when a load in the store's index/value expressions may read the
+// stored buffer (including two buffer params bound to the same host
+// vector): those stores must execute item-sequentially so later items
+// observe earlier items' writes, exactly like the item-major evaluator.
+bool GroupExec::store_may_alias(const Stmt& s) {
+  auto [it, inserted] = ctx_.store_loads.try_emplace(&s);
+  if (inserted) {
+    collect_loads(s.a, it->second);
+    collect_loads(s.b, it->second);
+  }
+  if (it->second.empty()) return false;
+  const std::vector<uint32_t>* target = nullptr;
+  if (s.is_local) {
+    if (s.buffer < 0 || static_cast<size_t>(s.buffer) >= ctx_.locals.size()) return true;
+    target = &ctx_.locals[static_cast<size_t>(s.buffer)];
+  } else {
+    if (s.buffer < 0 || static_cast<size_t>(s.buffer) >= ctx_.args->size()) return true;
+    const KernelArg& arg = (*ctx_.args)[static_cast<size_t>(s.buffer)];
+    if (!arg.is_buffer || arg.data == nullptr) return true;
+    target = arg.data;
+  }
+  for (const LoadSite& site : it->second) {
+    const std::vector<uint32_t>* src = nullptr;
+    if (site.is_local) {
+      if (site.index < 0 || static_cast<size_t>(site.index) >= ctx_.locals.size()) return true;
+      src = &ctx_.locals[static_cast<size_t>(site.index)];
+    } else {
+      if (site.index < 0 || static_cast<size_t>(site.index) >= ctx_.args->size()) return true;
+      const KernelArg& arg = (*ctx_.args)[static_cast<size_t>(site.index)];
+      if (!arg.is_buffer || arg.data == nullptr) return true;
+      src = arg.data;
+    }
+    if (src == target) return true;
+  }
+  return false;
+}
+
+Status GroupExec::exec_store_sequential(const Stmt& s, const Mask& active) {
+  Mask single = take_mask();
+  Vec ti = take_vec();
+  Vec tv = take_vec();
+  Status st = Status::ok();
+  for (uint32_t i = 0; i < ctx_.items && st.is_ok(); ++i) {
+    if (!active[i]) continue;
+    single[i] = 1;
+    st = eval(s.a, single, 1, ti);
+    if (st.is_ok()) st = eval(s.b, single, 1, tv);
+    if (st.is_ok()) {
+      std::vector<uint32_t>* data = nullptr;
+      st = buffer_access(s.buffer, s.is_local, ti[i], &data);
+      if (st.is_ok()) {
+        if (options_.on_store) options_.on_store(&s);
+        (*data)[ti[i]] = tv[i];
+      }
+    }
+    single[i] = 0;
+  }
+  give_vec(std::move(tv));
+  give_vec(std::move(ti));
+  give_mask(std::move(single));
+  return st;
+}
+
+Status GroupExec::exec(const Stmt& s, const Mask& active, uint32_t n_active) {
   if (++ctx_.statements_executed > options_.max_statements) {
     return fail("statement budget exceeded (runaway kernel?)");
   }
   switch (s.kind) {
     case StmtKind::kLet:
     case StmtKind::kAssign: {
+      // Create the slot before evaluating so a self-referencing initializer
+      // reads the zero-filled slot instead of failing as undefined.
       auto& slot = var_slot(s.var);
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
-        if (!active[i]) continue;
-        uint32_t value = 0;
-        if (auto st = eval(s.a, i, value); !st.is_ok()) return st;
-        slot[i] = value;
-      }
-      return Status::ok();
-    }
-    case StmtKind::kStore: {
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
-        if (!active[i]) continue;
-        uint32_t index = 0, value = 0;
-        if (auto st = eval(s.a, i, index); !st.is_ok()) return st;
-        if (auto st = eval(s.b, i, value); !st.is_ok()) return st;
-        std::vector<uint32_t>* data = nullptr;
-        if (auto st = buffer_access(s.buffer, s.is_local, index, &data); !st.is_ok()) return st;
-        if (options_.on_store) options_.on_store(&s);
-        (*data)[index] = value;
-      }
-      return Status::ok();
-    }
-    case StmtKind::kIf: {
-      std::vector<uint8_t> then_mask(ctx_.items, 0), else_mask(ctx_.items, 0);
-      bool any_then = false, any_else = false;
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
-        if (!active[i]) continue;
-        uint32_t cond = 0;
-        if (auto st = eval(s.a, i, cond); !st.is_ok()) return st;
-        if (cond != 0) {
-          then_mask[i] = 1;
-          any_then = true;
-        } else {
-          else_mask[i] = 1;
-          any_else = true;
+      Vec tmp = take_vec();
+      Status st = eval(s.a, active, n_active, tmp);
+      if (st.is_ok()) {
+        for (uint32_t i = 0; i < ctx_.items; ++i) {
+          if (active[i]) slot[i] = tmp[i];
         }
       }
-      if (any_then) {
-        if (auto st = run_block(s.body, then_mask); !st.is_ok()) return st;
+      give_vec(std::move(tmp));
+      return st;
+    }
+    case StmtKind::kStore: {
+      if (store_may_alias(s)) return exec_store_sequential(s, active);
+      Vec ti = take_vec();
+      Vec tv = take_vec();
+      Status st = eval(s.a, active, n_active, ti);
+      if (st.is_ok()) st = eval(s.b, active, n_active, tv);
+      for (uint32_t i = 0; i < ctx_.items && st.is_ok(); ++i) {
+        if (!active[i]) continue;
+        std::vector<uint32_t>* data = nullptr;
+        st = buffer_access(s.buffer, s.is_local, ti[i], &data);
+        if (st.is_ok()) {
+          if (options_.on_store) options_.on_store(&s);
+          (*data)[ti[i]] = tv[i];
+        }
       }
-      if (any_else && !s.else_body.empty()) {
-        if (auto st = run_block(s.else_body, else_mask); !st.is_ok()) return st;
+      give_vec(std::move(tv));
+      give_vec(std::move(ti));
+      return st;
+    }
+    case StmtKind::kIf: {
+      Vec tc = take_vec();
+      if (auto st = eval(s.a, active, n_active, tc); !st.is_ok()) {
+        give_vec(std::move(tc));
+        return st;
       }
-      return Status::ok();
+      Mask then_mask = take_mask();
+      Mask else_mask = take_mask();
+      uint32_t n_then = 0, n_else = 0;
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (!active[i]) continue;
+        if (tc[i] != 0) {
+          then_mask[i] = 1;
+          ++n_then;
+        } else {
+          else_mask[i] = 1;
+          ++n_else;
+        }
+      }
+      give_vec(std::move(tc));
+      Status st = Status::ok();
+      if (n_then > 0) st = run_block(s.body, then_mask, n_then);
+      if (st.is_ok() && n_else > 0 && !s.else_body.empty()) {
+        st = run_block(s.else_body, else_mask, n_else);
+      }
+      give_mask(std::move(else_mask));
+      give_mask(std::move(then_mask));
+      return st;
     }
     case StmtKind::kFor: {
       auto& var = var_slot(s.var);
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
-        if (!active[i]) continue;
-        uint32_t begin = 0;
-        if (auto st = eval(s.a, i, begin); !st.is_ok()) return st;
-        var[i] = begin;
+      Vec tmp = take_vec();
+      Status st = eval(s.a, active, n_active, tmp);
+      if (!st.is_ok()) {
+        give_vec(std::move(tmp));
+        return st;
       }
-      std::vector<uint8_t> loop_mask(ctx_.items, 0);
-      while (true) {
+      for (uint32_t i = 0; i < ctx_.items; ++i) {
+        if (active[i]) var[i] = tmp[i];
+      }
+      Mask loop_mask = take_mask();
+      while (st.is_ok()) {
         // Loop iterations count against the statement budget even when the
         // body is empty, so runaway loops always trip the guard.
         if (++ctx_.statements_executed > options_.max_statements) {
-          return fail("statement budget exceeded (runaway kernel?)");
+          st = fail("statement budget exceeded (runaway kernel?)");
+          break;
         }
-        bool any = false;
+        // The bound re-evaluates for every still-active item each
+        // iteration, matching per-item execution.
+        st = eval(s.b, active, n_active, tmp);
+        if (!st.is_ok()) break;
+        uint32_t n_loop = 0;
         for (uint32_t i = 0; i < ctx_.items; ++i) {
           loop_mask[i] = 0;
           if (!active[i]) continue;
-          uint32_t end = 0;
-          if (auto st = eval(s.b, i, end); !st.is_ok()) return st;
-          if (static_cast<int32_t>(var[i]) < static_cast<int32_t>(end)) {
+          if (static_cast<int32_t>(var[i]) < static_cast<int32_t>(tmp[i])) {
             loop_mask[i] = 1;
-            any = true;
+            ++n_loop;
           }
         }
-        if (!any) break;
-        if (auto st = run_block(s.body, loop_mask); !st.is_ok()) return st;
+        if (n_loop == 0) break;
+        st = run_block(s.body, loop_mask, n_loop);
+        if (!st.is_ok()) break;
+        st = eval(s.c, loop_mask, n_loop, tmp);
+        if (!st.is_ok()) break;
         for (uint32_t i = 0; i < ctx_.items; ++i) {
-          if (!loop_mask[i]) continue;
-          uint32_t step = 0;
-          if (auto st = eval(s.c, i, step); !st.is_ok()) return st;
-          var[i] += step;
+          if (loop_mask[i]) var[i] += tmp[i];
         }
       }
-      return Status::ok();
+      give_mask(std::move(loop_mask));
+      give_vec(std::move(tmp));
+      return st;
     }
     case StmtKind::kWhile: {
-      std::vector<uint8_t> loop_mask(ctx_.items, 0);
-      while (true) {
+      Vec tc = take_vec();
+      Mask loop_mask = take_mask();
+      Status st = Status::ok();
+      while (st.is_ok()) {
         if (++ctx_.statements_executed > options_.max_statements) {
-          return fail("statement budget exceeded (runaway kernel?)");
+          st = fail("statement budget exceeded (runaway kernel?)");
+          break;
         }
-        bool any = false;
+        st = eval(s.a, active, n_active, tc);
+        if (!st.is_ok()) break;
+        uint32_t n_loop = 0;
         for (uint32_t i = 0; i < ctx_.items; ++i) {
           loop_mask[i] = 0;
           if (!active[i]) continue;
-          uint32_t cond = 0;
-          if (auto st = eval(s.a, i, cond); !st.is_ok()) return st;
-          if (cond != 0) {
+          if (tc[i] != 0) {
             loop_mask[i] = 1;
-            any = true;
+            ++n_loop;
           }
         }
-        if (!any) break;
-        if (auto st = run_block(s.body, loop_mask); !st.is_ok()) return st;
+        if (n_loop == 0) break;
+        st = run_block(s.body, loop_mask, n_loop);
       }
-      return Status::ok();
+      give_mask(std::move(loop_mask));
+      give_vec(std::move(tc));
+      return st;
     }
     case StmtKind::kBarrier: {
       // OpenCL requires barriers to be reached by every item of the group.
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
-        if (!active[i]) {
-          return fail("barrier reached under divergent control flow (OpenCL UB)");
-        }
+      if (n_active != ctx_.items) {
+        return fail("barrier reached under divergent control flow (OpenCL UB)");
       }
       return Status::ok();  // lockstep execution: nothing to synchronize
     }
     case StmtKind::kAtomic: {
+      // Item-sequential so each item's read-modify-write observes every
+      // earlier item's update (tests assert ticket ordering).
       std::vector<uint32_t>* result = s.result_var.empty() ? nullptr : &var_slot(s.result_var);
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
+      Mask single = take_mask();
+      Vec ti = take_vec();
+      Vec tv = take_vec();
+      Status st = Status::ok();
+      for (uint32_t i = 0; i < ctx_.items && st.is_ok(); ++i) {
         if (!active[i]) continue;
-        uint32_t index = 0, operand = 0;
-        if (auto st = eval(s.a, i, index); !st.is_ok()) return st;
-        if (auto st = eval(s.b, i, operand); !st.is_ok()) return st;
+        single[i] = 1;
+        st = eval(s.a, single, 1, ti);
+        if (st.is_ok()) st = eval(s.b, single, 1, tv);
         std::vector<uint32_t>* data = nullptr;
-        if (auto st = buffer_access(s.buffer, s.is_local, index, &data); !st.is_ok()) return st;
-        if (options_.on_store) options_.on_store(&s);
-        const uint32_t old = (*data)[index];
-        uint32_t next = old;
-        switch (s.atomic) {
-          case AtomicOp::kAdd: next = old + operand; break;
-          case AtomicOp::kMin:
-            next = static_cast<uint32_t>(
-                std::min(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
-            break;
-          case AtomicOp::kMax:
-            next = static_cast<uint32_t>(
-                std::max(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
-            break;
-          case AtomicOp::kAnd: next = old & operand; break;
-          case AtomicOp::kOr: next = old | operand; break;
-          case AtomicOp::kXor: next = old ^ operand; break;
-          case AtomicOp::kExchange: next = operand; break;
-          case AtomicOp::kCmpxchg: {
-            uint32_t cmp = 0;
-            if (auto st = eval(s.c, i, cmp); !st.is_ok()) return st;
-            next = old == cmp ? operand : old;
-            break;
+        if (st.is_ok()) st = buffer_access(s.buffer, s.is_local, ti[i], &data);
+        if (st.is_ok()) {
+          if (options_.on_store) options_.on_store(&s);
+          const uint32_t old = (*data)[ti[i]];
+          const uint32_t operand = tv[i];
+          uint32_t next = old;
+          switch (s.atomic) {
+            case AtomicOp::kAdd: next = old + operand; break;
+            case AtomicOp::kMin:
+              next = static_cast<uint32_t>(
+                  std::min(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
+              break;
+            case AtomicOp::kMax:
+              next = static_cast<uint32_t>(
+                  std::max(static_cast<int32_t>(old), static_cast<int32_t>(operand)));
+              break;
+            case AtomicOp::kAnd: next = old & operand; break;
+            case AtomicOp::kOr: next = old | operand; break;
+            case AtomicOp::kXor: next = old ^ operand; break;
+            case AtomicOp::kExchange: next = operand; break;
+            case AtomicOp::kCmpxchg: {
+              st = eval(s.c, single, 1, tv);
+              if (st.is_ok()) next = old == tv[i] ? operand : old;
+              break;
+            }
+          }
+          if (st.is_ok()) {
+            (*data)[ti[i]] = next;
+            if (result != nullptr) (*result)[i] = old;
           }
         }
-        (*data)[index] = next;
-        if (result != nullptr) (*result)[i] = old;
+        single[i] = 0;
       }
-      return Status::ok();
+      give_vec(std::move(tv));
+      give_vec(std::move(ti));
+      give_mask(std::move(single));
+      return st;
     }
     case StmtKind::kPrint: {
-      for (uint32_t i = 0; i < ctx_.items; ++i) {
+      Mask single = take_mask();
+      Vec tv = take_vec();
+      Status st = Status::ok();
+      for (uint32_t i = 0; i < ctx_.items && st.is_ok(); ++i) {
         if (!active[i]) continue;
+        single[i] = 1;
         std::string rendered;
         size_t arg_index = 0;
         const std::string& fmt = s.text;
-        for (size_t p = 0; p < fmt.size(); ++p) {
+        for (size_t p = 0; p < fmt.size() && st.is_ok(); ++p) {
           if (fmt[p] != '%' || p + 1 == fmt.size()) {
             rendered += fmt[p];
             continue;
@@ -446,7 +737,9 @@ Status GroupExec::exec(const Stmt& s, const std::vector<uint8_t>& active) {
           }
           uint32_t value = 0;
           if (arg_index < s.print_args.size()) {
-            if (auto st = eval(s.print_args[arg_index++], i, value); !st.is_ok()) return st;
+            st = eval(s.print_args[arg_index++], single, 1, tv);
+            if (!st.is_ok()) break;
+            value = tv[i];
           }
           char buf[48];
           switch (spec) {
@@ -458,18 +751,23 @@ Status GroupExec::exec(const Stmt& s, const std::vector<uint8_t>& active) {
           }
           rendered += buf;
         }
+        single[i] = 0;
+        if (!st.is_ok()) break;
         if (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
         if (options_.print_sink) options_.print_sink(rendered);
       }
-      return Status::ok();
+      give_vec(std::move(tv));
+      give_mask(std::move(single));
+      return st;
     }
   }
   return fail("unreachable statement kind");
 }
 
-Status GroupExec::run_block(const std::vector<StmtPtr>& block, const std::vector<uint8_t>& active) {
+Status GroupExec::run_block(const std::vector<StmtPtr>& block, const Mask& active,
+                            uint32_t n_active) {
   for (const auto& s : block) {
-    if (auto st = exec(*s, active); !st.is_ok()) return st;
+    if (auto st = exec(*s, active, n_active); !st.is_ok()) return st;
   }
   return Status::ok();
 }
@@ -524,7 +822,7 @@ Status Interpreter::run(const Kernel& kernel, const std::vector<KernelArg>& args
           ctx.locals.emplace_back(array.size, 0u);
         }
         GroupExec exec(ctx, options_);
-        if (auto st = exec.run_block(kernel.body, full); !st.is_ok()) return st;
+        if (auto st = exec.run_block(kernel.body, full, ctx.items); !st.is_ok()) return st;
       }
     }
   }

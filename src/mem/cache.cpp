@@ -63,11 +63,7 @@ bool Cache::can_accept() const {
   // conservative when the incoming request would merge into an existing
   // MSHR, but that is exactly the back-pressure behaviour that produces
   // LSU stalls in the soft GPU under high warp/thread counts (paper §III-C).
-  uint32_t used = 0;
-  for (const auto& mshr : mshrs_) {
-    if (!mshr.waiters.empty() || mshr.fill_sent) ++used;
-  }
-  return used < config_.mshrs;
+  return mshr_used_ < config_.mshrs;
 }
 
 void Cache::send(const MemRequest& req) {
@@ -115,6 +111,8 @@ void Cache::send(const MemRequest& req) {
   slot->fill_sent = false;
   slot->waiters.clear();
   slot->waiters.push_back(req);
+  ++mshr_used_;
+  ++mshr_unsent_;
 }
 
 void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
@@ -132,6 +130,7 @@ void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
       }
       mshr.waiters.clear();
       mshr.fill_sent = false;
+      --mshr_used_;
       break;
     }
   }
@@ -160,6 +159,8 @@ void Cache::tick(uint64_t cycle) {
   }
   now_ = cycle;
   accepted_this_cycle_ = 0;
+  // Fast path: nothing queued anywhere — the common case for an idle cache.
+  if (hit_queue_.empty() && writeback_queue_.empty() && mshr_unsent_ == 0) return;
 
   // Drain hit responses whose latency elapsed.
   while (!hit_queue_.empty() && hit_queue_.front().ready_cycle <= now_) {
@@ -175,15 +176,29 @@ void Cache::tick(uint64_t cycle) {
   }
 
   // Issue line fills for MSHRs that have not sent one yet.
-  for (auto& mshr : mshrs_) {
-    if (!mshr.waiters.empty() && !mshr.fill_sent) {
-      if (!lower_->can_accept()) break;
-      const uint64_t id = next_lower_id_++;
-      fill_ids_[id] = mshr.line_addr;
-      lower_->send(MemRequest{.id = id, .addr = mshr.line_addr << kLineShift, .is_write = false});
-      mshr.fill_sent = true;
+  if (mshr_unsent_ > 0) {
+    for (auto& mshr : mshrs_) {
+      if (!mshr.waiters.empty() && !mshr.fill_sent) {
+        if (!lower_->can_accept()) break;
+        const uint64_t id = next_lower_id_++;
+        fill_ids_[id] = mshr.line_addr;
+        lower_->send(MemRequest{.id = id, .addr = mshr.line_addr << kLineShift, .is_write = false});
+        mshr.fill_sent = true;
+        --mshr_unsent_;
+      }
     }
   }
+}
+
+uint64_t Cache::next_event_cycle() const {
+  // Unsent lower-level traffic retries every cycle (its send time depends
+  // on lower-level back-pressure we cannot predict): next tick is an event.
+  if (!writeback_queue_.empty() || mshr_unsent_ > 0) return now_ + 1;
+  // Hit responses are drained front-gated in FIFO order, and ready cycles
+  // are pushed in nondecreasing order (now_ + hit_latency), so the front
+  // holds the earliest maturity.
+  if (!hit_queue_.empty()) return std::max(hit_queue_.front().ready_cycle, now_ + 1);
+  return kNoEvent;
 }
 
 }  // namespace fgpu::mem

@@ -39,6 +39,12 @@ class Cache final : public MemPort {
   void set_response_handler(ResponseHandler handler) override { handler_ = std::move(handler); }
   void tick(uint64_t cycle) override;
 
+  // Earliest future cycle (> the last ticked cycle) at which this cache has
+  // work to do on its own: a queued hit response maturing, or unsent
+  // lower-level traffic (writebacks / MSHR fills) to retry. kNoEvent when
+  // it is quiescent apart from responses owed by the lower level.
+  uint64_t next_event_cycle() const;
+
   const CacheConfig& config() const { return config_; }
   const MemStats& stats() const { return stats_; }
   // Evictions per set (the profiler's cache-conflict histogram: a hot set
@@ -95,6 +101,8 @@ class Cache final : public MemPort {
   uint64_t now_ = 0;
   uint64_t lru_counter_ = 0;
   uint32_t accepted_this_cycle_ = 0;
+  uint32_t mshr_used_ = 0;    // MSHRs with waiters or a fill in flight
+  uint32_t mshr_unsent_ = 0;  // MSHRs still needing to send their fill
   uint64_t next_lower_id_ = 1;
   std::unordered_map<uint64_t, uint32_t> fill_ids_;  // lower-level id -> line addr
   MemStats stats_;

@@ -1,5 +1,6 @@
 #include "mem/dram.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "trace/trace.hpp"
@@ -55,6 +56,15 @@ void DramModel::tick(uint64_t cycle) {
       if (handler_) handler_(entry.req.id, entry.req.is_write);
     }
   }
+}
+
+uint64_t DramModel::next_event_cycle() const {
+  uint64_t next = kNoEvent;
+  for (const auto& queue : queues_) {
+    if (queue.empty()) continue;
+    next = std::min(next, std::max(queue.front().ready_cycle, now_ + 1));
+  }
+  return next;
 }
 
 void DramModel::trace_counters(uint64_t cycle) {

@@ -35,6 +35,12 @@ class DramModel final : public MemPort {
   void set_response_handler(ResponseHandler handler) override { handler_ = std::move(handler); }
   void tick(uint64_t cycle) override;
 
+  // Earliest future cycle (> the last ticked cycle) at which a queued
+  // request matures; kNoEvent when all channels are empty. Queues are
+  // served front-gated in FIFO order with nondecreasing ready cycles, so
+  // each channel's front holds its earliest event.
+  uint64_t next_event_cycle() const;
+
   const DramConfig& config() const { return config_; }
   const MemStats& stats() const { return stats_; }
   uint64_t bytes_read() const { return stats_.reads * kLineBytes; }

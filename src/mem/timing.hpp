@@ -19,6 +19,10 @@ constexpr uint32_t kLineShift = 4;
 
 inline uint32_t line_of(uint32_t addr) { return addr >> kLineShift; }
 
+// "No pending event" sentinel for next-event-cycle queries (idle skipping:
+// the cluster fast-forwards to the minimum next event across components).
+constexpr uint64_t kNoEvent = ~0ull;
+
 struct MemRequest {
   uint64_t id = 0;       // requester-chosen token, returned with the response
   uint32_t addr = 0;     // byte address (component aligns to its granularity)

@@ -170,6 +170,7 @@ void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
   w.field("ok", run.ok());
   w.field("fail_reason", run.fail_reason);
   w.field("total_cycles", run.total_cycles);
+  w.field("total_instrs", run.total_instrs);
   w.field("total_time_ms", run.total_time_ms);
   if (kind == DeviceKind::kHls) {
     w.field("synthesis_hours", run.synthesis_hours);

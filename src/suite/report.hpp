@@ -30,6 +30,12 @@ inline constexpr const char* kStatsSchema = "fgpu.stats.v1";
 // OBSERVABILITY.md "Profiles" for the field-by-field schema).
 inline constexpr const char* kProfileSchema = "fgpu.profile.v1";
 
+// Version tag of the host-throughput export (fgpu-run --host-json; see
+// OBSERVABILITY.md "Host throughput"). Host wall-clock lives in its own
+// document — never in fgpu.stats.v1, whose determinism contract (byte-
+// identical across --jobs and hosts) forbids any host-time field.
+inline constexpr const char* kHostSchema = "fgpu.host.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls };
 

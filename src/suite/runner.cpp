@@ -1,5 +1,6 @@
 #include "suite/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <regex>
@@ -71,7 +72,10 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
     config.profile = config.profile || options.capture_profile;
     vcl::VortexDevice device(config, board);
     outcome.vortex_device = device.name();
+    const auto t0 = std::chrono::steady_clock::now();
     outcome.vortex = run_benchmark(device, bench);
+    outcome.vortex_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     outcome.ran_vortex = true;
   }
   if (options.run_hls) {
@@ -79,7 +83,10 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
         options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
     vcl::HlsDevice device(board);
     outcome.hls_device = device.name();
+    const auto t0 = std::chrono::steady_clock::now();
     outcome.hls = run_benchmark(device, bench);
+    outcome.hls_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     outcome.ran_hls = true;
   }
 }
@@ -150,6 +157,13 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
   w.begin_object();
   w.field("schema", kStatsSchema);
   write_suite_header(w, options, result);
+  if (options.host_in_stats) {
+    // Opt-in only (see RunnerOptions::host_in_stats): these bytes vary per
+    // machine and run, so default documents stay byte-comparable.
+    w.key("host").begin_object();
+    w.field("wall_ms", result.wall_ms);
+    w.end_object();
+  }
   w.key("benchmarks").begin_array();
   for (const auto& outcome : result.outcomes) {
     w.begin_object();
@@ -163,6 +177,14 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
     if (outcome.ran_hls) {
       w.key("hls");
       write_json(w, outcome.hls, DeviceKind::kHls, outcome.hls_device);
+    }
+    if (options.host_in_stats && outcome.ran_vortex) {
+      w.key("host").begin_object();
+      w.field("vortex_wall_ms", outcome.vortex_wall_ms);
+      const double secs = outcome.vortex_wall_ms / 1e3;
+      w.field("vortex_mips",
+              secs > 0.0 ? static_cast<double>(outcome.vortex.total_instrs) / 1e6 / secs : 0.0);
+      w.end_object();
     }
     w.end_object();
   }
@@ -187,6 +209,101 @@ void write_profile_json(std::ostream& os, const RunnerOptions& options,
     w.key("kernels").begin_array();
     for (const auto& profile : outcome.vortex.kernel_profiles) write_json(w, profile);
     w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+// Simulated throughput over a host wall time: millions of X per second.
+double rate_per_sec(uint64_t count, double wall_ms) {
+  if (wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(count) / 1e6 / (wall_ms / 1e3);
+}
+
+}  // namespace
+
+void write_host_json(std::ostream& os, const RunnerOptions& options,
+                     const std::vector<const SuiteRunResult*>& repeats) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kHostSchema);
+  const SuiteRunResult& primary = *repeats.front();
+  write_suite_header(w, options, primary);
+  w.field("jobs", static_cast<uint64_t>(options.jobs));
+  w.field("repeats", static_cast<uint64_t>(repeats.size()));
+
+  // Suite totals: wall time per repeat, plus min/median (--repeat smooths
+  // host noise so numbers are comparable across PRs; see tools/
+  // check_baseline.py's non-gating host comparison).
+  std::vector<double> walls;
+  walls.reserve(repeats.size());
+  for (const SuiteRunResult* run : repeats) walls.push_back(run->wall_ms);
+  uint64_t total_cycles = 0, total_instrs = 0;
+  for (const auto& outcome : primary.outcomes) {
+    if (outcome.ran_vortex && outcome.vortex.ok()) {
+      total_cycles += outcome.vortex.total_cycles;
+      total_instrs += outcome.vortex.total_instrs;
+    }
+  }
+  const double wall_min = *std::min_element(walls.begin(), walls.end());
+  w.key("suite_wall_ms").begin_object();
+  w.field("min", wall_min);
+  w.field("median", median_of(walls));
+  w.key("all").begin_array();
+  for (const double ms : walls) w.value(ms);
+  w.end_array();
+  w.end_object();
+  w.field("vortex_total_cycles", total_cycles);
+  w.field("vortex_total_instrs", total_instrs);
+  // Suite-level rates use the min wall (the least-noise estimate of the
+  // machine's actual throughput).
+  w.field("vortex_mcps", rate_per_sec(total_cycles, wall_min));
+  w.field("vortex_mips", rate_per_sec(total_instrs, wall_min));
+
+  // Per-benchmark wall times: min over repeats, per device. The repeats all
+  // ran the same canonical benchmark list, so index i is the same
+  // benchmark in every run.
+  w.key("benchmarks").begin_array();
+  for (size_t i = 0; i < primary.outcomes.size(); ++i) {
+    const auto& outcome = primary.outcomes[i];
+    w.begin_object();
+    w.field("name", outcome.name);
+    if (outcome.ran_vortex) {
+      double best = outcome.vortex_wall_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best = std::min(best, run->outcomes[i].vortex_wall_ms);
+      }
+      w.key("vortex").begin_object();
+      w.field("ok", outcome.vortex.ok());
+      w.field("wall_ms", best);
+      w.field("cycles", outcome.vortex.total_cycles);
+      w.field("instrs", outcome.vortex.total_instrs);
+      w.field("mcps", rate_per_sec(outcome.vortex.total_cycles, best));
+      w.field("mips", rate_per_sec(outcome.vortex.total_instrs, best));
+      w.end_object();
+    }
+    if (outcome.ran_hls) {
+      double best = outcome.hls_wall_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best = std::min(best, run->outcomes[i].hls_wall_ms);
+      }
+      w.key("hls").begin_object();
+      w.field("ok", outcome.hls.ok());
+      w.field("wall_ms", best);
+      w.field("cycles", outcome.hls.total_cycles);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -42,6 +42,12 @@ struct RunnerOptions {
   // Collect the per-PC cycle profile on the soft GPU (exported via
   // write_profile_json; see vortex/profile.hpp and OBSERVABILITY.md).
   bool capture_profile = false;
+  // Opt-in: embed host wall-clock / simulated-MIPS fields into the stats
+  // JSON. Default off because fgpu.stats.v1's determinism contract forbids
+  // host-dependent bytes (byte-identical across --jobs, machines, and the
+  // BENCH_table1.json baseline). Prefer write_host_json (fgpu.host.v1),
+  // which quarantines host metrics in their own document.
+  bool host_in_stats = false;
 };
 
 struct BenchmarkOutcome {
@@ -55,6 +61,10 @@ struct BenchmarkOutcome {
   std::string vortex_device;  // device name strings for the report
   std::string hls_device;
   std::unique_ptr<trace::Sink> trace;  // set when capture_trace
+  // Host wall-clock of each device run. NOT serialized into the stats
+  // JSON (determinism contract) — exported via write_host_json.
+  double vortex_wall_ms = 0.0;
+  double hls_wall_ms = 0.0;
 };
 
 struct SuiteRunResult {
@@ -89,5 +99,14 @@ void write_profile_json(std::ostream& os, const RunnerOptions& options,
 // Merges per-benchmark trace sinks into one Chrome trace_event file
 // (pid = benchmark position, process name = benchmark name).
 void write_trace_json(std::ostream& os, const SuiteRunResult& result);
+
+// Serializes host-throughput measurements to the fgpu.host.v1 schema:
+// per-benchmark wall times (min over repeats) with simulated MIPS /
+// Mcycle-per-second rates, plus suite totals (min/median over repeats).
+// `repeats` holds one SuiteRunResult per --repeat iteration; the first is
+// the primary run whose stats/profile were exported. Host wall-clock is
+// deliberately quarantined in this document — see OBSERVABILITY.md.
+void write_host_json(std::ostream& os, const RunnerOptions& options,
+                     const std::vector<const SuiteRunResult*>& repeats);
 
 }  // namespace fgpu::suite

@@ -188,6 +188,7 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
       return result;
     }
     result.total_cycles += stats->device_cycles;
+    result.total_instrs += stats->perf.instrs;
     result.total_time_ms += stats->time_ms();
     if (stats->profile.enabled) {
       KernelProfile* kp = nullptr;

@@ -94,6 +94,7 @@ struct DeviceRun {
   Status verify;         // result check
   std::string fail_reason;  // short Table-I-style reason ("Not enough BRAM")
   uint64_t total_cycles = 0;
+  uint64_t total_instrs = 0;  // simulated instructions summed over launches
   double total_time_ms = 0.0;
   vcl::LaunchStats last;  // stats of the final launch
   fpga::AreaReport area;  // HLS: summed module area

@@ -1,5 +1,7 @@
 #include "vortex/cluster.hpp"
 
+#include <algorithm>
+
 #include "trace/trace.hpp"
 
 namespace fgpu::vortex {
@@ -56,12 +58,45 @@ void Cluster::tick() {
   if constexpr (trace::kEnabled) {
     if ((cycle_ & (trace::kCounterBucketCycles - 1)) == 0) trace_counters();
   }
+  // Clear the per-cycle progress flags before anything can deliver a
+  // response (memory responses count as progress for idle skipping).
+  for (auto& core : cores_) core->begin_tick();
   // Bottom-up so responses ripple one level per cycle.
   dram_.tick(cycle_);
   l2_.tick(cycle_);
   for (auto& core : cores_) core->tick_caches(cycle_);
   for (auto& core : cores_) core->tick_logic(cycle_);
   ++cycle_;
+}
+
+// Event-driven idle skipping (Config::idle_skip). Called after a tick: if
+// no core made progress on that cycle, the machine's state is frozen until
+// the earliest self-scheduled event anywhere in the hierarchy — every
+// intervening cycle would replay the same issue outcome. Jump there,
+// letting each core bulk-attribute the skipped cycles to the stall bucket
+// it charged on the base cycle (preserving PerfCounters and the per-PC
+// profile's exact-sum contract to the cycle; see tests/test_fastpath.cpp).
+void Cluster::try_idle_skip() {
+  for (const auto& core : cores_) {
+    if (core->progressed()) return;
+  }
+  // `cycle_` was already advanced past the stalled cycle; components were
+  // last ticked at cycle_ - 1 and their queries are relative to that.
+  const uint64_t base = cycle_ - 1;
+  uint64_t wake = dram_.next_event_cycle();
+  wake = std::min(wake, l2_.next_event_cycle());
+  for (const auto& core : cores_) {
+    wake = std::min(wake, core->l1d().next_event_cycle());
+    wake = std::min(wake, core->l1i().next_event_cycle());
+    wake = std::min(wake, core->next_wake_cycle(base));
+  }
+  // No known event (e.g. a barrier deadlock): keep per-cycle ticking so the
+  // max_cycles guard fires exactly as before.
+  if (wake == mem::kNoEvent) return;
+  wake = std::min(wake, config_.max_cycles);
+  if (wake <= cycle_) return;
+  for (auto& core : cores_) core->fast_forward(cycle_, wake - cycle_);
+  cycle_ = wake;
 }
 
 // Per-bucket stall-attribution samples: one cumulative counter track per
@@ -116,8 +151,12 @@ PcProfile Cluster::collect_profile() const {
 
 Result<ClusterStats> Cluster::run(uint32_t entry_pc) {
   reset(entry_pc);
+  // Idle skipping is bypassed while a trace sink is active: the per-cycle
+  // counter tracks sample on a cycle grid the skip would jump over.
+  const bool idle_skip = config_.idle_skip && trace::current() == nullptr;
   while (busy()) {
     tick();
+    if (idle_skip) try_idle_skip();
     if (cycle_ >= config_.max_cycles) {
       return Result<ClusterStats>(ErrorKind::kRuntimeError,
                                   "kernel exceeded max_cycles=" + std::to_string(config_.max_cycles) +

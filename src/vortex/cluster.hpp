@@ -49,6 +49,7 @@ class Cluster {
 
  private:
   void trace_counters() const;
+  void try_idle_skip();
 
   Config config_;
   mem::MainMemory& gmem_;

@@ -49,6 +49,15 @@ struct Config {
 
   uint64_t max_cycles = 400'000'000;  // runaway-kernel guard
 
+  // Event-driven idle skipping: when no core makes progress in a cycle and
+  // every in-flight event has a known wake-up cycle, the cluster jumps to
+  // the earliest one, bulk-attributing the skipped cycles to the same stall
+  // buckets the per-cycle path would have charged. Host-speed only — every
+  // reported cycle/stat/profile is identical either way (the A/B test in
+  // tests/test_fastpath.cpp asserts this). Disable when debugging cycle by
+  // cycle; automatically bypassed while a trace sink is active.
+  bool idle_skip = true;
+
   // Per-PC cycle profiler (vortex/profile.hpp): attribute every issue-stage
   // cycle to a PC and sample the warp-occupancy timeline. Off by default —
   // collection costs a map update per cycle.

@@ -19,6 +19,18 @@ using arch::Op;
 
 constexpr int kStallNone = 0, kStallScoreboard = 1, kStallLsu = 2, kStallFu = 3;
 
+// In-flight request ids encode their routing slot in the low byte (warp
+// index for fetches, LSU queue slot for data requests) and a monotonically
+// increasing sequence above it, so responses resolve in O(1) and a stale
+// response (from before a reset) can never match a recycled slot.
+constexpr uint64_t kIdSlotBits = 8;
+constexpr uint64_t kIdSlotMask = (1ull << kIdSlotBits) - 1;
+
+// Decode-cache ceiling: PCs past this word index fall back to uncached
+// decode (kernels are tiny; this only guards runaway PCs from growing the
+// cache unboundedly).
+constexpr uint32_t kDecodeCacheMaxWords = 1u << 20;
+
 int32_t as_i32(uint32_t v) { return static_cast<int32_t>(v); }
 
 uint32_t fcvt_w_s(float f, bool is_unsigned) {
@@ -49,61 +61,67 @@ Core::Core(const Config& config, uint32_t core_id, mem::MainMemory& gmem, mem::M
       xregs_(config.warps * config.threads * 32, 0),
       fregs_(config.warps * config.threads * 32, 0),
       lsu_queue_(config.lsu_queue_depth),
+      lsu_free_(config.lsu_queue_depth),
       barrier_arrived_(32, 0),
       barrier_expected_(32, 0) {
+  assert(config_.warps <= (1u << kIdSlotBits) && "warp index must fit the id slot byte");
+  assert(config_.lsu_queue_depth <= (1u << kIdSlotBits) && "LSU slot must fit the id slot byte");
+  for (auto& warp : warps_) warp.ibuffer.init(std::max(1u, config_.ibuffer_depth));
   l1d_.set_response_handler([this](uint64_t id, bool /*w*/) {
-    for (auto it = lsu_inflight_.begin(); it != lsu_inflight_.end(); ++it) {
-      if (it->first == id) {
-        LsuEntry& entry = lsu_queue_[it->second];
-        assert(entry.valid && entry.outstanding > 0);
-        --entry.outstanding;
-        lsu_inflight_.erase(it);
-        if (entry.outstanding == 0 && entry.lines_pending.empty()) {
-          if (entry.has_rd) {
-            Warp& warp = warps_[entry.warp];
-            if (entry.writes_float) {
-              warp.busy_f &= ~(1u << entry.rd);
-            } else {
-              warp.busy_x &= ~(1u << entry.rd);
-            }
-          }
-          entry.valid = false;
+    // O(1): the queue slot is in the id's low byte; the token above it
+    // rejects responses addressed to a previous occupant of the slot.
+    LsuEntry& entry = lsu_queue_[id & kIdSlotMask];
+    if (!entry.valid || entry.token != (id >> kIdSlotBits)) return;  // stale
+    assert(entry.outstanding > 0);
+    --entry.outstanding;
+    progressed_ = true;
+    if (entry.outstanding == 0 && entry.lines_pending.empty()) {
+      if (entry.has_rd) {
+        Warp& warp = warps_[entry.warp];
+        if (entry.writes_float) {
+          warp.busy_f &= ~(1u << entry.rd);
+        } else {
+          warp.busy_x &= ~(1u << entry.rd);
         }
-        return;
       }
+      entry.valid = false;
+      ++lsu_free_;
     }
   });
   l1i_.set_response_handler([this](uint64_t id, bool /*w*/) {
-    for (auto it = fetch_inflight_.begin(); it != fetch_inflight_.end(); ++it) {
-      if (it->first == id) {
-        const FetchReq req = it->second;
-        fetch_inflight_.erase(it);
-        Warp& warp = warps_[req.warp];
-        warp.fetch_pending = false;
-        if (warp.generation != req.generation || !warp.active) return;  // stale
-        const uint32_t word = gmem_.load32(req.pc);
-        auto decoded = arch::decode(word);
-        if (!decoded) {
-          FGPU_LOG(kError, "core %u warp %u: invalid instruction %08x at %08x", core_id_,
-                   req.warp, word, req.pc);
-          warp.active = false;
-          return;
-        }
-        warp.ibuffer.push_back(FetchSlot{*decoded, req.pc});
-        return;
-      }
+    // O(1): the fetching warp is in the id's low byte; the full id must
+    // match the warp's in-flight fetch (stale responses never do).
+    Warp& warp = warps_[id & kIdSlotMask];
+    if (!warp.fetch_pending || warp.fetch_id != id) return;  // stale
+    warp.fetch_pending = false;
+    progressed_ = true;
+    if (warp.generation != warp.fetch_generation || !warp.active) return;  // stale
+    const DecodedInstr* decoded = decode_at(warp.fetch_pc);
+    if (decoded == nullptr) {
+      FGPU_LOG(kError, "core %u warp %u: invalid instruction at %08x", core_id_,
+               static_cast<uint32_t>(id & kIdSlotMask), warp.fetch_pc);
+      warp.active = false;
+      return;
     }
+    warp.ibuffer.push(FetchSlot{*decoded, warp.fetch_pc});
   });
 }
 
 void Core::reset(uint32_t entry_pc) {
-  for (auto& warp : warps_) warp = Warp{};
+  for (auto& warp : warps_) warp.reset();
   std::fill(xregs_.begin(), xregs_.end(), 0u);
   std::fill(fregs_.begin(), fregs_.end(), 0u);
   completions_.clear();
+  completions_min_ready_ = kNoWake;
   for (auto& entry : lsu_queue_) entry = LsuEntry{};
-  lsu_inflight_.clear();
-  fetch_inflight_.clear();
+  lsu_free_ = config_.lsu_queue_depth;
+  // The runtime rewrites the code region between launches; drop every
+  // cached decode (next_mem_id_ is NOT reset, so in-flight responses from a
+  // previous run can never match a new request id).
+  std::fill(decode_valid_.begin(), decode_valid_.end(), uint8_t{0});
+  last_outcome_ = IssueOutcome::kNone;
+  last_stall_pc_ = 0;
+  progressed_ = false;
   std::fill(std::begin(fu_ready_), std::end(fu_ready_), 0ull);
   std::fill(barrier_arrived_.begin(), barrier_arrived_.end(), 0u);
   std::fill(barrier_expected_.begin(), barrier_expected_.end(), 0u);
@@ -223,25 +241,60 @@ void Core::sample_occupancy(uint64_t cycle) {
 }
 
 void Core::do_writeback(uint64_t cycle) {
-  // Completions are pushed in issue order but latencies differ; scan all.
-  for (auto it = completions_.begin(); it != completions_.end();) {
-    if (it->ready_cycle <= cycle) {
-      Warp& warp = warps_[it->warp];
-      if (it->is_float) {
-        warp.busy_f &= ~(1u << it->rd);
+  // Nothing retires before the cached minimum ready cycle — skip the scan
+  // entirely on most cycles (the common case in latency-bound phases).
+  if (completions_min_ready_ > cycle) return;
+  // Completions are unordered (latencies differ); retire by swap-remove —
+  // O(1) per retirement, order-independent since retiring only clears
+  // scoreboard bits — recomputing the minimum over the survivors.
+  uint64_t min_ready = kNoWake;
+  for (size_t i = 0; i < completions_.size();) {
+    const Completion& c = completions_[i];
+    if (c.ready_cycle <= cycle) {
+      Warp& warp = warps_[c.warp];
+      if (c.is_float) {
+        warp.busy_f &= ~(1u << c.rd);
       } else {
-        warp.busy_x &= ~(1u << it->rd);
+        warp.busy_x &= ~(1u << c.rd);
       }
-      it = completions_.erase(it);
+      progressed_ = true;
+      completions_[i] = completions_.back();
+      completions_.pop_back();
     } else {
-      ++it;
+      min_ready = std::min(min_ready, c.ready_cycle);
+      ++i;
     }
   }
+  completions_min_ready_ = min_ready;
 }
 
-bool Core::can_issue(const Warp& warp, const Instr& instr, uint64_t cycle, int* stall_reason) {
+// Scoreboard masks and FU routing were precomputed at decode time
+// (fill_issue_metadata); the issue hot loop is just mask tests.
+bool Core::can_issue(const Warp& warp, const DecodedInstr& d, uint64_t cycle,
+                     int* stall_reason) {
+  if ((warp.busy_x & d.need_x) != 0 || (warp.busy_f & d.need_f) != 0) {
+    *stall_reason = kStallScoreboard;
+    return false;
+  }
+  // Structural hazards.
+  if (d.is_lsu) {
+    if (lsu_free_ == 0) {
+      *stall_reason = kStallLsu;
+      return false;
+    }
+  } else if (fu_ready_[d.fu] > cycle) {
+    *stall_reason = kStallFu;
+    return false;
+  }
+  *stall_reason = kStallNone;
+  return true;
+}
+
+// Derives everything can_issue needs from the instruction format, once per
+// decode-cache fill instead of once per issue attempt.
+void Core::fill_issue_metadata(DecodedInstr* d) {
+  const Instr& instr = d->instr;
   const auto& info = arch::op_info(instr.op);
-  // Scoreboard: all source registers and the destination must be free.
   uint32_t need_x = 0, need_f = 0;
   auto add = [&](uint8_t reg, bool fp) {
     if (fp) {
@@ -295,27 +348,47 @@ bool Core::can_issue(const Warp& warp, const Instr& instr, uint64_t cycle, int* 
       }
       break;
   }
-  if ((warp.busy_x & need_x) != 0 || (warp.busy_f & need_f) != 0) {
-    *stall_reason = kStallScoreboard;
-    return false;
+  d->need_x = need_x;
+  d->need_f = need_f;
+  d->fu = static_cast<uint8_t>(info.fu);
+  d->is_lsu = info.fu == arch::FuClass::kLsu;
+  d->is_store = instr.op == Op::kSb || instr.op == Op::kSh || instr.op == Op::kSw ||
+                instr.op == Op::kFsw;
+}
+
+// Decode through the per-core PC -> DecodedInstr cache. The cache is indexed
+// by code-region word offset, grown on demand, and invalidated wholesale at
+// reset() (the kernel-launch boundary — the same point the L1I is flushed).
+const Core::DecodedInstr* Core::decode_at(uint32_t pc) {
+  const uint32_t word_index = (pc - arch::kCodeBase) / 4;
+  const bool cacheable = pc >= arch::kCodeBase && pc % 4 == 0 &&
+                         word_index < kDecodeCacheMaxWords;
+  if (cacheable && word_index < decode_cache_.size() && decode_valid_[word_index]) {
+    ++decode_hits_;
+    return &decode_cache_[word_index];
   }
-  // Structural hazards.
-  if (info.fu == arch::FuClass::kLsu) {
-    const bool slot_free =
-        std::any_of(lsu_queue_.begin(), lsu_queue_.end(), [](const LsuEntry& e) { return !e.valid; });
-    if (!slot_free) {
-      *stall_reason = kStallLsu;
-      return false;
-    }
-  } else {
-    const auto fu = static_cast<size_t>(info.fu);
-    if (fu_ready_[fu] > cycle) {
-      *stall_reason = kStallFu;
-      return false;
-    }
+  const uint32_t word = gmem_.load32(pc);
+  auto decoded = arch::decode(word);
+  if (!decoded) return nullptr;
+  if (!cacheable) {
+    // Off-region PC (runaway jump): decode into a scratch slot, uncached.
+    static thread_local DecodedInstr scratch;
+    scratch = DecodedInstr{};
+    scratch.instr = *decoded;
+    fill_issue_metadata(&scratch);
+    return &scratch;
   }
-  *stall_reason = kStallNone;
-  return true;
+  if (word_index >= decode_cache_.size()) {
+    decode_cache_.resize(word_index + 1);
+    decode_valid_.resize(word_index + 1, 0);
+  }
+  DecodedInstr& entry = decode_cache_[word_index];
+  entry = DecodedInstr{};
+  entry.instr = *decoded;
+  fill_issue_metadata(&entry);
+  decode_valid_[word_index] = 1;
+  ++decode_fills_;
+  return &entry;
 }
 
 void Core::do_issue(uint64_t cycle) {
@@ -345,13 +418,14 @@ void Core::do_issue(uint64_t cycle) {
       continue;
     }
     int reason = kStallNone;
-    if (!can_issue(warp, warp.ibuffer.front().instr, cycle, &reason)) {
-      if (reason == kStallScoreboard && !saw_scoreboard) scoreboard_pc = warp.ibuffer.front().pc;
-      if (reason == kStallFu && !saw_fu) fu_pc = warp.ibuffer.front().pc;
+    const FetchSlot& head = warp.ibuffer.front();
+    if (!can_issue(warp, head.decoded, cycle, &reason)) {
+      if (reason == kStallScoreboard && !saw_scoreboard) scoreboard_pc = head.pc;
+      if (reason == kStallFu && !saw_fu) fu_pc = head.pc;
       saw_scoreboard |= reason == kStallScoreboard;
       saw_fu |= reason == kStallFu;
       if (reason == kStallLsu) {
-        if (!saw_lsu) lsu_pc = warp.ibuffer.front().pc;
+        if (!saw_lsu) lsu_pc = head.pc;
         saw_lsu = true;
         // The LSU input port is a shared structural resource: a ready LOAD
         // that cannot enter the queue blocks the issue stage (head-of-line),
@@ -359,46 +433,61 @@ void Core::do_issue(uint64_t cycle) {
         // Fig. 7 observation that load-heavy kernels (vecadd) degrade at
         // high warp/thread counts. Stores drain through the write buffer
         // and merely wait, letting other warps proceed.
-        const arch::Instr& head = warp.ibuffer.front().instr;
-        const bool is_store = head.op == Op::kSb || head.op == Op::kSh ||
-                              head.op == Op::kSw || head.op == Op::kFsw;
-        if (!is_store) break;
+        if (!head.decoded.is_store) break;
       }
       continue;
     }
     const FetchSlot slot = warp.ibuffer.front();
-    warp.ibuffer.pop_front();
+    warp.ibuffer.pop();
     issue_rr_ = (w + 1) % config_.warps;
     ++perf_.instrs;
     ++instret_;
+    progressed_ = true;
+    last_outcome_ = IssueOutcome::kIssued;
     if (profile_.enabled) ++profile_.by_pc[slot.pc].issued;
     execute(w, slot, cycle);
     return;
   }
   // Attribute the bubble (and, when profiling, the PC behind it — the same
-  // priority order, so each bucket's per-PC sum equals the aggregate).
+  // priority order, so each bucket's per-PC sum equals the aggregate). The
+  // outcome is remembered so fast_forward() can bulk-charge skipped cycles
+  // to the same bucket and PC.
   if (!any_active) {
     ++perf_.idle_cycles;
+    last_outcome_ = IssueOutcome::kIdle;
+    last_stall_pc_ = 0;
   } else if (saw_lsu) {
     ++perf_.stall_lsu;
     if (profile_.enabled) ++profile_.by_pc[lsu_pc].stall_lsu;
+    last_outcome_ = IssueOutcome::kLsu;
+    last_stall_pc_ = lsu_pc;
   } else if (saw_scoreboard) {
     ++perf_.stall_scoreboard;
     if (profile_.enabled) ++profile_.by_pc[scoreboard_pc].stall_scoreboard;
+    last_outcome_ = IssueOutcome::kScoreboard;
+    last_stall_pc_ = scoreboard_pc;
   } else if (saw_fu) {
     ++perf_.stall_fu;
     if (profile_.enabled) ++profile_.by_pc[fu_pc].stall_fu;
+    last_outcome_ = IssueOutcome::kFu;
+    last_stall_pc_ = fu_pc;
   } else if (saw_empty) {
     ++perf_.stall_ibuffer;
     if (profile_.enabled) ++profile_.by_pc[empty_pc].stall_ibuffer;
+    last_outcome_ = IssueOutcome::kIbuffer;
+    last_stall_pc_ = empty_pc;
   } else if (saw_barrier) {
     ++perf_.stall_barrier;
     if (profile_.enabled) ++profile_.by_pc[barrier_pc].stall_barrier;
+    last_outcome_ = IssueOutcome::kBarrier;
+    last_stall_pc_ = barrier_pc;
+  } else {
+    last_outcome_ = IssueOutcome::kNone;
   }
 }
 
 void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
-  const Instr& in = slot.instr;
+  const Instr& in = slot.decoded.instr;
   const auto& info = arch::op_info(in.op);
   Warp& warp = warps_[w];
   const uint64_t mask = warp.tmask;
@@ -422,6 +511,7 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
       warp.busy_x |= (1u << in.rd);
     }
     completions_.push_back(Completion{cycle + info.latency, w, in.rd, is_float});
+    completions_min_ready_ = std::min(completions_min_ready_, cycle + info.latency);
   };
 
   auto for_lanes = [&](auto&& fn) {
@@ -677,7 +767,7 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
       for (uint32_t i = 1; i < count; ++i) {
         Warp& spawned = warps_[i];
         if (spawned.active) continue;
-        spawned = Warp{};
+        spawned.reset();  // keeps the ibuffer/ipdom storage allocations
         spawned.active = true;
         spawned.pc = target;
         spawned.tmask = 1;
@@ -1023,12 +1113,15 @@ void Core::execute_memory(uint32_t w, const Instr& in, uint64_t cycle) {
       }
       if (is_float || in.rd != 0) {
         completions_.push_back(Completion{cycle + config_.smem_latency, w, in.rd, is_float});
+        completions_min_ready_ =
+            std::min(completions_min_ready_, cycle + config_.smem_latency);
       }
     }
     return;
   }
 
-  // Allocate the LSU slot (availability checked in can_issue()).
+  // Allocate the LSU slot (availability checked in can_issue()). The token
+  // tags this occupancy so a stale response to a recycled slot is rejected.
   for (auto& entry : lsu_queue_) {
     if (entry.valid) continue;
     entry.valid = true;
@@ -1037,8 +1130,10 @@ void Core::execute_memory(uint32_t w, const Instr& in, uint64_t cycle) {
     entry.has_rd = has_rd && (is_float || in.rd != 0);
     entry.writes_float = is_float;
     entry.rd = in.rd;
+    entry.token = next_mem_id_++;
     entry.lines_pending = std::move(lines);
     entry.outstanding = 0;
+    --lsu_free_;
     if (entry.has_rd) {
       if (is_float) {
         warp.busy_f |= (1u << in.rd);
@@ -1056,15 +1151,19 @@ void Core::do_lsu(uint64_t cycle) {
   uint32_t sent = 0;
   for (auto& entry : lsu_queue_) {
     if (!entry.valid || entry.lines_pending.empty()) continue;
+    // The request id carries the queue slot in its low byte and the entry's
+    // allocation token above it, so the L1D response handler resolves the
+    // owner in O(1) with a built-in staleness check.
+    const uint64_t slot = static_cast<uint64_t>(&entry - lsu_queue_.data());
+    const uint64_t id = (entry.token << kIdSlotBits) | slot;
     while (!entry.lines_pending.empty() && sent < config_.lsu_ports && l1d_.can_accept()) {
       const uint32_t line = entry.lines_pending.back();
       entry.lines_pending.pop_back();
-      const uint64_t id = next_mem_id_++;
-      lsu_inflight_.push_back({id, static_cast<size_t>(&entry - lsu_queue_.data())});
       l1d_.send(mem::MemRequest{.id = id, .addr = line << mem::kLineShift,
                                 .is_write = entry.is_write});
       ++entry.outstanding;
       ++sent;
+      progressed_ = true;
     }
     if (sent >= config_.lsu_ports) break;
   }
@@ -1077,29 +1176,96 @@ void Core::do_fetch(uint64_t cycle) {
     if (!warp.active || warp.fetch_pending) continue;
     if (warp.ibuffer.size() >= config_.ibuffer_depth) continue;
     if (config_.perfect_icache) {
-      const uint32_t word = gmem_.load32(warp.pc);
-      auto decoded = arch::decode(word);
-      if (!decoded) {
-        FGPU_LOG(kError, "core %u warp %u: invalid instruction %08x at %08x", core_id_, w, word,
-                 warp.pc);
+      const DecodedInstr* decoded = decode_at(warp.pc);
+      if (decoded == nullptr) {
+        FGPU_LOG(kError, "core %u warp %u: invalid instruction at %08x", core_id_, w, warp.pc);
         warp.active = false;
         return;
       }
-      warp.ibuffer.push_back(FetchSlot{*decoded, warp.pc});
+      warp.ibuffer.push(FetchSlot{*decoded, warp.pc});
       warp.pc += 4;
       fetch_rr_ = (w + 1) % config_.warps;
+      progressed_ = true;
       return;
     }
     if (!l1i_.can_accept()) return;
-    const uint64_t id = next_mem_id_++;
-    fetch_inflight_.push_back({id, FetchReq{w, warp.pc, warp.generation}});
-    l1i_.send(mem::MemRequest{.id = id, .addr = warp.pc, .is_write = false});
+    // The fetching warp index rides in the id's low byte; the monotonic
+    // sequence above it makes the full id unique across redirects/resets.
+    const uint64_t id = (next_mem_id_++ << kIdSlotBits) | w;
     warp.fetch_pending = true;
+    warp.fetch_id = id;
+    warp.fetch_pc = warp.pc;
+    warp.fetch_generation = warp.generation;
+    l1i_.send(mem::MemRequest{.id = id, .addr = warp.pc, .is_write = false});
     warp.pc += 4;
     fetch_rr_ = (w + 1) % config_.warps;
+    progressed_ = true;
     return;
   }
   (void)cycle;
+}
+
+// Earliest future cycle at which this core has a self-scheduled event. The
+// cluster combines this with the memory components' next-event queries to
+// bound an idle-skip window; kNoWake means "waiting on memory only".
+uint64_t Core::next_wake_cycle(uint64_t now) const {
+  uint64_t wake = kNoWake;
+  if (completions_min_ready_ != kNoWake) {
+    // A completion whose ready cycle already passed still needs a tick to
+    // retire (do_writeback runs at most once per cycle).
+    wake = std::max(completions_min_ready_, now + 1);
+  }
+  for (const uint64_t ready : fu_ready_) {
+    if (ready > now) wake = std::min(wake, ready);
+  }
+  return wake;
+}
+
+// Bulk-attributes the `count` skipped cycles [from, from+count). The cluster
+// only skips when no core made progress at cycle `from - 1` and no component
+// has an event before `from + count`, so each skipped cycle would have
+// repeated the previous cycle's issue outcome exactly — charge the same
+// bucket (and profiled PC) `count` times and synthesize the occupancy
+// samples the per-cycle path would have taken at its interval grid points.
+void Core::fast_forward(uint64_t from, uint64_t count) {
+  if (count == 0) return;
+  switch (last_outcome_) {
+    case IssueOutcome::kIdle:
+      perf_.idle_cycles += count;
+      break;
+    case IssueOutcome::kLsu:
+      perf_.stall_lsu += count;
+      if (profile_.enabled) profile_.by_pc[last_stall_pc_].stall_lsu += count;
+      break;
+    case IssueOutcome::kScoreboard:
+      perf_.stall_scoreboard += count;
+      if (profile_.enabled) profile_.by_pc[last_stall_pc_].stall_scoreboard += count;
+      break;
+    case IssueOutcome::kFu:
+      perf_.stall_fu += count;
+      if (profile_.enabled) profile_.by_pc[last_stall_pc_].stall_fu += count;
+      break;
+    case IssueOutcome::kIbuffer:
+      perf_.stall_ibuffer += count;
+      if (profile_.enabled) profile_.by_pc[last_stall_pc_].stall_ibuffer += count;
+      break;
+    case IssueOutcome::kBarrier:
+      perf_.stall_barrier += count;
+      if (profile_.enabled) profile_.by_pc[last_stall_pc_].stall_barrier += count;
+      break;
+    case IssueOutcome::kIssued:
+    case IssueOutcome::kNone:
+      assert(false && "fast_forward after a progressing cycle");
+      break;
+  }
+  if (profile_.enabled) {
+    // Same grid as tick_logic: one sample at every cycle divisible by the
+    // interval. Warp states are frozen across the window, so the samples
+    // are identical except for their cycle stamps.
+    const uint64_t interval = config_.profile_interval;
+    uint64_t next = ((from + interval - 1) / interval) * interval;
+    for (; next < from + count; next += interval) sample_occupancy(next);
+  }
 }
 
 }  // namespace fgpu::vortex

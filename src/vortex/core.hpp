@@ -3,10 +3,20 @@
 // at cycle level, SimX-style: instructions execute functionally at issue,
 // while timing (scoreboard occupancy, FU latency, LSU/cache round trips,
 // barriers, IPDOM divergence) is simulated per cycle.
+//
+// Host-throughput fast path (cycle counts are unaffected, see
+// EXPERIMENTS.md "Fast-forward methodology"):
+//  * a per-core decode cache (PC -> DecodedInstr) so straight-line refetches
+//    skip arch::decode and the issue stage reuses precomputed scoreboard
+//    masks instead of re-deriving them from the instruction format;
+//  * fixed-capacity ring ibuffers (no per-warp deque allocation churn);
+//  * in-flight fetch/LSU responses keyed by request id (warp / queue slot
+//    encoded in the low bits) instead of linear side-table scans;
+//  * event bookkeeping (next_wake_cycle, progressed) that lets the cluster
+//    fast-forward through cycles where no core can make progress.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -30,6 +40,10 @@ struct EcallRequest {
 };
 using EcallHandler = std::function<void(const EcallRequest&, mem::MainMemory&)>;
 
+// "No pending event" sentinel for next-wake-up queries (matches
+// mem::kNoEvent; duplicated to keep the header dependency-light).
+inline constexpr uint64_t kNoWake = ~0ull;
+
 class Core {
  public:
   // `l2_data` / `l2_inst` are distinct interconnect endpoints so that data
@@ -39,6 +53,8 @@ class Core {
 
   // Resets all warps; warp 0 starts at `entry_pc` with one active thread
   // (the Vortex boot convention: the startup stub then TMCs/WSPAWNs).
+  // Also invalidates the decode cache (the kernel-launch boundary: the
+  // runtime rewrites the code region before each run).
   void reset(uint32_t entry_pc);
 
   // Ticks the core-internal caches (called by the cluster before logic()).
@@ -47,6 +63,24 @@ class Core {
   void tick_logic(uint64_t cycle);
 
   bool busy() const;
+
+  // --- Event-driven idle skipping (see Cluster::tick) -----------------
+  // Clears the per-cycle progress flag; the cluster calls this before any
+  // component (whose response chains can reach this core) is ticked.
+  void begin_tick() { progressed_ = false; }
+  // True if this core did anything this cycle that could change the next
+  // cycle's behaviour: issued an instruction, initiated a fetch, sent an
+  // LSU line request, or received a memory response.
+  bool progressed() const { return progressed_; }
+  // Earliest future cycle (> now) at which this core has a self-scheduled
+  // event: a completion retiring or a non-pipelined FU becoming ready.
+  // kNoWake when it is waiting purely on external (memory) events.
+  uint64_t next_wake_cycle(uint64_t now) const;
+  // Bulk-attributes `count` skipped cycles [from, from+count) to the stall
+  // bucket charged on the last simulated cycle (state is provably frozen
+  // over the window, so each skipped cycle repeats that attribution), and
+  // synthesizes the occupancy samples the profiler would have taken.
+  void fast_forward(uint64_t from, uint64_t count);
 
   const PerfCounters& perf() const { return perf_; }
   PerfCounters& perf() { return perf_; }
@@ -63,6 +97,9 @@ class Core {
   uint32_t freg_bits(uint32_t warp, uint32_t lane, uint32_t index) const;
   bool warp_active(uint32_t warp) const { return warps_[warp].active; }
   uint64_t warp_tmask(uint32_t warp) const { return warps_[warp].tmask; }
+  // Decode-cache statistics (tests assert cold/warm behaviour).
+  uint64_t decode_cache_hits() const { return decode_hits_; }
+  uint64_t decode_cache_fills() const { return decode_fills_; }
 
  private:
   struct IpdomEntry {
@@ -72,9 +109,48 @@ class Core {
     uint32_t pc;
   };
 
-  struct FetchSlot {
+  // A decoded instruction plus everything the issue stage needs, computed
+  // once at decode time instead of per issue attempt: scoreboard masks
+  // (sources + destination, x0 excluded) and the FU routing/latency.
+  struct DecodedInstr {
     arch::Instr instr;
+    uint32_t need_x = 0;
+    uint32_t need_f = 0;
+    uint8_t fu = 0;  // arch::FuClass
+    bool is_lsu = false;
+    bool is_store = false;
+  };
+
+  struct FetchSlot {
+    DecodedInstr decoded;
     uint32_t pc;
+  };
+
+  // Fixed-capacity ring of decoded instructions awaiting issue. Storage is
+  // reserved once per Config::ibuffer_depth (the old per-warp std::deque
+  // allocated chunks on every push/pop in the fetch hot loop).
+  struct IBuffer {
+    std::vector<FetchSlot> slots;
+    uint32_t head = 0;
+    uint32_t count = 0;
+
+    void init(uint32_t capacity) {
+      slots.resize(capacity);
+      head = count = 0;
+    }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == static_cast<uint32_t>(slots.size()); }
+    uint32_t size() const { return count; }
+    const FetchSlot& front() const { return slots[head]; }
+    void push(const FetchSlot& slot) {
+      slots[(head + count) % slots.size()] = slot;
+      ++count;
+    }
+    void pop() {
+      head = (head + 1) % static_cast<uint32_t>(slots.size());
+      --count;
+    }
+    void clear() { head = count = 0; }
   };
 
   struct Warp {
@@ -82,15 +158,33 @@ class Core {
     uint32_t pc = 0;
     uint64_t tmask = 0;
     std::vector<IpdomEntry> ipdom;
-    std::deque<FetchSlot> ibuffer;
+    IBuffer ibuffer;
     bool fetch_pending = false;
+    uint64_t fetch_id = 0;         // full request id of the in-flight fetch
     uint32_t fetch_pc = 0;
-    uint32_t next_fetch_pc = 0;
-    uint64_t generation = 0;  // bumped on redirects to drop stale fetches
+    uint64_t fetch_generation = 0;  // warp generation when the fetch left
+    uint64_t generation = 0;        // bumped on redirects to drop stale fetches
     bool at_barrier = false;
     uint32_t barrier_id = 0;
     uint32_t busy_x = 0;  // scoreboard bitmasks
     uint32_t busy_f = 0;
+
+    // Clears execution state but keeps the ibuffer/ipdom storage.
+    void reset() {
+      active = false;
+      pc = 0;
+      tmask = 0;
+      ipdom.clear();
+      ibuffer.clear();
+      fetch_pending = false;
+      fetch_id = 0;
+      fetch_pc = 0;
+      fetch_generation = 0;
+      generation = 0;
+      at_barrier = false;
+      barrier_id = 0;
+      busy_x = busy_f = 0;
+    }
   };
 
   // A memory instruction in flight in the load-store unit.
@@ -101,6 +195,7 @@ class Core {
     bool has_rd = false;
     bool writes_float = false;
     uint8_t rd = 0;
+    uint64_t token = 0;                   // allocation token (stale-response guard)
     std::vector<uint32_t> lines_pending;  // line addresses not yet sent
     uint32_t outstanding = 0;             // responses still expected
   };
@@ -125,9 +220,15 @@ class Core {
   void do_lsu(uint64_t cycle);
   void do_fetch(uint64_t cycle);
 
+  // Decode via the per-core PC -> DecodedInstr cache; nullptr on an invalid
+  // encoding. The pointer stays valid until the next decode_at call (cache
+  // growth may reallocate).
+  const DecodedInstr* decode_at(uint32_t pc);
+  static void fill_issue_metadata(DecodedInstr* d);
+
   // Returns false if the instruction cannot issue this cycle (structural or
   // data hazard); sets *stall_reason for attribution.
-  bool can_issue(const Warp& warp, const arch::Instr& instr, uint64_t cycle, int* stall_reason);
+  bool can_issue(const Warp& warp, const DecodedInstr& instr, uint64_t cycle, int* stall_reason);
   void execute(uint32_t warp_id, const FetchSlot& slot, uint64_t cycle);
   void execute_memory(uint32_t warp_id, const arch::Instr& instr, uint64_t cycle);
   void redirect(Warp& warp, uint32_t new_pc);
@@ -151,20 +252,18 @@ class Core {
   std::vector<uint32_t> xregs_;  // [warp][thread][32]
   std::vector<uint32_t> fregs_;
 
-  std::deque<Completion> completions_;
+  std::vector<Completion> completions_;  // unordered; retired by swap-remove
+  uint64_t completions_min_ready_ = kNoWake;  // min ready_cycle in completions_
   std::vector<LsuEntry> lsu_queue_;
-  uint64_t next_mem_id_ = 1;
-  // L1D response routing: id -> (lsu index generation). We key by a unique
-  // id per line request and keep a side table.
-  std::vector<std::pair<uint64_t, size_t>> lsu_inflight_;  // (req id, entry slot)
+  uint32_t lsu_free_ = 0;       // entries with valid == false
+  uint64_t next_mem_id_ = 1;    // never reset: ids stay unique across runs
 
-  // Fetch response routing.
-  struct FetchReq {
-    uint32_t warp;
-    uint32_t pc;
-    uint64_t generation;
-  };
-  std::vector<std::pair<uint64_t, FetchReq>> fetch_inflight_;
+  // Decode cache: word index (pc - kCodeBase)/4 -> decoded entry. Grows to
+  // the highest PC decoded; invalidated wholesale on reset().
+  std::vector<DecodedInstr> decode_cache_;
+  std::vector<uint8_t> decode_valid_;
+  uint64_t decode_hits_ = 0;
+  uint64_t decode_fills_ = 0;
 
   // Per-FU readiness (structural hazards for non-pipelined units).
   uint64_t fu_ready_[8] = {0};
@@ -176,6 +275,14 @@ class Core {
   uint32_t issue_rr_ = 0;  // round-robin cursors
   uint32_t fetch_rr_ = 0;
   uint64_t instret_ = 0;
+
+  // Last-cycle issue outcome, for bulk attribution during fast-forward.
+  enum class IssueOutcome : uint8_t {
+    kIssued, kIdle, kLsu, kScoreboard, kFu, kIbuffer, kBarrier, kNone,
+  };
+  IssueOutcome last_outcome_ = IssueOutcome::kNone;
+  uint32_t last_stall_pc_ = 0;
+  bool progressed_ = false;
 
   PerfCounters perf_;
   PcProfile profile_;

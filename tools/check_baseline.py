@@ -9,12 +9,22 @@ and exits non-zero on:
   * coverage drift — a benchmark changed its ok/fail status on either
     device (Table I is the paper's central claim);
   * cycle regression — a passing soft-GPU benchmark got more than
-    --max-regression slower than the baseline (default 10%).
+    --max-regression slower than the baseline (default 10%);
+  * with --exact-cycles, ANY cycle delta on either device fails. This is
+    the gate for host-speed-only changes (decode cache, idle skipping):
+    simulator fast paths must not move a single reported cycle.
 
-Cycle *improvements* are reported but never fail: refresh the baseline
-(see README of the CI step) when an intentional perf change lands.
+Cycle *improvements* are reported but never fail (outside --exact-cycles):
+refresh the baseline (see README of the CI step) when an intentional perf
+change lands.
+
+Host wall-clock (fgpu.host.v1 documents from fgpu-run --host-json) is
+compared with --host-baseline/--host-current. Host throughput is NON-GATING
+by design — CI machines vary — it prints a wall-time trajectory only.
 
 Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
+                         [--exact-cycles]
+                         [--host-baseline=H.json --host-current=H2.json]
 
 Stdlib only — runs on a bare CI python3.
 """
@@ -47,12 +57,38 @@ def device_ok(entry, device):
     return None if run is None else bool(run.get("ok"))
 
 
+def compare_host(host_baseline, host_current):
+    """Non-gating host-throughput comparison of two fgpu.host.v1 documents."""
+    with open(host_baseline) as f:
+        base = json.load(f)
+    with open(host_current) as f:
+        cur = json.load(f)
+    for doc, path in ((base, host_baseline), (cur, host_current)):
+        if doc.get("schema") != "fgpu.host.v1":
+            print(f"note: host doc {path} has schema {doc.get('schema')!r}, "
+                  "expected fgpu.host.v1 — skipping host comparison")
+            return
+    b_wall = base.get("suite_wall_ms", {}).get("min")
+    c_wall = cur.get("suite_wall_ms", {}).get("min")
+    if not b_wall or not c_wall:
+        print("note: host docs lack suite_wall_ms.min — skipping host comparison")
+        return
+    speedup = b_wall / c_wall
+    print(f"host (non-gating): suite wall {b_wall:.0f} ms -> {c_wall:.0f} ms "
+          f"({speedup:.2f}x {'faster' if speedup >= 1 else 'slower'}); "
+          f"vortex {cur.get('vortex_mips', 0):.2f} simulated MIPS")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--max-regression", type=float, default=0.10,
                         help="allowed fractional cycle growth (default 0.10)")
+    parser.add_argument("--exact-cycles", action="store_true",
+                        help="fail on ANY cycle delta (gate for host-speed-only changes)")
+    parser.add_argument("--host-baseline", help="fgpu.host.v1 baseline (non-gating)")
+    parser.add_argument("--host-current", help="fgpu.host.v1 current run (non-gating)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -88,6 +124,14 @@ def main():
             if was != now:
                 failures.append(f"{name}/{device}: ok changed {was} -> {now} "
                                 f"(fail_reason: {(c.get(device) or {}).get('fail_reason', '?')!r})")
+        if args.exact_cycles:
+            for device in ("vortex", "hls"):
+                base_cycles = (b.get(device) or {}).get("total_cycles")
+                cur_cycles = (c.get(device) or {}).get("total_cycles")
+                if base_cycles != cur_cycles:
+                    failures.append(
+                        f"{name}/{device}: cycle drift under --exact-cycles "
+                        f"{base_cycles} -> {cur_cycles}")
         if device_ok(b, "vortex") and device_ok(c, "vortex"):
             base_cycles = b["vortex"]["total_cycles"]
             cur_cycles = c["vortex"]["total_cycles"]
@@ -97,9 +141,12 @@ def main():
                     failures.append(
                         f"{name}/vortex: cycle regression {base_cycles} -> {cur_cycles} "
                         f"(+{delta:.1%} > {args.max_regression:.0%})")
-                elif delta != 0:
+                elif delta != 0 and not args.exact_cycles:
                     print(f"note: {name}/vortex cycles {base_cycles} -> {cur_cycles} "
                           f"({delta:+.1%}, within budget)")
+
+    if args.host_baseline and args.host_current:
+        compare_host(args.host_baseline, args.host_current)
 
     if failures:
         print(f"check_baseline: {len(failures)} failure(s) vs {args.baseline}:",

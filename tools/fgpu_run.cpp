@@ -10,10 +10,12 @@
 // Chrome trace_event file, and the fgpu.profile.v1 per-PC cycle profile. Exit status: 0 unless a usage error occurs or a
 // soft-GPU benchmark fails (HLS failures are reported but expected for the
 // paper's six uncovered benchmarks — fgpu-run measures, bench/table1 judges).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
 #include "suite/runner.hpp"
@@ -36,6 +38,12 @@ void usage(const char* argv0) {
       "  --profile=PATH   write fgpu.profile.v1 per-PC cycle profile JSON\n"
       "  --hotspots=K     print top-K stalled PCs per kernel (implies profiling)\n"
       "  --seed=N         suite seed mixed into per-benchmark workload seeds\n"
+      "  --repeat=N       run the suite N times; report min/median wall time\n"
+      "  --host-json=PATH write fgpu.host.v1 host-throughput JSON (wall/MIPS)\n"
+      "  --host-stats     embed host wall/MIPS in the stats JSON (breaks the\n"
+      "                   byte-identical determinism contract; default off)\n"
+      "  --no-idle-skip   tick every cycle (disable event-driven idle skipping;\n"
+      "                   reported cycles are identical either way)\n"
       "  --list           print selected benchmarks (name, origin, device coverage)\n"
       "  --quiet          suppress the per-benchmark table\n",
       argv0);
@@ -95,9 +103,11 @@ const char* status_cell(bool ran, const suite::DeviceRun& run) {
 int main(int argc, char** argv) {
   Log::level() = LogLevel::kOff;
   suite::RunnerOptions options;
-  std::string json_path, trace_path, profile_path, value;
+  std::string json_path, trace_path, profile_path, host_json_path, value;
   bool list_only = false, quiet = false;
   uint32_t hotspots = 0;
+  uint32_t repeat = 1;
+  bool idle_skip = true;  // applied after parsing (--config rebuilds the Config)
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -114,6 +124,18 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<uint32_t>(std::stoul(value));
     } else if (flag_value(arg, "--seed", &value)) {
       options.suite_seed = std::stoull(value);
+    } else if (flag_value(arg, "--repeat", &value)) {
+      repeat = static_cast<uint32_t>(std::stoul(value));
+      if (repeat == 0) {
+        std::fprintf(stderr, "fgpu-run: --repeat must be >= 1\n");
+        return 2;
+      }
+    } else if (flag_value(arg, "--host-json", &value)) {
+      host_json_path = value;
+    } else if (std::strcmp(arg, "--host-stats") == 0) {
+      options.host_in_stats = true;
+    } else if (std::strcmp(arg, "--no-idle-skip") == 0) {
+      idle_skip = false;
     } else if (flag_value(arg, "--json", &value)) {
       json_path = value;
     } else if (flag_value(arg, "--trace", &value)) {
@@ -146,6 +168,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  options.vortex_config.idle_skip = idle_skip;
 
   // Resolve the filter up front so both --list and the run path report a
   // non-matching filter as an error instead of silently doing nothing.
@@ -180,6 +204,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fgpu-run: %s\n", result.status().message().c_str());
     return 2;
   }
+  // --repeat: re-run the identical workload to smooth host noise. The
+  // first run is the primary (its stats/trace/profile are the ones
+  // exported — the simulator is deterministic, so repeats produce the
+  // same simulated results and differ only in wall time).
+  std::vector<suite::SuiteRunResult> reruns;
+  reruns.reserve(repeat > 0 ? repeat - 1 : 0);
+  for (uint32_t r = 1; r < repeat; ++r) {
+    auto again = suite::run_all(options);
+    if (!again.is_ok()) {
+      std::fprintf(stderr, "fgpu-run: repeat %u: %s\n", r + 1, again.status().message().c_str());
+      return 2;
+    }
+    reruns.push_back(std::move(*again));
+  }
+  std::vector<const suite::SuiteRunResult*> all_runs;
+  all_runs.push_back(&*result);
+  for (const auto& run : reruns) all_runs.push_back(&run);
 
   if (!quiet) {
     std::printf("%-16s | %-6s | %-12s | %-6s | %-18s\n", "benchmark", "vortex", "cycles", "hls",
@@ -196,7 +237,19 @@ int main(int argc, char** argv) {
                   status_cell(outcome.ran_hls, outcome.hls),
                   outcome.ran_hls && !outcome.hls.ok() ? outcome.hls.fail_reason.c_str() : "");
     }
-    std::printf("\n%zu benchmarks in %.0f ms", result->outcomes.size(), result->wall_ms);
+    if (repeat > 1) {
+      std::vector<double> walls;
+      walls.reserve(all_runs.size());
+      for (const auto* run : all_runs) walls.push_back(run->wall_ms);
+      std::sort(walls.begin(), walls.end());
+      const double median = walls.size() % 2 == 1
+                                ? walls[walls.size() / 2]
+                                : (walls[walls.size() / 2 - 1] + walls[walls.size() / 2]) / 2.0;
+      std::printf("\n%zu benchmarks x%u: wall min %.0f ms, median %.0f ms", result->outcomes.size(),
+                  repeat, walls.front(), median);
+    } else {
+      std::printf("\n%zu benchmarks in %.0f ms", result->outcomes.size(), result->wall_ms);
+    }
     if (options.run_vortex) {
       std::printf("; vortex %d/%zu pass", result->vortex_passes(), result->outcomes.size());
     }
@@ -232,6 +285,15 @@ int main(int argc, char** argv) {
     }
     suite::write_profile_json(out, options, *result);
     if (!quiet) std::printf("profile -> %s\n", profile_path.c_str());
+  }
+  if (!host_json_path.empty()) {
+    std::ofstream out(host_json_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", host_json_path.c_str());
+      return 2;
+    }
+    suite::write_host_json(out, options, all_runs);
+    if (!quiet) std::printf("host   -> %s\n", host_json_path.c_str());
   }
   if (hotspots > 0) {
     for (const auto& outcome : result->outcomes) {
