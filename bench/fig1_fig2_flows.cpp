@@ -39,7 +39,8 @@ int main() {
          (unsigned long long)dfg.fp_mul);
   printf("[2] RTL generation + place & route: FPGA bitstream with a fixed compute unit\n");
   auto design = hls::synthesize(expanded, fpga::stratix10_mx2100());
-  printf("    %s\n", design.is_ok() ? design->report.c_str() : design.status().to_string().c_str());
+  printf("    %s\n",
+         design.is_ok() ? design->report.render().c_str() : design.status().to_string().c_str());
   printf("[3] Host executable links the FPGA OpenCL runtime; kernel launch drives the pipeline\n");
   vcl::HlsDevice hls_dev;
   auto hls_run = suite::run_benchmark(hls_dev, bench);

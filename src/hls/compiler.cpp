@@ -207,6 +207,7 @@ struct Census {
           site.pattern = classify(e->a(), defs);
           site.index_ops = static_cast<uint32_t>(std::min<uint64_t>(substituted_size(e->a(), defs), 24));
           site.buffer_name = kernel->params[static_cast<size_t>(e->index)].name;
+          site.source = site.buffer_name + "[" + kir::expr_to_string(e->a()) + "]";
           summary.sites.push_back(site);
         }
         break;
@@ -230,6 +231,7 @@ struct Census {
     site.pattern = classify(s.a, defs);
     site.index_ops = static_cast<uint32_t>(std::min<uint64_t>(substituted_size(s.a, defs), 24));
     site.buffer_name = kernel->params[static_cast<size_t>(s.buffer)].name;
+    site.source = site.buffer_name + "[" + kir::expr_to_string(s.a) + "]";
     summary.sites.push_back(site);
   }
 
@@ -377,28 +379,40 @@ void add(fpga::AreaReport& area, const Cost& cost, uint64_t count = 1) {
 
 }  // namespace
 
-fpga::AreaReport estimate_area(const DfgSummary& dfg) {
-  fpga::AreaReport area;
-  add(area, kBase);
+std::vector<SynthRow> area_rows(const DfgSummary& dfg) {
+  std::vector<SynthRow> rows;
+  {
+    SynthRow shell;
+    shell.module = "shell";
+    shell.detail = "DDR/host interface, dispatch";
+    add(shell.area, kBase);
+    rows.push_back(std::move(shell));
+  }
   // Kernels with barriers keep several work-groups in flight across the
   // synchronization point, double-buffering every burst LSU (this is why
   // the barrier-heavy Rodinia kernels are the ones that exhaust BRAM).
   const double group_replication = dfg.has_barrier ? 2.2 : 1.0;
   for (const auto& site : dfg.sites) {
+    SynthRow row;
+    row.detail = to_string(site.pattern);
+    if (site.in_loop) row.detail += ", in loop";
     // Address-generation depth: each index term adds pipeline registers and
     // coalescing-window storage across the 32 load units of a burst LSU.
     const uint64_t addr_terms = site.index_ops > 1 ? site.index_ops - 1 : 0;
     if (site.is_store) {
-      add(area, kStore);
-      area.brams += 12 * addr_terms;
-      area.aluts += 400 * addr_terms;
-      area.ffs += 1'300 * addr_terms;
+      row.module = "store-lsu " + site.source;
+      add(row.area, kStore);
+      row.area.brams += 12 * addr_terms;
+      row.area.aluts += 400 * addr_terms;
+      row.area.ffs += 1'300 * addr_terms;
     } else if (site.pipelined) {
-      add(area, kPipelinedLoad);
-      area.aluts += 120 * addr_terms;
-      area.ffs += 320 * addr_terms;
+      row.module = "pipelined-lsu " + site.source;
+      add(row.area, kPipelinedLoad);
+      row.area.aluts += 120 * addr_terms;
+      row.area.ffs += 320 * addr_terms;
     } else {
-      fpga::AreaReport lsu;
+      row.module = "burst-lsu " + site.source;
+      fpga::AreaReport& lsu = row.area;
       add(lsu, kBurstLoad);
       lsu.brams += 40 * addr_terms;
       lsu.aluts += 2'300 * addr_terms;
@@ -407,28 +421,56 @@ fpga::AreaReport estimate_area(const DfgSummary& dfg) {
       lsu.brams = static_cast<uint64_t>(static_cast<double>(lsu.brams) * group_replication);
       lsu.aluts = static_cast<uint64_t>(static_cast<double>(lsu.aluts) * group_replication);
       lsu.ffs = static_cast<uint64_t>(static_cast<double>(lsu.ffs) * group_replication);
-      area += lsu;
+      if (dfg.has_barrier) row.detail += ", work-group replicated";
     }
+    rows.push_back(std::move(row));
   }
-  add(area, kIntAlu, dfg.int_alu);
-  add(area, kIntMul, dfg.int_mul);
-  add(area, kIntDiv, dfg.int_div);
-  add(area, kFpAdd, dfg.fp_add);
-  add(area, kFpMul, dfg.fp_mul);
-  add(area, kFpDiv, dfg.fp_div);
-  add(area, kFpSqrt, dfg.fp_sqrt);
-  add(area, kFpMisc, dfg.fp_misc);
-  add(area, kLoop, dfg.loops);
+  {
+    SynthRow datapath;
+    datapath.module = "datapath";
+    datapath.detail = std::to_string(dfg.int_alu + dfg.int_mul + dfg.int_div) + " int, " +
+                      std::to_string(dfg.fp_add + dfg.fp_mul + dfg.fp_div + dfg.fp_sqrt +
+                                     dfg.fp_misc) +
+                      " fp ops";
+    add(datapath.area, kIntAlu, dfg.int_alu);
+    add(datapath.area, kIntMul, dfg.int_mul);
+    add(datapath.area, kIntDiv, dfg.int_div);
+    add(datapath.area, kFpAdd, dfg.fp_add);
+    add(datapath.area, kFpMul, dfg.fp_mul);
+    add(datapath.area, kFpDiv, dfg.fp_div);
+    add(datapath.area, kFpSqrt, dfg.fp_sqrt);
+    add(datapath.area, kFpMisc, dfg.fp_misc);
+    rows.push_back(std::move(datapath));
+  }
+  if (dfg.loops > 0) {
+    SynthRow loops;
+    loops.module = "loop-control";
+    loops.detail = std::to_string(dfg.loops) + " loops";
+    add(loops.area, kLoop, dfg.loops);
+    rows.push_back(std::move(loops));
+  }
   // __local arrays: M20K blocks replicated so every port gets private
   // access (AOC double-pumps, so two ports share one replica).
   if (dfg.local_array_bytes > 0) {
     const uint64_t blocks =
         std::max<uint64_t>(1, (dfg.local_array_bytes * 8 + 20'479) / 20'480);
     const uint64_t replication = std::max<uint64_t>(1, (dfg.local_ports + 1) / 2);
-    area.brams += blocks * replication;
-    area.aluts += 900 * dfg.local_ports;
-    area.ffs += 1'500 * dfg.local_ports;
+    SynthRow local;
+    local.module = "local-mem";
+    local.detail = std::to_string(dfg.local_array_bytes) + " B x " +
+                   std::to_string(replication) + " banks, " + std::to_string(dfg.local_ports) +
+                   " ports";
+    local.area.brams += blocks * replication;
+    local.area.aluts += 900 * dfg.local_ports;
+    local.area.ffs += 1'500 * dfg.local_ports;
+    rows.push_back(std::move(local));
   }
+  return rows;
+}
+
+fpga::AreaReport estimate_area(const DfgSummary& dfg) {
+  fpga::AreaReport area;
+  for (const auto& row : area_rows(dfg)) area += row.area;
   return area;
 }
 
@@ -473,6 +515,47 @@ double request_cost(const AccessSite& site) {
   return 1.0;
 }
 
+namespace {
+
+// Shared report assembly over an already-built DFG census.
+SynthReport build_report(const std::string& kernel, const DfgSummary& dfg,
+                         const fpga::Board& board) {
+  SynthReport report;
+  report.kernel = kernel;
+  report.board = board.name;
+  report.rows = area_rows(dfg);
+  for (const auto& row : report.rows) report.total += row.area;
+  report.pipeline_depth = dfg.critical_path_latency + 18;  // iface + dispatch stages
+  report.burst_load_sites = dfg.burst_load_sites();
+  report.pipelined_load_sites = dfg.pipelined_load_sites();
+  report.store_sites = dfg.global_store_sites();
+  report.utilization = board.utilization(report.total);
+  report.bottleneck = board.bottleneck_resource(report.total);
+  report.fits = board.fits(report.total);
+  if (report.fits) {
+    report.verdict = "fits";
+    report.synthesis_hours = synthesis_hours(report.total);
+  } else {
+    report.verdict = "Not enough " + report.bottleneck;
+    report.synthesis_hours = failed_attempt_hours(report.total, board);
+  }
+  return report;
+}
+
+}  // namespace
+
+SynthReport synth_report(const kir::Kernel& kernel, const fpga::Board& board) {
+  SynthReport report = build_report(kernel.name, analyze(kernel), board);
+  // Feature check overrides the fitter verdict (AOC rejects the kernel
+  // before fitting): the area rows are still the modelled attempt.
+  if (kernel.has_atomic() && board.heterogeneous_memory) {
+    report.fits = false;
+    report.verdict = "Atomics";
+    report.synthesis_hours = failed_attempt_hours(report.total, board);
+  }
+  return report;
+}
+
 Result<HlsDesign> synthesize(const kir::Kernel& kernel, const fpga::Board& board,
                              const HlsOptions& options) {
   (void)options;
@@ -487,30 +570,21 @@ Result<HlsDesign> synthesize(const kir::Kernel& kernel, const fpga::Board& board
   HlsDesign design;
   design.kernel = kernel.name;
   design.dfg = analyze(kernel);
-  design.area = estimate_area(design.dfg);
-  design.pipeline_depth = design.dfg.critical_path_latency + 18;  // iface + dispatch stages
+  design.report = build_report(kernel.name, design.dfg, board);
+  design.area = design.report.total;
+  design.pipeline_depth = design.report.pipeline_depth;
 
-  std::ostringstream report;
-  report << "kernel " << kernel.name << ": " << design.dfg.sites.size()
-         << " global access sites (" << design.dfg.burst_load_sites() << " burst-coalesced, "
-         << design.dfg.pipelined_load_sites() << " pipelined, "
-         << design.dfg.global_store_sites() << " store), depth " << design.pipeline_depth
-         << ", area " << design.area.to_string();
-
-  if (!board.fits(design.area)) {
-    const std::string resource = board.bottleneck_resource(design.area);
-    const double hours = failed_attempt_hours(design.area, board);
+  if (!design.report.fits) {
+    const double hours = design.report.synthesis_hours;
     std::ostringstream msg;
-    msg << kernel.name << ": fitter failed after " << hours << " h: Not enough " << resource
+    msg << kernel.name << ": fitter failed after " << hours << " h: " << design.report.verdict
         << " (kernel needs " << design.area.brams << " BRAM blocks, " << board.name << " has "
         << board.capacity.brams << "; utilization "
-        << static_cast<int>(board.utilization(design.area) * 100.0) << "%)";
+        << static_cast<int>(design.report.utilization * 100.0) << "%)";
     return Result<HlsDesign>(ErrorKind::kResourceExceeded, msg.str());
   }
 
-  design.synthesis_hours = synthesis_hours(design.area);
-  report << ", synthesis " << design.synthesis_hours << " h";
-  design.report = report.str();
+  design.synthesis_hours = design.report.synthesis_hours;
   return design;
 }
 

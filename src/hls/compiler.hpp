@@ -27,6 +27,7 @@
 
 #include "common/status.hpp"
 #include "fpga/board.hpp"
+#include "hls/synth_report.hpp"
 #include "kir/kir.hpp"
 
 namespace fgpu::hls {
@@ -51,6 +52,10 @@ struct AccessSite {
   // vecadd's gid-indexed accesses stay near 400.
   uint32_t index_ops = 0;
   std::string buffer_name;
+  // KIR source provenance: "<buffer>[<index-expression>]", the HLS-side
+  // analogue of the soft-GPU PC -> KIR line table — every stall cycle the
+  // timing model attributes to this site is traceable to kernel source.
+  std::string source;
 };
 
 // Static census of the kernel's datapath.
@@ -84,7 +89,7 @@ struct HlsDesign {
   fpga::AreaReport area;
   uint64_t pipeline_depth = 0;   // cycles through the datapath
   double synthesis_hours = 0.0;
-  std::string report;            // human-readable synthesis report
+  SynthReport report;            // structured synthesis report (render() for prose)
 };
 
 struct HlsOptions {
@@ -96,8 +101,20 @@ struct HlsOptions {
 // Builds the DFG census + access-site classification (exposed for tests).
 DfgSummary analyze(const kir::Kernel& kernel);
 
-// Area estimation only (no fitting).
+// Per-module area rows of the design (one row per hardware module: shell,
+// LSUs in access-site order, datapath, local memory, loop control). Row
+// areas sum exactly to estimate_area(dfg).
+std::vector<SynthRow> area_rows(const DfgSummary& dfg);
+
+// Area estimation only (no fitting). Equals the sum of area_rows(dfg).
 fpga::AreaReport estimate_area(const DfgSummary& dfg);
+
+// Full structured report for one kernel against a board, produced whether
+// or not the design fits (failed fits are exactly the Table II rows of
+// interest). Never errors: the fitter/atomics verdict is recorded in
+// `verdict`/`fits`, and `synthesis_hours` holds the failed-attempt time
+// when the design does not synthesize.
+SynthReport synth_report(const kir::Kernel& kernel, const fpga::Board& board);
 
 // Full synthesis: analyze, estimate, fit against the board. On fitter
 // failure returns kResourceExceeded ("Not enough BRAM") or kUnsupported

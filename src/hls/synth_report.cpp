@@ -1,0 +1,21 @@
+#include "hls/synth_report.hpp"
+
+#include <sstream>
+
+namespace fgpu::hls {
+
+std::string SynthReport::render() const {
+  std::ostringstream os;
+  os << "kernel " << kernel << ": " << access_sites() << " global access sites ("
+     << burst_load_sites << " burst-coalesced, " << pipelined_load_sites << " pipelined, "
+     << store_sites << " store), depth " << pipeline_depth << ", area " << total.to_string();
+  if (fits) {
+    os << ", synthesis " << synthesis_hours << " h";
+  } else {
+    os << ", fitter: " << verdict << " (utilization "
+       << static_cast<int>(utilization * 100.0) << "%)";
+  }
+  return os.str();
+}
+
+}  // namespace fgpu::hls

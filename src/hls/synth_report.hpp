@@ -1,0 +1,64 @@
+// Structured HLS synthesis report: the machine-readable form of the AOC
+// compile log the paper quotes in §III-B and Tables II-IV.
+//
+// One SynthReport describes one kernel's synthesized design as a list of
+// hardware-module area rows (kernel shell, one LSU per access site, the
+// shared datapath, local-memory banks, loop control) whose areas sum
+// exactly to `total`, plus the fitter's verdict and the modelled synthesis
+// wall-clock. It replaces the free-text `HlsDesign::report` string: the
+// classic prose line is rendered *from* this structure (`render()`), so
+// the Table II-IV benches and the fgpu.hlsprof.v1 exporter consume the
+// same rows instead of each re-deriving module areas.
+//
+// Kept in its own header (fpga/ + std only) so runtime.hpp can embed a
+// report per built kernel without pulling in the whole HLS compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/board.hpp"
+
+namespace fgpu::hls {
+
+// One hardware module of the synthesized design. Per-site LSU rows are
+// named "<kind>-lsu <buffer>[<index-expr>]" in access-site order, so a row
+// is traceable back to the kernel source construct that instantiated it.
+struct SynthRow {
+  std::string module;  // "shell", "burst-lsu wt[j*17+i]", "datapath", ...
+  std::string detail;  // classification ("consecutive", "strided, in loop")
+  fpga::AreaReport area;
+};
+
+struct SynthReport {
+  std::string kernel;
+  std::string board;
+  std::vector<SynthRow> rows;  // areas sum exactly to `total`
+  fpga::AreaReport total;
+  uint64_t pipeline_depth = 0;
+
+  // Access-site census (the "N global access sites (...)" line).
+  uint64_t burst_load_sites = 0;
+  uint64_t pipelined_load_sites = 0;
+  uint64_t store_sites = 0;
+
+  // Fitter verdict against `board`: "fits", "Not enough <resource>", or
+  // "Atomics" (heterogeneous-memory synthesis failure, §III-A).
+  bool fits = false;
+  std::string verdict;
+  double utilization = 0.0;    // worst resource, 1.0 == full
+  std::string bottleneck;      // resource name driving `utilization`
+  // Modelled synthesis wall-clock (§IV-B): a full compile when the design
+  // fits, the shorter failed-attempt time otherwise.
+  double synthesis_hours = 0.0;
+
+  uint64_t access_sites() const {
+    return burst_load_sites + pipelined_load_sites + store_sites;
+  }
+
+  // Classic one-line prose report (what HlsDesign::report used to hold).
+  std::string render() const;
+};
+
+}  // namespace fgpu::hls

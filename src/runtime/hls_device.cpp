@@ -1,7 +1,9 @@
 #include "runtime/hls_device.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/bits.hpp"
 #include "kir/passes.hpp"
@@ -14,6 +16,35 @@ namespace {
 // give the MX2100 far more bandwidth than the SX2800's single DDR4 channel.
 double bytes_per_cycle(const fpga::Board& board) {
   return board.dram.name == "hbm2" ? 256.0 : 32.0;
+}
+
+// Distributes a launch's bandwidth-stall cycles across its access sites in
+// proportion to each site's off-chip traffic (the stall is bandwidth-bound
+// by construction), using largest-remainder apportionment so the integer
+// shares sum EXACTLY to `stall_total` — the fgpu.hlsprof.v1 exact-sum
+// contract. Deterministic: remainder ties break on site order.
+void attribute_stalls(uint64_t stall_total, std::vector<HlsSiteStats>& sites) {
+  if (stall_total == 0 || sites.empty()) return;
+  using u128 = unsigned __int128;
+  u128 bytes_total = 0;
+  for (const auto& s : sites) bytes_total += s.bytes;
+  if (bytes_total == 0) return;  // no traffic implies bandwidth_cycles was 0
+  uint64_t assigned = 0;
+  std::vector<std::pair<u128, size_t>> remainders;
+  remainders.reserve(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const u128 numerator = static_cast<u128>(stall_total) * sites[i].bytes;
+    sites[i].stall_cycles = static_cast<uint64_t>(numerator / bytes_total);
+    assigned += sites[i].stall_cycles;
+    remainders.emplace_back(numerator % bytes_total, i);
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  // Sum-of-floors is short of the total by at most sites.size() - 1.
+  for (size_t k = 0; assigned < stall_total; ++k, ++assigned) {
+    ++sites[remainders[k].second].stall_cycles;
+  }
 }
 
 }  // namespace
@@ -60,13 +91,17 @@ Status HlsDevice::build(const kir::Module& module) {
       info.status = Status::ok();
       info.area = design->area;
       info.synthesis_hours = design->synthesis_hours;
-      info.log = design->report;
+      info.synth = design->report;
+      info.log = design->report.render();
       designs_[kernel.name] = design.take();
     } else {
       info.status = design.status();
       info.log = design.status().to_string();
-      info.area = hls::estimate_area(hls::analyze(kernel));
-      info.synthesis_hours = hls::failed_attempt_hours(info.area, board_);
+      // The failed attempt still has a structured report: its area rows are
+      // exactly the Table II "does not fit" data points.
+      info.synth = hls::synth_report(kernel, board_);
+      info.area = info.synth.total;
+      info.synthesis_hours = info.synth.synthesis_hours;
       if (first_error.is_ok()) first_error = design.status();
     }
     total += info.area;
@@ -86,6 +121,11 @@ Status HlsDevice::build(const kir::Module& module) {
     for (auto& info : build_info_) {
       if (info.status.is_ok()) info.status = first_error;
       info.synthesis_hours = hls::failed_attempt_hours(total, board_);
+      // The kernel fit on its own; the module did not. Record the module
+      // verdict so the structured report matches the build status.
+      info.synth.fits = false;
+      info.synth.verdict = "Not enough " + resource + " (module)";
+      info.synth.synthesis_hours = info.synthesis_hours;
     }
   }
   return first_error;
@@ -142,11 +182,25 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
   const double items = static_cast<double>(ndrange.global_items());
   double occupancy_cycles = 0.0;  // total memory-interface cycles
   double bytes_moved = 0.0;
-  for (const auto& site : design.dfg.sites) {
+  LaunchStats stats;
+  stats.hls_sites.reserve(design.dfg.sites.size());
+  for (size_t i = 0; i < design.dfg.sites.size(); ++i) {
+    const hls::AccessSite& site = design.dfg.sites[i];
     auto it = dyn_requests.find(site.site);
-    const double requests = it == dyn_requests.end() ? 0.0 : static_cast<double>(it->second);
-    occupancy_cycles += requests * hls::request_cost(site);
-    bytes_moved += requests * (site.pattern == hls::AccessPattern::kConsecutive ? 4.0 : 64.0);
+    const uint64_t requests = it == dyn_requests.end() ? 0 : it->second;
+    HlsSiteStats ss;
+    ss.site = static_cast<uint32_t>(i);
+    ss.buffer = site.buffer_name;
+    ss.source = site.source;
+    ss.lsu = site.is_store ? "store" : site.pipelined ? "pipelined" : "burst";
+    ss.pattern = hls::to_string(site.pattern);
+    ss.in_loop = site.in_loop;
+    ss.requests = requests;
+    ss.bytes = requests * (site.pattern == hls::AccessPattern::kConsecutive ? 4 : 64);
+    ss.occupancy_cycles = static_cast<double>(requests) * hls::request_cost(site);
+    occupancy_cycles += ss.occupancy_cycles;
+    bytes_moved += static_cast<double>(ss.bytes);
+    stats.hls_sites.push_back(std::move(ss));
   }
   const double ii = std::max(1.0, occupancy_cycles / std::max(1.0, items));
   const double issue_cycles = items * ii;
@@ -154,7 +208,6 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
   const double total =
       static_cast<double>(design.pipeline_depth) + std::max(issue_cycles, bandwidth_cycles);
 
-  LaunchStats stats;
   stats.device_cycles = static_cast<uint64_t>(total);
   stats.clock_mhz = board_.hls_kernel_clock_mhz;
   stats.pipeline_depth = design.pipeline_depth;
@@ -162,6 +215,7 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
   stats.memory_stall_cycles =
       static_cast<uint64_t>(std::max(0.0, bandwidth_cycles - issue_cycles));
   stats.dram_bytes = static_cast<uint64_t>(bytes_moved);
+  attribute_stalls(stats.memory_stall_cycles, stats.hls_sites);
   if (trace::Sink* sink = trace::kEnabled ? trace::current() : nullptr) {
     sink->set_thread_name(0, "hls-pipeline");
     sink->complete(sink->intern(kernel_name), "kernel", 0, 0, stats.device_cycles,
@@ -170,6 +224,15 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
                     {"memory_stall_cycles", stats.memory_stall_cycles},
                     {"items", ndrange.global_items()},
                     {"dram_bytes", stats.dram_bytes}});
+    // One counter track per access site, so the Perfetto view shows which
+    // LSU the launch's traffic and bandwidth stalls land on — side by side
+    // with the soft GPU's stall tracks from the same suite run.
+    for (const auto& site : stats.hls_sites) {
+      const char* track = sink->intern("hls-site " + std::to_string(site.site) + " " + site.source);
+      sink->counter(track, 0, 0, {{"requests", 0}, {"stall_cycles", 0}});
+      sink->counter(track, 0, stats.device_cycles,
+                    {{"requests", site.requests}, {"stall_cycles", site.stall_cycles}});
+    }
     sink->set_time_base(sink->time_base() + stats.device_cycles + 1);
   }
   return stats;

@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "fpga/board.hpp"
+#include "hls/synth_report.hpp"
 #include "kir/kir.hpp"
 #include "mem/timing.hpp"
 #include "vasm/program.hpp"
@@ -38,6 +39,23 @@ struct Buffer {
 // Kernel argument: buffer, i32 scalar, or f32 scalar (set_arg order follows
 // the kernel's parameter declaration order).
 using Arg = std::variant<Buffer, int32_t, float>;
+
+// Per-access-site timing attribution of one HLS launch — the HLS-side
+// analogue of the soft GPU's per-PC profile (fgpu.hlsprof.v1). Exact-sum
+// contract: stall_cycles over a launch's sites sums to the launch's
+// LaunchStats::memory_stall_cycles to the cycle.
+struct HlsSiteStats {
+  uint32_t site = 0;          // index into the design's access-site list
+  std::string buffer;         // kernel parameter backing the site
+  std::string source;         // KIR provenance: "<buffer>[<index-expr>]"
+  std::string lsu;            // "burst" | "pipelined" | "store"
+  std::string pattern;        // "consecutive" | "strided" | "irregular"
+  bool in_loop = false;
+  uint64_t requests = 0;      // dynamic accesses through the site
+  uint64_t bytes = 0;         // off-chip traffic attributed to the site
+  double occupancy_cycles = 0.0;  // memory-interface occupancy (drives the II)
+  uint64_t stall_cycles = 0;  // share of memory_stall_cycles (exact sum)
+};
 
 struct LaunchStats {
   uint64_t device_cycles = 0;
@@ -59,6 +77,9 @@ struct LaunchStats {
   uint64_t pipeline_depth = 0;
   uint64_t initiation_interval = 0;
   uint64_t memory_stall_cycles = 0;
+  // Per-access-site attribution of this launch (empty on the soft GPU);
+  // stall_cycles over these sites sums exactly to memory_stall_cycles.
+  std::vector<HlsSiteStats> hls_sites;
 };
 
 // Result of building one kernel (per-kernel logs feed the coverage table).
@@ -68,6 +89,10 @@ struct KernelBuildInfo {
   std::string log;                // human-readable detail
   fpga::AreaReport area;          // HLS: synthesized area
   double synthesis_hours = 0.0;   // HLS: modelled synthesis time (§IV-B)
+  // HLS: structured synthesis report (per-module area rows + fitter
+  // verdict), produced even for failed fits; synth.kernel is empty on the
+  // soft GPU.
+  hls::SynthReport synth;
   size_t binary_words = 0;        // soft GPU: instruction count
   bool barrier_dispatch = false;  // soft GPU: work-group dispatch used
   // Soft GPU: the kernel image and its PC -> KIR line table, kept so

@@ -1,0 +1,170 @@
+#include "suite/compare.hpp"
+
+#include <cmath>
+
+#include "suite/report.hpp"
+#include "vortex/area.hpp"
+
+namespace fgpu::suite {
+
+namespace {
+
+// Coverage class of one benchmark: which flows produced a correct result.
+const char* coverage_of(const BenchmarkOutcome& o) {
+  const bool vx = o.ran_vortex && o.vortex.ok();
+  const bool hl = o.ran_hls && o.hls.ok();
+  if (vx && hl) return "both";
+  if (vx) return "vortex_only";
+  if (hl) return "hls_only";
+  return "neither";
+}
+
+// Categorical verdict — deliberately not a formatted ratio string so the
+// document carries no duplicated floating-point rendering (the numeric
+// speedup field is the quantitative answer).
+const char* verdict_of(const BenchmarkOutcome& o, double speedup) {
+  const bool vx = o.ran_vortex && o.vortex.ok();
+  const bool hl = o.ran_hls && o.hls.ok();
+  if (vx && hl) {
+    if (speedup > 1.0) return "hls_faster";
+    if (speedup < 1.0) return "vortex_faster";
+    return "tie";
+  }
+  if (vx) return "hls_failed";
+  if (hl) return "vortex_failed";
+  return "both_failed";
+}
+
+// HLS-over-vortex speedup in modeled execution time (the Fig. 6 metric).
+// Time, not cycles: the flows run at different modeled clocks. 0.0 when
+// either side failed or has no time.
+double speedup_of(const BenchmarkOutcome& o) {
+  const bool vx = o.ran_vortex && o.vortex.ok();
+  const bool hl = o.ran_hls && o.hls.ok();
+  if (!vx || !hl) return 0.0;
+  if (o.hls.total_time_ms <= 0.0 || o.vortex.total_time_ms <= 0.0) return 0.0;
+  return o.vortex.total_time_ms / o.hls.total_time_ms;
+}
+
+void write_side(trace::JsonWriter& w, const DeviceRun& run, const std::string& device,
+                DeviceKind kind) {
+  w.begin_object();
+  w.field("device", device);
+  w.field("ok", run.ok());
+  w.field("fail_reason", run.fail_reason);
+  w.field("cycles", run.total_cycles);
+  w.field("time_ms", run.total_time_ms);
+  // Final-launch DRAM traffic, same semantics as fgpu.stats.v1's
+  // last_launch section.
+  w.field("dram_bytes", run.last.dram_bytes);
+  if (kind == DeviceKind::kHls) {
+    w.field("synthesis_hours", run.synthesis_hours);
+    w.key("area");
+    write_json(w, run.area);
+    w.field("pipeline_depth", run.last.pipeline_depth);
+    w.field("initiation_interval", run.last.initiation_interval);
+    w.field("memory_stall_cycles", run.last.memory_stall_cycles);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_compare_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kCompareSchema);
+  write_suite_header(w, options, result);
+
+  // Flow-level context: the soft GPU synthesizes once per configuration
+  // (its area is a property of the config, not of any benchmark), while
+  // the HLS flow pays per-kernel synthesis — the paper's portability-vs-
+  // specialization tradeoff, aggregated below.
+  const fpga::Board& vx_board =
+      options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
+  w.key("vortex_flow").begin_object();
+  w.field("config", options.vortex_config.to_string());
+  w.key("area");
+  write_json(w, vortex::estimate_area(options.vortex_config));
+  w.field("fits", vortex::fits(options.vortex_config, vx_board));
+  w.end_object();
+
+  double hls_total_hours = 0.0;
+  int both_ok = 0, vortex_only = 0, hls_only = 0, neither = 0;
+  double log_sum = 0.0;
+  int speedup_count = 0;
+  for (const auto& o : result.outcomes) {
+    hls_total_hours += o.hls.synthesis_hours;
+    const std::string cov = coverage_of(o);
+    if (cov == "both") ++both_ok;
+    else if (cov == "vortex_only") ++vortex_only;
+    else if (cov == "hls_only") ++hls_only;
+    else ++neither;
+    const double speedup = speedup_of(o);
+    if (speedup > 0.0) {
+      log_sum += std::log(speedup);
+      ++speedup_count;
+    }
+  }
+  w.key("hls_flow").begin_object();
+  // Summed over every attempted kernel build, including failed fits (the
+  // paper charges failed syntheses their full runtime too).
+  w.field("total_synthesis_hours", hls_total_hours);
+  w.end_object();
+
+  w.key("summary").begin_object();
+  w.field("both_ok", static_cast<int64_t>(both_ok));
+  w.field("vortex_only", static_cast<int64_t>(vortex_only));
+  w.field("hls_only", static_cast<int64_t>(hls_only));
+  w.field("neither", static_cast<int64_t>(neither));
+  w.field("speedup_count", static_cast<int64_t>(speedup_count));
+  // Geometric mean of the per-benchmark HLS-over-vortex speedups (both-ok
+  // benchmarks only) — the one-number Fig. 6 takeaway.
+  w.field("geomean_speedup_hls_over_vortex",
+          speedup_count > 0 ? std::exp(log_sum / speedup_count) : 0.0);
+  w.end_object();
+
+  // Table-I failure diff: benchmarks where exactly the flows' outcomes (or
+  // their short failure reasons) disagree — the portability story.
+  w.key("failure_diffs").begin_array();
+  for (const auto& o : result.outcomes) {
+    const bool vx = o.ran_vortex && o.vortex.ok();
+    const bool hl = o.ran_hls && o.hls.ok();
+    if (vx == hl && o.vortex.fail_reason == o.hls.fail_reason) continue;
+    w.begin_object();
+    w.field("name", o.name);
+    w.field("vortex_ok", vx);
+    w.field("vortex_fail_reason", o.vortex.fail_reason);
+    w.field("hls_ok", hl);
+    w.field("hls_fail_reason", o.hls.fail_reason);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("benchmarks").begin_array();
+  for (const auto& o : result.outcomes) {
+    const double speedup = speedup_of(o);
+    w.begin_object();
+    w.field("name", o.name);
+    w.field("origin", o.origin);
+    w.field("workload_seed", o.workload_seed);
+    w.field("coverage", coverage_of(o));
+    w.field("verdict", verdict_of(o, speedup));
+    w.field("speedup_hls_over_vortex", speedup);
+    if (o.ran_vortex) {
+      w.key("vortex");
+      write_side(w, o.vortex, o.vortex_device, DeviceKind::kVortex);
+    }
+    if (o.ran_hls) {
+      w.key("hls");
+      write_side(w, o.hls, o.hls_device, DeviceKind::kHls);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace fgpu::suite

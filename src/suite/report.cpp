@@ -160,6 +160,72 @@ void write_json(trace::JsonWriter& w, const KernelProfile& profile) {
   w.end_object();
 }
 
+void write_json(trace::JsonWriter& w, const hls::SynthReport& synth) {
+  w.begin_object();
+  w.field("kernel", synth.kernel);
+  w.field("board", synth.board);
+  w.field("fits", synth.fits);
+  w.field("verdict", synth.verdict);
+  w.field("utilization", synth.utilization);
+  w.field("bottleneck", synth.bottleneck);
+  w.field("pipeline_depth", synth.pipeline_depth);
+  w.field("synthesis_hours", synth.synthesis_hours);
+  w.key("sites").begin_object();
+  w.field("burst_load", synth.burst_load_sites);
+  w.field("pipelined_load", synth.pipelined_load_sites);
+  w.field("store", synth.store_sites);
+  w.end_object();
+  w.key("total");
+  write_json(w, synth.total);
+  // Per-module breakdown in synthesis order; module areas sum to "total"
+  // exactly (the Table II-IV rows).
+  w.key("modules").begin_array();
+  for (const auto& row : synth.rows) {
+    w.begin_object();
+    w.field("module", row.module);
+    w.field("detail", row.detail);
+    w.key("area");
+    write_json(w, row.area);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const HlsKernelProfile& profile) {
+  w.begin_object();
+  w.field("kernel", profile.kernel);
+  w.field("launches", profile.launches);
+  w.field("device_cycles", profile.device_cycles);
+  w.field("memory_stall_cycles", profile.memory_stall_cycles);
+  w.key("synth");
+  write_json(w, profile.synth);
+  // Per-site attribution table in access-site order. "stall_cycles" over
+  // the sites sums to memory_stall_cycles exactly; "occupancy_share" is the
+  // site's fraction of the II-driving memory-interface occupancy.
+  double occupancy_total = 0.0;
+  for (const auto& site : profile.sites) occupancy_total += site.occupancy_cycles;
+  w.key("sites").begin_array();
+  for (const auto& site : profile.sites) {
+    w.begin_object();
+    w.field("site", site.site);
+    w.field("buffer", site.buffer);
+    w.field("source", site.source);
+    w.field("lsu", site.lsu);
+    w.field("pattern", site.pattern);
+    w.field("in_loop", site.in_loop);
+    w.field("requests", site.requests);
+    w.field("bytes", site.bytes);
+    w.field("occupancy_cycles", site.occupancy_cycles);
+    w.field("occupancy_share",
+            occupancy_total > 0.0 ? site.occupancy_cycles / occupancy_total : 0.0);
+    w.field("stall_cycles", site.stall_cycles);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
                 const std::string& device_name) {
   w.begin_object();

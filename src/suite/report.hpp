@@ -36,6 +36,11 @@ inline constexpr const char* kProfileSchema = "fgpu.profile.v1";
 // identical across --jobs and hosts) forbids any host-time field.
 inline constexpr const char* kHostSchema = "fgpu.host.v1";
 
+// Version tag of the HLS per-site profile export (fgpu-run --hlsprof; see
+// OBSERVABILITY.md "HLS profiles"): per-access-site stall/occupancy
+// attribution with KIR provenance plus the structured synthesis report.
+inline constexpr const char* kHlsProfSchema = "fgpu.hlsprof.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls };
 
@@ -51,5 +56,10 @@ void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
 // instructions and KIR provenance, occupancy timeline, cache-conflict
 // histograms) — the "kernels" array elements of fgpu.profile.v1.
 void write_json(trace::JsonWriter& w, const KernelProfile& profile);
+// Structured HLS synthesis report: per-module area rows + fitter verdict.
+void write_json(trace::JsonWriter& w, const hls::SynthReport& synth);
+// One kernel's accumulated per-site HLS attribution — the "kernels" array
+// elements of fgpu.hlsprof.v1.
+void write_json(trace::JsonWriter& w, const HlsKernelProfile& profile);
 
 }  // namespace fgpu::suite

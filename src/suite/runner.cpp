@@ -130,9 +130,8 @@ Result<SuiteRunResult> run_all(const RunnerOptions& options) {
   return result;
 }
 
-namespace {
-
-// Common "suite" header object of the stats and profile documents.
+// Common "suite" header object of the suite-level documents (stats,
+// profile, hlsprof, compare).
 void write_suite_header(trace::JsonWriter& w, const RunnerOptions& options,
                         const SuiteRunResult& result) {
   w.key("suite").begin_object();
@@ -148,8 +147,6 @@ void write_suite_header(trace::JsonWriter& w, const RunnerOptions& options,
   w.field("benchmark_count", static_cast<uint64_t>(result.outcomes.size()));
   w.end_object();
 }
-
-}  // namespace
 
 void write_stats_json(std::ostream& os, const RunnerOptions& options,
                       const SuiteRunResult& result) {
@@ -208,6 +205,32 @@ void write_profile_json(std::ostream& os, const RunnerOptions& options,
     w.field("ok", outcome.vortex.ok());
     w.key("kernels").begin_array();
     for (const auto& profile : outcome.vortex.kernel_profiles) write_json(w, profile);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_hlsprof_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kHlsProfSchema);
+  write_suite_header(w, options, result);
+  w.key("benchmarks").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.ran_hls) continue;
+    w.begin_object();
+    w.field("name", outcome.name);
+    w.field("device", outcome.hls_device);
+    w.field("ok", outcome.hls.ok());
+    w.field("fail_reason", outcome.hls.fail_reason);
+    // Kernels that failed to fit still appear (launches == 0, sites empty)
+    // with their structured synthesis report — the Table-I failure rows.
+    w.key("kernels").begin_array();
+    for (const auto& profile : outcome.hls.hls_profiles) write_json(w, profile);
     w.end_array();
     w.end_object();
   }

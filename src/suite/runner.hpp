@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "suite/suite.hpp"
+#include "trace/json.hpp"
 #include "trace/trace.hpp"
 #include "vortex/config.hpp"
 
@@ -94,6 +95,17 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
 // Serializes the per-PC profiles to the fgpu.profile.v1 schema. Same
 // determinism contract as the stats: byte-identical across --jobs.
 void write_profile_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result);
+
+// Serializes the HLS per-site attribution + structured synthesis reports to
+// the fgpu.hlsprof.v1 schema (OBSERVABILITY.md "HLS profiles"). Same
+// determinism contract: byte-identical across --jobs.
+void write_hlsprof_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result);
+
+// Shared "suite" header object of every suite-level document (stats,
+// profile, hlsprof, compare): run configuration + benchmark count.
+void write_suite_header(trace::JsonWriter& w, const RunnerOptions& options,
                         const SuiteRunResult& result);
 
 // Merges per-benchmark trace sinks into one Chrome trace_event file

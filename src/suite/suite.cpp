@@ -136,6 +136,14 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
   for (const auto& info : device.build_info()) {
     result.area += info.area;
     result.synthesis_hours += info.synthesis_hours;
+    // HLS builds carry a structured synthesis report per kernel (synth.kernel
+    // is empty on the soft GPU). Seed the per-kernel HLS profile from it now
+    // so failed fits — the interesting Table II rows — are reported too.
+    if (!info.synth.kernel.empty()) {
+      HlsKernelProfile& hp = result.hls_profiles.emplace_back();
+      hp.kernel = info.kernel;
+      hp.synth = info.synth;
+    }
   }
   if (!result.build.is_ok()) {
     // Table-I-style short reason.
@@ -190,6 +198,26 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
     result.total_cycles += stats->device_cycles;
     result.total_instrs += stats->perf.instrs;
     result.total_time_ms += stats->time_ms();
+    if (!stats->hls_sites.empty() || stats->pipeline_depth > 0) {
+      for (auto& hp : result.hls_profiles) {
+        if (hp.kernel != launch.kernel) continue;
+        ++hp.launches;
+        hp.device_cycles += stats->device_cycles;
+        hp.memory_stall_cycles += stats->memory_stall_cycles;
+        if (hp.sites.empty()) {
+          hp.sites = stats->hls_sites;
+        } else {
+          // Same design every launch: accumulate the dynamic columns.
+          for (size_t s = 0; s < hp.sites.size() && s < stats->hls_sites.size(); ++s) {
+            hp.sites[s].requests += stats->hls_sites[s].requests;
+            hp.sites[s].bytes += stats->hls_sites[s].bytes;
+            hp.sites[s].occupancy_cycles += stats->hls_sites[s].occupancy_cycles;
+            hp.sites[s].stall_cycles += stats->hls_sites[s].stall_cycles;
+          }
+        }
+        break;
+      }
+    }
     if (stats->profile.enabled) {
       KernelProfile* kp = nullptr;
       for (auto& existing : result.kernel_profiles) {

@@ -88,6 +88,20 @@ struct KernelProfile {
   vasm::SourceMap source_map;  // PC -> KIR provenance
 };
 
+// Accumulated per-access-site HLS attribution of one kernel across a
+// benchmark's launches, plus its structured synthesis report — the HLS-side
+// mirror of KernelProfile (exported as fgpu.hlsprof.v1). Site stats add up
+// across launches of the same design; memory_stall_cycles equals the sum of
+// sites[].stall_cycles exactly (per-launch contract, preserved by summing).
+struct HlsKernelProfile {
+  std::string kernel;
+  uint64_t launches = 0;
+  uint64_t device_cycles = 0;        // summed over launches
+  uint64_t memory_stall_cycles = 0;  // == sum of sites[].stall_cycles
+  hls::SynthReport synth;            // filled at build time (even on failed fits)
+  std::vector<vcl::HlsSiteStats> sites;
+};
+
 struct DeviceRun {
   Status build;          // program build (HLS synthesis can fail here)
   Status run;            // launch execution
@@ -102,6 +116,10 @@ struct DeviceRun {
   // Per-kernel profiles in first-launch order; filled only when the device
   // collects profiles (soft GPU with Config::profile set).
   std::vector<KernelProfile> kernel_profiles;
+  // HLS: per-kernel site attribution + structured synthesis reports, in
+  // build order (present even when the build failed — the synth reports of
+  // failed fits are the Table II data points).
+  std::vector<HlsKernelProfile> hls_profiles;
 
   bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
 };

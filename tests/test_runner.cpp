@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "suite/compare.hpp"
 #include "suite/report.hpp"
 #include "suite/runner.hpp"
 
@@ -150,6 +151,109 @@ TEST(RunAll, ProfileJsonIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial_json.str(), parallel_json.str());
   EXPECT_NE(serial_json.str().find(std::string("\"schema\": \"") + kProfileSchema + "\""),
             std::string::npos);
+}
+
+// Same contract for the HLS-side profile: per-site attribution and the
+// structured synthesis reports must not depend on scheduling either.
+TEST(RunAll, HlsprofJsonIsByteIdenticalAcrossJobCounts) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  // Include a failing benchmark (backprop: "Not enough BRAM") so the
+  // failed-fit synth reports are exercised by the byte-compare too.
+  options.filter = "^(vecadd|saxpy|backprop|transpose)$";
+  options.run_vortex = false;
+
+  options.jobs = 1;
+  auto serial = run_all(options);
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_EQ(serial->outcomes.size(), 4u);
+  for (const auto& outcome : serial->outcomes) {
+    EXPECT_FALSE(outcome.hls.hls_profiles.empty()) << outcome.name;
+  }
+  std::ostringstream serial_json;
+  write_hlsprof_json(serial_json, options, *serial);
+
+  options.jobs = 4;
+  auto parallel = run_all(options);
+  ASSERT_TRUE(parallel.is_ok());
+  std::ostringstream parallel_json;
+  write_hlsprof_json(parallel_json, options, *parallel);
+
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+  EXPECT_NE(serial_json.str().find(std::string("\"schema\": \"") + kHlsProfSchema + "\""),
+            std::string::npos);
+}
+
+// The comparison document joins both flows' runs, so it inherits both
+// determinism contracts at once.
+TEST(RunAll, CompareJsonIsByteIdenticalAcrossJobCounts) {
+  Log::level() = LogLevel::kOff;
+  RunnerOptions options;
+  options.filter = "^(vecadd|saxpy|backprop|hybridsort)$";
+
+  options.jobs = 1;
+  auto serial = run_all(options);
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_EQ(serial->outcomes.size(), 4u);
+  std::ostringstream serial_json;
+  write_compare_json(serial_json, options, *serial);
+
+  options.jobs = 4;
+  auto parallel = run_all(options);
+  ASSERT_TRUE(parallel.is_ok());
+  std::ostringstream parallel_json;
+  write_compare_json(parallel_json, options, *parallel);
+
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+  const std::string json = serial_json.str();
+  EXPECT_NE(json.find(std::string("\"schema\": \"") + kCompareSchema + "\""), std::string::npos);
+  // vecadd/saxpy run on both flows; backprop and hybridsort are the paper's
+  // Table-I HLS failures, so they must land in the failure diff.
+  EXPECT_NE(json.find("\"coverage\": \"both\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\": \"vortex_only\""), std::string::npos);
+  EXPECT_NE(json.find("\"hls_fail_reason\": \"Not enough BRAM\""), std::string::npos);
+  EXPECT_NE(json.find("\"hls_fail_reason\": \"Atomics\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"hls_failed\""), std::string::npos);
+}
+
+// The fgpu.hlsprof.v1 exact-sum contract, asserted across the whole suite:
+// for every benchmark and kernel, the per-site stall attribution accounts
+// for every modeled memory-stall cycle — no leakage, no double counting.
+TEST(RunAll, HlsSiteStallsSumExactlyAcrossFullSuite) {
+  Log::level() = LogLevel::kOff;
+  // Both boards: the paper's MX2100 (HBM2 — issue-bound, stalls mostly 0)
+  // and the DDR4 SX2800, whose narrow channel makes strided benchmarks
+  // genuinely bandwidth-stall so the apportionment is exercised for real.
+  int kernels_with_stalls = 0;
+  for (const auto* board : {&fpga::stratix10_mx2100(), &fpga::stratix10_sx2800()}) {
+    RunnerOptions options;
+    options.run_vortex = false;
+    options.hls_board = board;
+    options.jobs = 4;
+    auto result = run_all(options);
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_EQ(result->outcomes.size(), 28u);
+    for (const auto& outcome : result->outcomes) {
+      ASSERT_TRUE(outcome.ran_hls);
+      EXPECT_FALSE(outcome.hls.hls_profiles.empty()) << outcome.name;
+      for (const auto& profile : outcome.hls.hls_profiles) {
+        uint64_t sum = 0;
+        for (const auto& site : profile.sites) sum += site.stall_cycles;
+        EXPECT_EQ(sum, profile.memory_stall_cycles)
+            << board->name << " / " << outcome.name << " / " << profile.kernel;
+        if (profile.memory_stall_cycles > 0) ++kernels_with_stalls;
+        // The structured synthesis report is present for every build
+        // attempt, and its rows decompose the total exactly.
+        EXPECT_EQ(profile.synth.kernel, profile.kernel);
+        fpga::AreaReport row_sum;
+        for (const auto& row : profile.synth.rows) row_sum += row.area;
+        EXPECT_EQ(row_sum.brams, profile.synth.total.brams) << profile.kernel;
+        EXPECT_EQ(row_sum.aluts, profile.synth.total.aluts) << profile.kernel;
+      }
+    }
+  }
+  // The contract is only interesting if some kernels actually stall.
+  EXPECT_GT(kernels_with_stalls, 0);
 }
 
 }  // namespace

@@ -22,9 +22,23 @@ Host wall-clock (fgpu.host.v1 documents from fgpu-run --host-json) is
 compared with --host-baseline/--host-current. Host throughput is NON-GATING
 by design — CI machines vary — it prints a wall-time trajectory only.
 
+Comparison documents (fgpu.compare.v1 from fgpu-run --compare) are GATED
+with --compare-baseline/--compare-current (BENCH_compare.json in CI):
+
+  * schema-tag and key-path drift, as for the stats document;
+  * the benchmark set must match the baseline exactly;
+  * coverage drift — any benchmark changing its "both/vortex_only/
+    hls_only/neither" class fails (the Table I claim again, joined);
+  * speedup drift — a both-ok benchmark's HLS-over-vortex speedup ratio
+    moving more than --speedup-tolerance (default 5%) in either direction
+    fails: the Fig. 6 ratios are the paper's headline numbers, so both
+    regressions AND unexplained improvements demand a baseline refresh.
+
 Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
                          [--exact-cycles]
                          [--host-baseline=H.json --host-current=H2.json]
+                         [--compare-baseline=C.json --compare-current=C2.json
+                          --speedup-tolerance=0.05]
 
 Stdlib only — runs on a bare CI python3.
 """
@@ -79,6 +93,65 @@ def compare_host(host_baseline, host_current):
           f"vortex {cur.get('vortex_mips', 0):.2f} simulated MIPS")
 
 
+def compare_compare(compare_baseline, compare_current, tolerance):
+    """GATING comparison of two fgpu.compare.v1 documents. Returns failures."""
+    failures = []
+    with open(compare_baseline) as f:
+        base = json.load(f)
+    with open(compare_current) as f:
+        cur = json.load(f)
+
+    for doc, path in ((base, compare_baseline), (cur, compare_current)):
+        if doc.get("schema") != "fgpu.compare.v1":
+            failures.append(f"compare doc {path} has schema {doc.get('schema')!r}, "
+                            "expected fgpu.compare.v1")
+    if failures:
+        return failures
+
+    base_paths = schema_paths(base)
+    cur_paths = schema_paths(cur)
+    for path in sorted(base_paths - cur_paths):
+        failures.append(f"compare schema drift: field '{path}' vanished")
+    for path in sorted(cur_paths - base_paths):
+        failures.append(f"compare schema drift: new field '{path}' not in the baseline "
+                        "(regenerate BENCH_compare.json and bump the schema tag if breaking)")
+
+    base_benchmarks = by_name(base)
+    cur_benchmarks = by_name(cur)
+    for name in sorted(set(base_benchmarks) - set(cur_benchmarks)):
+        failures.append(f"compare: {name} present in baseline but missing from the run")
+    for name in sorted(set(cur_benchmarks) - set(base_benchmarks)):
+        failures.append(f"compare: {name} ran but has no baseline entry")
+
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        b, c = base_benchmarks[name], cur_benchmarks[name]
+        if b.get("coverage") != c.get("coverage"):
+            failures.append(
+                f"compare: {name} coverage changed {b.get('coverage')!r} -> "
+                f"{c.get('coverage')!r} "
+                f"(hls fail_reason: {(c.get('hls') or {}).get('fail_reason', '?')!r})")
+            continue
+        b_speedup = b.get("speedup_hls_over_vortex", 0.0)
+        c_speedup = c.get("speedup_hls_over_vortex", 0.0)
+        if b_speedup > 0.0 and c_speedup > 0.0:
+            drift = abs(c_speedup - b_speedup) / b_speedup
+            if drift > tolerance:
+                failures.append(
+                    f"compare: {name} speedup drift {b_speedup:.4f}x -> {c_speedup:.4f}x "
+                    f"({drift:.1%} > {tolerance:.0%} tolerance)")
+        elif (b_speedup > 0.0) != (c_speedup > 0.0):
+            failures.append(
+                f"compare: {name} speedup appeared/vanished "
+                f"({b_speedup:.4f}x -> {c_speedup:.4f}x)")
+
+    b_geo = base.get("summary", {}).get("geomean_speedup_hls_over_vortex", 0.0)
+    c_geo = cur.get("summary", {}).get("geomean_speedup_hls_over_vortex", 0.0)
+    if not failures and b_geo > 0.0 and c_geo > 0.0:
+        print(f"compare: geomean HLS-over-vortex speedup {b_geo:.3f}x -> {c_geo:.3f}x; "
+              f"{len(base_benchmarks)} benchmarks within {tolerance:.0%}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -89,6 +162,12 @@ def main():
                         help="fail on ANY cycle delta (gate for host-speed-only changes)")
     parser.add_argument("--host-baseline", help="fgpu.host.v1 baseline (non-gating)")
     parser.add_argument("--host-current", help="fgpu.host.v1 current run (non-gating)")
+    parser.add_argument("--compare-baseline",
+                        help="fgpu.compare.v1 baseline (GATING, e.g. BENCH_compare.json)")
+    parser.add_argument("--compare-current", help="fgpu.compare.v1 current run (GATING)")
+    parser.add_argument("--speedup-tolerance", type=float, default=0.05,
+                        help="allowed fractional speedup-ratio drift, either "
+                             "direction (default 0.05)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -147,6 +226,10 @@ def main():
 
     if args.host_baseline and args.host_current:
         compare_host(args.host_baseline, args.host_current)
+
+    if args.compare_baseline and args.compare_current:
+        failures.extend(compare_compare(args.compare_baseline, args.compare_current,
+                                        args.speedup_tolerance))
 
     if failures:
         print(f"check_baseline: {len(failures)} failure(s) vs {args.baseline}:",

@@ -5,9 +5,13 @@
 //   fgpu-run --jobs=8 --device=vortex --config=C4W8T8 --json=suite.json
 //   fgpu-run --filter=vecadd --device=vortex --profile=out.json --hotspots=5
 //
+//   fgpu-run --jobs=8 --compare=compare.json --hlsprof=hlsprof.json
+//
 // Runs the selected Table-I benchmarks on the selected device(s), prints a
 // coverage/cycles table, and optionally writes the fgpu.stats.v1 JSON, a
-// Chrome trace_event file, and the fgpu.profile.v1 per-PC cycle profile. Exit status: 0 unless a usage error occurs or a
+// Chrome trace_event file, the fgpu.profile.v1 per-PC cycle profile, the
+// fgpu.hlsprof.v1 per-access-site HLS profile, and the fgpu.compare.v1
+// side-by-side comparison. Exit status: 0 unless a usage error occurs or a
 // soft-GPU benchmark fails (HLS failures are reported but expected for the
 // paper's six uncovered benchmarks — fgpu-run measures, bench/table1 judges).
 #include <algorithm>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "suite/compare.hpp"
 #include "suite/runner.hpp"
 #include "vortex/config.hpp"
 #include "vortex/profile.hpp"
@@ -36,6 +41,9 @@ void usage(const char* argv0) {
       "  --json=PATH      write fgpu.stats.v1 JSON stats (see OBSERVABILITY.md)\n"
       "  --trace=PATH     write Chrome trace_event JSON (open in chrome://tracing)\n"
       "  --profile=PATH   write fgpu.profile.v1 per-PC cycle profile JSON\n"
+      "  --hlsprof=PATH   write fgpu.hlsprof.v1 per-access-site HLS profile JSON\n"
+      "  --compare=PATH   write fgpu.compare.v1 vortex-vs-HLS comparison JSON\n"
+      "                   (requires both devices, i.e. not --device=vortex/hls)\n"
       "  --hotspots=K     print top-K stalled PCs per kernel (implies profiling)\n"
       "  --seed=N         suite seed mixed into per-benchmark workload seeds\n"
       "  --repeat=N       run the suite N times; report min/median wall time\n"
@@ -103,7 +111,8 @@ const char* status_cell(bool ran, const suite::DeviceRun& run) {
 int main(int argc, char** argv) {
   Log::level() = LogLevel::kOff;
   suite::RunnerOptions options;
-  std::string json_path, trace_path, profile_path, host_json_path, value;
+  std::string json_path, trace_path, profile_path, hlsprof_path, compare_path, host_json_path,
+      value;
   bool list_only = false, quiet = false;
   uint32_t hotspots = 0;
   uint32_t repeat = 1;
@@ -144,6 +153,10 @@ int main(int argc, char** argv) {
     } else if (flag_value(arg, "--profile", &value)) {
       profile_path = value;
       options.capture_profile = true;
+    } else if (flag_value(arg, "--hlsprof", &value)) {
+      hlsprof_path = value;
+    } else if (flag_value(arg, "--compare", &value)) {
+      compare_path = value;
     } else if (flag_value(arg, "--hotspots", &value)) {
       hotspots = static_cast<uint32_t>(std::stoul(value));
       options.capture_profile = true;
@@ -170,6 +183,29 @@ int main(int argc, char** argv) {
   }
 
   options.vortex_config.idle_skip = idle_skip;
+
+  // Flag/device consistency: each export needs the device(s) that produce
+  // its data, so a contradictory --device is a usage error (exit 2), not a
+  // silently empty document.
+  if (!compare_path.empty() && (!options.run_vortex || !options.run_hls)) {
+    std::fprintf(stderr,
+                 "fgpu-run: --compare joins both flows; it requires --device=both "
+                 "(got --device=%s)\n",
+                 options.run_vortex ? "vortex" : "hls");
+    return 2;
+  }
+  if (options.capture_profile && !options.run_vortex) {
+    std::fprintf(stderr,
+                 "fgpu-run: --profile/--hotspots collect the soft-GPU per-PC profile; "
+                 "they conflict with --device=hls\n");
+    return 2;
+  }
+  if (!hlsprof_path.empty() && !options.run_hls) {
+    std::fprintf(stderr,
+                 "fgpu-run: --hlsprof collects the HLS per-site profile; it conflicts "
+                 "with --device=vortex\n");
+    return 2;
+  }
 
   // Resolve the filter up front so both --list and the run path report a
   // non-matching filter as an error instead of silently doing nothing.
@@ -285,6 +321,24 @@ int main(int argc, char** argv) {
     }
     suite::write_profile_json(out, options, *result);
     if (!quiet) std::printf("profile -> %s\n", profile_path.c_str());
+  }
+  if (!hlsprof_path.empty()) {
+    std::ofstream out(hlsprof_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", hlsprof_path.c_str());
+      return 2;
+    }
+    suite::write_hlsprof_json(out, options, *result);
+    if (!quiet) std::printf("hlsprof -> %s\n", hlsprof_path.c_str());
+  }
+  if (!compare_path.empty()) {
+    std::ofstream out(compare_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", compare_path.c_str());
+      return 2;
+    }
+    suite::write_compare_json(out, options, *result);
+    if (!quiet) std::printf("compare -> %s\n", compare_path.c_str());
   }
   if (!host_json_path.empty()) {
     std::ofstream out(host_json_path);
