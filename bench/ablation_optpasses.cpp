@@ -1,0 +1,77 @@
+// Ablation of the guest-code -O pipeline: per-pass cycle attribution.
+// For each benchmark, runs the suite kernel at -O2 with one pipeline stage
+// forced off at a time (LICM, strength reduction, KIR DCE, the machine-IR
+// peephole, the spill-pressure re-lowering ladder) and reports the cycle
+// delta each stage is worth on top of the rest of the pipeline. -O0 and
+// -O1 anchor the ends of the ladder.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "runtime/vortex_device.hpp"
+#include "suite/suite.hpp"
+
+using namespace fgpu;
+
+namespace {
+
+uint64_t run_cycles(const char* name, const codegen::Options& options, bool* ok) {
+  vcl::VortexDevice device(vortex::Config::with(4, 8, 8), fpga::stratix10_sx2800(), options);
+  auto bench = suite::make_benchmark(name);
+  const auto run = suite::run_benchmark(device, bench);
+  *ok &= run.ok();
+  return run.total_cycles;
+}
+
+}  // namespace
+
+int main() {
+  Log::level() = LogLevel::kOff;
+  printf("Optimizer per-pass ablation (cycles; each column = -O2 with that\n");
+  printf("stage off; positive %% = the stage was helping on this kernel)\n\n");
+
+  struct Column {
+    const char* name;
+    codegen::Options options;
+  };
+  Column columns[] = {
+      {"-O0", {}},        {"-O1", {}},          {"-O2", {}},
+      {"no-licm", {}},    {"no-strred", {}},    {"no-dce", {}},
+      {"no-peep", {}},    {"no-ladder", {}},
+  };
+  columns[0].options.opt_level = 0;
+  columns[1].options.opt_level = 1;
+  columns[3].options.ablate.kir_licm = true;
+  columns[4].options.ablate.kir_strength_reduce = true;
+  columns[5].options.ablate.kir_dce = true;
+  columns[6].options.ablate.peephole = true;
+  columns[7].options.ablate.pressure_ladder = true;
+
+  printf("%-14s", "benchmark");
+  for (const auto& column : columns) printf(" %10s", column.name);
+  printf("\n");
+
+  for (const char* name : {"vecadd", "sgemm", "backprop", "dotproduct", "lud", "lbm"}) {
+    bool ok = true;
+    uint64_t cycles[8] = {};
+    for (size_t i = 0; i < 8; ++i) cycles[i] = run_cycles(name, columns[i].options, &ok);
+    if (!ok) {
+      printf("%-14s failed\n", name);
+      continue;
+    }
+    printf("%-14s", name);
+    for (size_t i = 0; i < 8; ++i) printf(" %10llu", (unsigned long long)cycles[i]);
+    printf("\n%-14s", "  vs -O2");
+    for (size_t i = 0; i < 8; ++i) {
+      const double pct =
+          100.0 * (static_cast<double>(cycles[i]) / static_cast<double>(cycles[2]) - 1.0);
+      printf(" %+9.1f%%", pct);
+    }
+    printf("\n");
+  }
+
+  printf("\nReading: a stage whose \"off\" column sits above -O2 carries that\n");
+  printf("benchmark; a column below -O2 means the stage costs cycles there\n");
+  printf("(live-range stretch feeding spills) and the pressure ladder is what\n");
+  printf("contains the damage — compare the no-ladder column on lud/lbm.\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "codegen/codegen.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <functional>
@@ -8,6 +9,7 @@
 
 #include "codegen/abi.hpp"
 #include "codegen/minstr.hpp"
+#include "codegen/peephole.hpp"
 #include "codegen/regalloc.hpp"
 #include "common/bits.hpp"
 #include "kir/passes.hpp"
@@ -283,6 +285,112 @@ class Lowering {
         num_groups_[d] = load_geometry(abi::kNumGroups0 + 4 * static_cast<uint32_t>(d));
       }
     }
+    if (options_.opt_level >= 2) emit_uniform_hoists();
+  }
+
+  // ---- uniform-value scalarization (-O2) -------------------------------
+  // Pure expressions built only from constants, kernel parameters, and the
+  // launch-geometry specials are identical for every work item and every
+  // dispatch iteration (analyze_divergence classifies exactly these leaves
+  // as uniform). Evaluating them once here — under the full lane mask,
+  // before the dispatch loop — removes them from the per-item hot path;
+  // eval() serves later occurrences from the cache.
+
+  // True when every leaf of `e` is warp-uniform and dispatch-invariant.
+  bool uniform_invariant(const ExprPtr& e) const {
+    switch (e->kind) {
+      case ExprKind::kConstInt:
+      case ExprKind::kConstFloat:
+      case ExprKind::kParam:
+        return true;
+      case ExprKind::kSpecial:
+        return e->special == SpecialReg::kGlobalSize || e->special == SpecialReg::kLocalSize ||
+               e->special == SpecialReg::kNumGroups;
+      case ExprKind::kBinary:
+      case ExprKind::kUnary:
+      case ExprKind::kSelect:
+      case ExprKind::kCast:
+      case ExprKind::kCall:
+        for (const auto& arg : e->args) {
+          if (!uniform_invariant(arg)) return false;
+        }
+        return true;
+      default:
+        return false;  // vars, loads, per-item specials
+    }
+  }
+
+  // Maximal uniform-invariant subexpressions with at least one operation
+  // node: record the whole subtree (with an occurrence count), do not
+  // descend into it.
+  void collect_uniform_candidates(const ExprPtr& e,
+                                  std::vector<std::pair<ExprPtr, int>>& out) const {
+    const bool op_node = e->kind == ExprKind::kBinary || e->kind == ExprKind::kUnary ||
+                         e->kind == ExprKind::kSelect || e->kind == ExprKind::kCast ||
+                         e->kind == ExprKind::kCall;
+    if (op_node && uniform_invariant(e)) {
+      for (auto& seen : out) {
+        if (kir::expr_equal(seen.first, e)) {
+          ++seen.second;
+          return;
+        }
+      }
+      out.emplace_back(e, 1);
+      return;
+    }
+    for (const auto& arg : e->args) collect_uniform_candidates(arg, out);
+  }
+
+  void collect_uniform_candidates_block(const std::vector<kir::StmtPtr>& block,
+                                        std::vector<std::pair<ExprPtr, int>>& out) const {
+    for (const auto& s : block) {
+      for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+        if (*e) collect_uniform_candidates(*e, out);
+      }
+      for (const auto& arg : s->print_args) collect_uniform_candidates(arg, out);
+      collect_uniform_candidates_block(s->body, out);
+      collect_uniform_candidates_block(s->else_body, out);
+    }
+  }
+
+  // A hoist pins a register for the whole dispatch loop; that only pays for
+  // itself when the expression is genuinely expensive (mul/div/rem or a
+  // builtin call) or is recomputed at several sites.
+  static bool worth_hoisting(const ExprPtr& e) {
+    if (e->kind == ExprKind::kBinary &&
+        (e->bin == kir::BinOp::kMul || e->bin == kir::BinOp::kDiv ||
+         e->bin == kir::BinOp::kRem)) {
+      return true;
+    }
+    if (e->kind == ExprKind::kCall) return true;
+    for (const auto& arg : e->args) {
+      if (worth_hoisting(arg)) return true;
+    }
+    return false;
+  }
+
+  void emit_uniform_hoists() {
+    std::vector<std::pair<ExprPtr, int>> counted;
+    collect_uniform_candidates_block(kernel_.body, counted);
+    std::vector<ExprPtr> candidates;
+    for (const auto& [e, count] : counted) {
+      if (count >= 2 || worth_hoisting(e)) candidates.push_back(e);
+    }
+    constexpr size_t kMaxHoists = 12;
+    if (candidates.size() > kMaxHoists) candidates.resize(kMaxHoists);
+    if (candidates.empty()) return;
+    set_source("<prologue: uniform hoist>");
+    // The candidates' geometry specials were loaded above (uses_special saw
+    // them in the body); expose them so eval() can reach them already.
+    for (int d = 0; d < 3; ++d) {
+      if (global_size_[d] >= 0) special_vreg_[key(SpecialReg::kGlobalSize, d)] = global_size_[d];
+      if (local_size_[d] >= 0) special_vreg_[key(SpecialReg::kLocalSize, d)] = local_size_[d];
+      if (num_groups_[d] >= 0) special_vreg_[key(SpecialReg::kNumGroups, d)] = num_groups_[d];
+    }
+    for (const auto& e : candidates) {
+      const Value v = eval(e);
+      uniform_cache_.emplace_back(e, v.vreg);
+    }
   }
 
   int load_geometry(uint32_t offset) {
@@ -545,6 +653,15 @@ class Lowering {
   }
 
   Value eval(const ExprPtr& e) {
+    // Uniform-hoist cache (-O2): non-leaf expressions evaluated in the
+    // prologue are not re-evaluated per item. Not owned — assignment targets
+    // must still copy.
+    if (!uniform_cache_.empty() && e->kind != ExprKind::kConstInt &&
+        e->kind != ExprKind::kConstFloat && e->kind != ExprKind::kVar) {
+      for (const auto& [expr, vreg] : uniform_cache_) {
+        if (kir::expr_equal(expr, e)) return {vreg, false};
+      }
+    }
     switch (e->kind) {
       case ExprKind::kConstInt: {
         const int v = fresh();
@@ -1077,6 +1194,8 @@ class Lowering {
   std::unordered_map<std::string, Scalar> var_type_;
   std::unordered_map<int, int> special_vreg_;
   std::unordered_map<int, bool> used_specials_;
+  // (expr, vreg) pairs hoisted to the prologue at -O2; consulted by eval().
+  std::vector<std::pair<ExprPtr, int>> uniform_cache_;
   int global_size_[3] = {-1, -1, -1};
   int local_size_[3] = {-1, -1, -1};
   int num_groups_[3] = {-1, -1, -1};
@@ -1107,12 +1226,14 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
     word_src.resize(builder.instruction_count(), src);
   };
 
-  for (const MInstr& m : fn.code) {
+  for (size_t idx = 0; idx < fn.code.size(); ++idx) {
+    const MInstr& m = fn.code[idx];
     if (m.is_label()) {
       builder.bind(labels[static_cast<size_t>(m.bind_label)]);
       continue;
     }
     // Resolve registers; spilled sources load into scratch registers first.
+    const int pos = static_cast<int>(idx);
     int next_int_scratch = kScratch0;
     int next_float_scratch = kScratch0;  // f29..f31
     struct Spill {
@@ -1121,12 +1242,7 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
       bool flt;
     };
     std::optional<Spill> rd_spill;
-    auto resolve = [&](int reg, bool flt, bool is_def) -> int {
-      if (reg < 0) return 0;
-      if (!is_virtual(reg)) return phys_index(reg);
-      auto assigned = alloc.assignment.find(reg);
-      if (assigned != alloc.assignment.end()) return phys_index(assigned->second);
-      const int slot = alloc.spill_slot.at(reg);
+    auto spill_access = [&](int slot, bool flt, bool is_def) -> int {
       const int scratch = flt ? next_float_scratch++ : next_int_scratch++;
       assert(scratch <= kScratch2 && "ran out of spill scratch registers");
       if (is_def) {
@@ -1135,6 +1251,24 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
         builder.emit_i(flt ? Op::kFlw : Op::kLw, static_cast<unsigned>(scratch), kSp, slot * 4);
       }
       return scratch;
+    };
+    auto resolve = [&](int reg, bool flt, bool is_def) -> int {
+      if (reg < 0) return 0;
+      if (!is_virtual(reg)) return phys_index(reg);
+      auto assigned = alloc.assignment.find(reg);
+      if (assigned != alloc.assignment.end()) return phys_index(assigned->second);
+      if (auto split = alloc.split.find(reg); split != alloc.split.end()) {
+        const SplitAssign& s = split->second;
+        if (pos < s.split_pos) {
+          // Register phase. The (single) def also stores to the slot so the
+          // post-split accesses see the value.
+          const int phys = phys_index(s.phys);
+          if (is_def) rd_spill = Spill{phys, s.slot, flt};
+          return phys;
+        }
+        return spill_access(s.slot, flt, is_def);  // slot phase
+      }
+      return spill_access(alloc.spill_slot.at(reg), flt, is_def);
     };
 
     if (m.is_li) {
@@ -1213,23 +1347,94 @@ Result<vasm::Program> emit_program(const MFunction& fn, const Allocation& alloc,
 Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& options) {
   if (auto st = kir::verify(kernel); !st.is_ok()) return st;
 
-  // Clone so pass rewrites and annotations do not leak into the input.
-  kir::Kernel lowered = kir::clone_kernel(kernel);
-  kir::expand_builtins(lowered);
-  kir::const_fold(lowered);
-  const bool barrier_mode = options.force_group_dispatch || lowered.has_barrier();
-  kir::analyze_divergence(lowered, /*group_id_uniform=*/barrier_mode);
+  const int opt = std::clamp(options.opt_level, 0, 2);
 
-  Lowering lowering(lowered, options, barrier_mode);
-  auto fn = lowering.run();
-  if (!fn.is_ok()) return fn.status();
+  struct Variant {
+    MFunction fn;
+    Allocation alloc;
+    bool barrier_mode = false;
+    // Static count of stack operations the allocation will emit (stores at
+    // spilled/split defs, reloads at slot-served uses). Per-lane stacks
+    // never coalesce, so this dominates the runtime cost of a variant.
+    int stack_refs = 0;
+  };
 
-  const Allocation alloc = allocate_registers(*fn);
+  // One full pipeline configuration. `kir_level` picks the KIR passes,
+  // `lower_level` gates uniform hoisting in the lowerer, `peep_level` the
+  // machine-IR cleanups. Clones so pass rewrites never leak into the input;
+  // level 0 is the straight-lowering oracle (builtin expansion only).
+  auto build = [&](int kir_level, int lower_level, int peep_level) -> Result<Variant> {
+    kir::Kernel lowered = kir::clone_kernel(kernel);
+    kir::expand_builtins(lowered);
+    if (kir_level >= 1) kir::const_fold(lowered);
+    if (kir_level >= 2) {
+      if (!options.ablate.kir_licm) kir::licm(lowered);
+      if (!options.ablate.kir_strength_reduce) kir::strength_reduce(lowered);
+      kir::const_fold(lowered);  // fold what LICM/strength reduction exposed
+      if (!options.ablate.kir_dce) kir::dead_code_elim(lowered);
+    }
+    Variant v;
+    v.barrier_mode = options.force_group_dispatch || lowered.has_barrier();
+    kir::analyze_divergence(lowered, /*group_id_uniform=*/v.barrier_mode);
 
+    Options effective = options;
+    effective.opt_level = lower_level;
+    Lowering lowering(lowered, effective, v.barrier_mode);
+    auto fn = lowering.run();
+    if (!fn.is_ok()) return fn.status();
+    v.fn = fn.take();
+    if (peep_level >= 1 && !options.ablate.peephole) peephole(v.fn, peep_level);
+    v.alloc = allocate_registers(v.fn);
+
+    for (size_t i = 0; i < v.fn.code.size(); ++i) {
+      const MInstr& m = v.fn.code[i];
+      if (m.is_label()) continue;
+      const int pos = static_cast<int>(i);
+      auto count = [&](int r, bool is_def) {
+        if (r < kFirstVirtual) return;
+        if (v.alloc.spill_slot.count(r)) {
+          ++v.stack_refs;
+          return;
+        }
+        auto it = v.alloc.split.find(r);
+        if (it == v.alloc.split.end()) return;
+        if (is_def || pos >= it->second.split_pos) ++v.stack_refs;
+      };
+      count(m.rd, /*is_def=*/true);
+      count(m.rs1, false);
+      count(m.rs2, false);
+      count(m.rs3, false);
+    }
+    return v;
+  };
+
+  auto chosen = build(opt, opt, opt);
+  if (!chosen.is_ok()) return chosen.status();
+  if (opt >= 2 && chosen->stack_refs > 0 && !options.ablate.pressure_ladder) {
+    // Pressure feedback: LICM, value numbering, and uniform hoisting all
+    // lengthen live ranges, and on pressure-bound kernels the resulting
+    // spill traffic costs far more than the saved arithmetic (per-lane
+    // stack accesses never coalesce). When the aggressive pipeline touches
+    // the stack, walk a ladder of progressively less hoist-happy
+    // configurations and keep the first one that spills strictly less:
+    // (1,1,2) drops LICM + uniform hoisting, (1,1,1) additionally drops
+    // the cross-block machine cleanups whose compaction feeds the value
+    // numberer longer windows.
+    const int ladder[][3] = {{1, 1, 2}, {1, 1, 1}};
+    for (const auto& cfg : ladder) {
+      if (chosen->stack_refs == 0) break;
+      auto lower = build(cfg[0], cfg[1], cfg[2]);
+      if (!lower.is_ok()) return lower.status();
+      if (lower->stack_refs < chosen->stack_refs) chosen = std::move(lower);
+    }
+  }
+
+  Variant v = chosen.take();
   CompiledKernel result;
-  result.barrier_dispatch = barrier_mode;
-  result.spill_slots = alloc.num_spill_slots;
-  auto program = emit_program(*fn, alloc, result);
+  result.barrier_dispatch = v.barrier_mode;
+  result.spill_slots = v.alloc.num_spill_slots;
+  result.opt_level = opt;
+  auto program = emit_program(v.fn, v.alloc, result);
   if (!program.is_ok()) return program.status();
   result.program = program.take();
   result.instruction_count = result.program.words.size();

@@ -40,6 +40,27 @@ struct Options {
   // Force the work-group (barrier-style) dispatch even without barriers.
   bool force_group_dispatch = false;
   WorkDistribution distribution = WorkDistribution::kGridStride;
+  // Optimization level (the -O knob, clamped to 0..2):
+  //   0 — straight lowering: builtin expansion only (the correctness oracle).
+  //   1 — KIR constant folding + basic MInstr peephole (immediate folding,
+  //       copy propagation, dead-code elimination).
+  //   2 — adds KIR DCE/LICM/strength reduction, dispatch-loop uniform-value
+  //       hoisting, and the full peephole (local value numbering,
+  //       compare-branch fusion, far-branch collapse).
+  // Register allocation quality (spill costs, slot reuse, live-range
+  // splitting) is not an -O semantic and applies at every level.
+  int opt_level = 2;
+  // Per-pass ablation switches: force one pipeline stage off regardless of
+  // opt_level. Measurement aids for bench/ablation_optpasses and
+  // EXPERIMENTS.md — not part of the -O contract.
+  struct PassAblation {
+    bool kir_licm = false;
+    bool kir_strength_reduce = false;
+    bool kir_dce = false;
+    bool peephole = false;         // the whole machine-IR peephole
+    bool pressure_ladder = false;  // the spill-feedback re-lowering
+  };
+  PassAblation ablate;
 };
 
 struct CompiledKernel {
@@ -49,6 +70,7 @@ struct CompiledKernel {
   vasm::SourceMap source_map;
   bool barrier_dispatch = false;  // work-group-per-core mapping used
   int spill_slots = 0;
+  int opt_level = 0;  // effective (clamped) optimization level used
   size_t instruction_count = 0;
   // Static instruction mix (for the Fig. 4/5 flow traces and area hints).
   size_t simt_instructions = 0;  // split/join/pred/tmc/wspawn/bar

@@ -1,0 +1,35 @@
+// Peephole optimizer over the virtual-register machine IR, run between KIR
+// lowering and register allocation. Rules at -O1: constant folding into
+// load-immediates, R-type -> I-type immediate rewrites, copy propagation,
+// and dead-code elimination. -O2 adds local value numbering over
+// straight-line runs, compare-branch fusion (folding the sub/slt/sltiu
+// boolean idioms the expression lowerer emits into direct conditional
+// branches), far-branch collapse (undoing the inverted-branch-over-JAL
+// expansion when the target is provably within B-type reach), and
+// jump/branch-to-next elimination.
+//
+// Every surviving MInstr keeps its `src` provenance, and the line table is
+// built from the final instruction list, so deletions can never leave
+// dangling PC entries in the vasm::SourceMap.
+#pragma once
+
+#include "codegen/minstr.hpp"
+
+namespace fgpu::codegen {
+
+struct PeepholeStats {
+  int folded = 0;      // constants folded + immediate-form rewrites
+  int propagated = 0;  // register copies propagated
+  int numbered = 0;    // duplicate computations removed by value numbering
+  int fused = 0;       // compare-branch fusions + branch collapses/removals
+  int removed = 0;     // dead instructions deleted
+
+  int total() const { return folded + propagated + numbered + fused + removed; }
+};
+
+// Optimizes `fn` in place. `opt_level` <= 0 is a no-op; 1 enables the basic
+// rules; >= 2 the full set. Deterministic: the same input yields the same
+// output, independent of host state.
+PeepholeStats peephole(MFunction& fn, int opt_level);
+
+}  // namespace fgpu::codegen

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
+#include <queue>
+#include <tuple>
 
 namespace fgpu::codegen {
 namespace {
@@ -18,18 +21,80 @@ struct UseInfo {
   }
 };
 
+struct BackEdge {
+  int from;
+  int to;
+};
+
+std::vector<BackEdge> collect_back_edges(const MFunction& fn) {
+  std::vector<int> label_pos(static_cast<size_t>(fn.num_labels), -1);
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    if (fn.code[i].is_label()) {
+      label_pos[static_cast<size_t>(fn.code[i].bind_label)] = static_cast<int>(i);
+    }
+  }
+  std::vector<BackEdge> back_edges;
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    const MInstr& m = fn.code[i];
+    if (m.is_label() || m.is_li || m.target < 0) continue;
+    const int t = label_pos[static_cast<size_t>(m.target)];
+    assert(t >= 0 && "branch to unbound label");
+    if (t <= static_cast<int>(i)) back_edges.push_back({static_cast<int>(i), t});
+  }
+  return back_edges;
+}
+
+// Per-vreg access positions (sorted) and def count, for the spill-cost
+// heuristic and the split-safety check.
+struct AccessInfo {
+  std::vector<int> positions;
+  int def_count = 0;
+
+  int def_pos() const { return positions.empty() ? -1 : positions.front(); }
+
+  // First access at position >= pos, or INT_MAX.
+  int next_access(int pos) const {
+    auto it = std::lower_bound(positions.begin(), positions.end(), pos);
+    return it == positions.end() ? INT_MAX : *it;
+  }
+
+  // Any access in [lo, hi)?
+  bool accessed_in(int lo, int hi) const {
+    auto it = std::lower_bound(positions.begin(), positions.end(), lo);
+    return it != positions.end() && *it < hi;
+  }
+};
+
+std::unordered_map<int, AccessInfo> collect_accesses(const MFunction& fn) {
+  std::unordered_map<int, AccessInfo> info;
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    const MInstr& m = fn.code[i];
+    if (m.is_label()) continue;
+    const int pos = static_cast<int>(i);
+    auto touch = [&](int reg) {
+      if (!is_virtual(reg)) return;
+      auto& a = info[reg];
+      if (a.positions.empty() || a.positions.back() != pos) a.positions.push_back(pos);
+    };
+    touch(m.rs1);
+    touch(m.rs2);
+    touch(m.rs3);
+    if (is_virtual(m.rd)) {
+      touch(m.rd);
+      ++info[m.rd].def_count;
+    }
+  }
+  return info;
+}
+
 }  // namespace
 
 std::vector<Interval> compute_intervals(const MFunction& fn) {
   std::unordered_map<int, UseInfo> uses;
-  std::vector<int> label_pos(static_cast<size_t>(fn.num_labels), -1);
 
   for (size_t i = 0; i < fn.code.size(); ++i) {
     const MInstr& m = fn.code[i];
-    if (m.is_label()) {
-      label_pos[static_cast<size_t>(m.bind_label)] = static_cast<int>(i);
-      continue;
-    }
+    if (m.is_label()) continue;
     const int pos = static_cast<int>(i);
     auto touch = [&](int reg, bool flt) {
       if (is_virtual(reg)) uses[reg].touch(pos, flt);
@@ -43,21 +108,10 @@ std::vector<Interval> compute_intervals(const MFunction& fn) {
   // Extend intervals across backward branches until fixpoint, so values
   // defined before a loop and used inside remain live through all
   // iterations (and values defined in iteration N survive into N+1).
-  struct BackEdge {
-    int from;
-    int to;
-  };
-  std::vector<BackEdge> back_edges;
-  for (size_t i = 0; i < fn.code.size(); ++i) {
-    const MInstr& m = fn.code[i];
-    if (m.is_label() || m.target < 0) continue;
-    const int t = label_pos[static_cast<size_t>(m.target)];
-    assert(t >= 0 && "branch to unbound label");
-    if (t <= static_cast<int>(i)) back_edges.push_back({static_cast<int>(i), t});
-  }
   // Only values defined before the loop header and still used at or after it
   // can be live across iterations (codegen re-defines in-body temporaries at
   // the top of every iteration, so they never cross the back edge).
+  const auto back_edges = collect_back_edges(fn);
   bool changed = true;
   while (changed) {
     changed = false;
@@ -77,14 +131,47 @@ std::vector<Interval> compute_intervals(const MFunction& fn) {
   for (const auto& [vreg, info] : uses) {
     intervals.push_back(Interval{vreg, info.first, info.last, info.is_float});
   }
-  std::sort(intervals.begin(), intervals.end(),
-            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    return std::tie(a.start, a.vreg) < std::tie(b.start, b.vreg);
+  });
   return intervals;
 }
 
 Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config) {
   Allocation alloc;
-  auto intervals = compute_intervals(fn);
+  const auto intervals = compute_intervals(fn);
+  const auto accesses = collect_accesses(fn);
+  const auto back_edges = collect_back_edges(fn);
+
+  // Splitting victim W at position P is safe only when W's register cannot
+  // be observed stale: W is single-def (the def also refreshes the slot),
+  // and no backward branch can re-enter W's pre-split range after the
+  // register has been handed over. A back edge (from >= P, to) is dangerous
+  // exactly when it skips W's def (to > def) and W still has register
+  // accesses in [to, P).
+  auto split_safe = [&](int vreg, int split_pos) {
+    const auto& a = accesses.at(vreg);
+    if (a.def_count != 1) return false;
+    const int def = a.def_pos();
+    if (def < 0 || def >= split_pos) return false;
+    if (a.next_access(split_pos) == INT_MAX) return false;  // nothing to serve
+    for (const auto& edge : back_edges) {
+      if (edge.from >= split_pos && edge.to > def && a.accessed_in(edge.to, split_pos)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Slot numbers are assigned after the scan so non-overlapping lifetimes
+  // can share slots; the scan records requests in the meantime.
+  struct SlotRequest {
+    int vreg;
+    int start;  // first position the slot holds a live value (the store)
+    int end;
+    bool is_split;
+  };
+  std::vector<SlotRequest> requests;
 
   // Allocate int and float classes independently.
   for (const bool want_float : {false, true}) {
@@ -95,12 +182,14 @@ Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config)
     };
     std::vector<Active> active;
     std::vector<int> free_regs(pool.rbegin(), pool.rend());  // pop_back yields pool order
+    const auto encode = [&](int phys) { return want_float ? phys + kPhysFloatBase : phys; };
 
     for (const auto& interval : intervals) {
       if (interval.is_float != want_float) continue;
+      const int start = interval.start;
       // Expire finished intervals.
       for (size_t i = 0; i < active.size();) {
-        if (active[i].interval.end < interval.start) {
+        if (active[i].interval.end < start) {
           free_regs.push_back(active[i].phys);
           active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
         } else {
@@ -110,27 +199,76 @@ Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config)
       if (!free_regs.empty()) {
         const int phys = free_regs.back();
         free_regs.pop_back();
-        alloc.assignment[interval.vreg] =
-            want_float ? phys + kPhysFloatBase : phys;
+        alloc.assignment[interval.vreg] = encode(phys);
         active.push_back({interval, phys});
         continue;
       }
-      // Spill the interval that ends last (it blocks the register longest).
-      auto furthest = std::max_element(
-          active.begin(), active.end(),
-          [](const Active& a, const Active& b) { return a.interval.end < b.interval.end; });
-      if (furthest != active.end() && furthest->interval.end > interval.end) {
-        // Steal its register; spill the old owner.
-        alloc.assignment[interval.vreg] =
-            want_float ? furthest->phys + kPhysFloatBase : furthest->phys;
-        alloc.assignment.erase(furthest->interval.vreg);
-        alloc.spill_slot[furthest->interval.vreg] = alloc.num_spill_slots++;
-        furthest->interval = interval;
+      // Under pressure: evict the interval whose next access is furthest
+      // away (ties: fewer remaining accesses — cheaper to serve from the
+      // stack — then later end, then lower vreg). The current interval
+      // competes with its first access *after* its def.
+      auto cost_key = [&](const Interval& iv, int next) {
+        const auto& a = accesses.at(iv.vreg);
+        const int remaining =
+            static_cast<int>(a.positions.end() -
+                             std::lower_bound(a.positions.begin(), a.positions.end(), start));
+        return std::make_tuple(next, -remaining, iv.end, -iv.vreg);
+      };
+      const int current_next = accesses.at(interval.vreg).next_access(start + 1);
+      Active* victim = nullptr;
+      for (auto& cand : active) {
+        const int cand_next = accesses.at(cand.interval.vreg).next_access(start);
+        if (!victim || cost_key(cand.interval, cand_next) >
+                           cost_key(victim->interval,
+                                    accesses.at(victim->interval.vreg).next_access(start))) {
+          victim = &cand;
+        }
+      }
+      const int victim_next =
+          victim ? accesses.at(victim->interval.vreg).next_access(start) : INT_MIN;
+      if (victim && cost_key(victim->interval, victim_next) >
+                        cost_key(interval, current_next)) {
+        // Evict the victim; split it if safe, spill it whole otherwise.
+        const int w = victim->interval.vreg;
+        alloc.assignment.erase(w);
+        if (split_safe(w, start)) {
+          alloc.split[w] = SplitAssign{encode(victim->phys), start, -1};
+          requests.push_back({w, accesses.at(w).def_pos(), victim->interval.end, true});
+        } else {
+          requests.push_back({w, victim->interval.start, victim->interval.end, false});
+        }
+        alloc.assignment[interval.vreg] = encode(victim->phys);
+        victim->interval = interval;
       } else {
-        alloc.spill_slot[interval.vreg] = alloc.num_spill_slots++;
+        requests.push_back({interval.vreg, start, interval.end, false});
       }
     }
   }
+
+  // Lifetime-based slot assignment: a slot is reusable once the interval it
+  // held has ended.
+  std::sort(requests.begin(), requests.end(), [](const SlotRequest& a, const SlotRequest& b) {
+    return std::tie(a.start, a.end, a.vreg) < std::tie(b.start, b.end, b.vreg);
+  });
+  using EndSlot = std::pair<int, int>;  // (end, slot)
+  std::priority_queue<EndSlot, std::vector<EndSlot>, std::greater<EndSlot>> in_use;
+  int next_slot = 0;
+  for (const auto& req : requests) {
+    int slot;
+    if (!in_use.empty() && in_use.top().first < req.start) {
+      slot = in_use.top().second;
+      in_use.pop();
+    } else {
+      slot = next_slot++;
+    }
+    in_use.push({req.end, slot});
+    if (req.is_split) {
+      alloc.split[req.vreg].slot = slot;
+    } else {
+      alloc.spill_slot[req.vreg] = slot;
+    }
+  }
+  alloc.num_spill_slots = next_slot;
   return alloc;
 }
 

@@ -2,8 +2,15 @@
 //
 // Intervals are computed on the linearized instruction list and extended
 // across backward branches (the conservative classic fix for loops), then
-// allocated greedily; intervals that do not fit are spilled to the
-// per-thread stack and rewritten through reserved scratch registers at
+// allocated greedily. Under pressure the allocator evicts the interval
+// whose next access is furthest away (spill-cost driven: distant, sparse
+// intervals go first). An evicted single-def interval is *split* when that
+// is provably safe: it keeps its register up to the eviction point and is
+// served from a stack slot afterwards, so values computed before the
+// dispatch loop and reused late do not pay a reload on every access.
+// Stack slots are assigned after the scan with lifetime-based reuse, so
+// non-overlapping spilled ranges share slots. Intervals that cannot be
+// split spill whole and are rewritten through reserved scratch registers at
 // emission time.
 #pragma once
 
@@ -14,14 +21,26 @@
 
 namespace fgpu::codegen {
 
+// A split live range: `phys` serves accesses at positions < `split_pos`;
+// the def additionally stores to `slot`, which serves every access at
+// positions >= `split_pos` through the spill-scratch path.
+struct SplitAssign {
+  int phys = -1;      // physical register (encoded like Allocation::assignment)
+  int split_pos = 0;  // first instruction index served from the slot
+  int slot = -1;      // stack slot (4-byte units from sp)
+};
+
 struct Allocation {
   // vreg -> physical register (x index, or f index + kPhysFloatBase).
   std::unordered_map<int, int> assignment;
   // vreg -> stack slot (4-byte units from sp). Disjoint from `assignment`.
   std::unordered_map<int, int> spill_slot;
+  // vreg -> split live range. Disjoint from both maps above.
+  std::unordered_map<int, SplitAssign> split;
   int num_spill_slots = 0;
 
   bool is_spilled(int vreg) const { return spill_slot.contains(vreg); }
+  bool is_split(int vreg) const { return split.contains(vreg); }
 };
 
 struct RegAllocConfig {
@@ -36,6 +55,7 @@ struct RegAllocConfig {
 
 // Computes an allocation for `fn`. Float-ness of each vreg is inferred from
 // the operand slots it appears in (a vreg must be used consistently).
+// Deterministic: identical input produces an identical allocation.
 Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config = {});
 
 // Live interval of each vreg (exposed for tests).

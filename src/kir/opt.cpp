@@ -1,0 +1,395 @@
+// The -O2 KIR passes of the soft-GPU optimization pipeline: dead-code
+// elimination, loop-invariant code motion, and strength reduction. These
+// mirror what the paper's PoCL+LLVM flow gets from LLVM's middle end and
+// attack the same cycle sinks: redundant per-iteration arithmetic inside
+// kernel loops and avoidable multiplies/divides in id/address math.
+//
+// Every rewrite here must be bit-exact against the reference interpreter:
+// shifts are mod-32, multiplies wrap mod 2^32, and div/rem keep RISC-V
+// no-trap semantics (x/0 == -1, x%0 == x), so pure expressions can be
+// hoisted or dropped freely while divide strength reduction needs the
+// non-negativity proof below.
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "kir/build.hpp"
+#include "kir/passes.hpp"
+
+namespace fgpu::kir {
+
+// ---------------------------------------------------------------------------
+// dead_code_elim
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_var_reads(const ExprPtr& e, std::unordered_set<std::string>& reads) {
+  if (e->kind == ExprKind::kVar) reads.insert(e->var);
+  for (const auto& arg : e->args) collect_var_reads(arg, reads);
+}
+
+void collect_block_reads(const std::vector<StmtPtr>& block,
+                         std::unordered_set<std::string>& reads) {
+  for (const auto& s : block) {
+    for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+      if (*e) collect_var_reads(*e, reads);
+    }
+    for (const auto& arg : s->print_args) collect_var_reads(arg, reads);
+    collect_block_reads(s->body, reads);
+    collect_block_reads(s->else_body, reads);
+  }
+}
+
+// One sweep with a fixed read set. Reads inside statements removed this
+// sweep still count as live; the fixpoint driver below catches the chain.
+int dce_block(std::vector<StmtPtr>& block, const std::unordered_set<std::string>& reads) {
+  int removed = 0;
+  for (auto& s : block) {
+    removed += dce_block(s->body, reads);
+    removed += dce_block(s->else_body, reads);
+  }
+  const auto dead = [&](const StmtPtr& s) -> bool {
+    switch (s->kind) {
+      case StmtKind::kLet:
+      case StmtKind::kAssign:
+        // Loads are side-effect free but kept anyway: dropping them would
+        // still be sound, this just keeps the pass trivially conservative.
+        return !reads.contains(s->var) && expr_is_pure(s->a);
+      case StmtKind::kIf:
+        return s->body.empty() && s->else_body.empty() && expr_is_pure(s->a);
+      case StmtKind::kFor:
+        // Only a positive constant step proves termination of the empty
+        // loop (a negative or runtime step could spin forever, and an
+        // infinite loop is an observable behavior).
+        return s->body.empty() && expr_is_pure(s->a) && expr_is_pure(s->b) &&
+               expr_is_pure(s->c) && s->c->kind == ExprKind::kConstInt && s->c->ival > 0;
+      default:
+        return false;
+    }
+  };
+  const auto before = block.size();
+  std::erase_if(block, dead);
+  removed += static_cast<int>(before - block.size());
+  return removed;
+}
+
+}  // namespace
+
+int dead_code_elim(Kernel& kernel) {
+  int total = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::unordered_set<std::string> reads;
+    collect_block_reads(kernel.body, reads);
+    const int removed = dce_block(kernel.body, reads);
+    total += removed;
+    if (removed == 0) break;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// strength_reduce
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_pow2(int32_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int32_t log2_exact(int32_t v) {
+  int32_t k = 0;
+  while ((int64_t{1} << k) < v) ++k;
+  return k;
+}
+
+// Conservative proof that an i32 expression is non-negative. Additions and
+// multiplications of non-negative terms are deliberately excluded: they can
+// wrap past INT32_MAX. kAbs is excluded too (abs(INT_MIN) == INT_MIN).
+bool nonneg(const ExprPtr& e) {
+  if (e->type != Scalar::kI32) return false;
+  switch (e->kind) {
+    case ExprKind::kConstInt:
+      return e->ival >= 0;
+    case ExprKind::kSpecial:
+      return true;  // work-item ids/sizes are non-negative by construction
+    case ExprKind::kUnary:
+      return e->un == UnOp::kNot;  // produces 0/1
+    case ExprKind::kSelect:
+      return nonneg(e->b()) && nonneg(e->c());
+    case ExprKind::kBinary:
+      switch (e->bin) {
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLAnd:
+        case BinOp::kLOr:
+          return true;  // comparisons/logicals produce 0/1
+        case BinOp::kAnd:
+          // Masking with a non-negative operand clears the sign bit.
+          return nonneg(e->a()) || nonneg(e->b());
+        case BinOp::kShr:
+          return nonneg(e->a());  // arithmetic shift keeps the (zero) sign
+        case BinOp::kRem:
+          // RISC-V rem takes the dividend's sign; rem-by-zero yields the
+          // dividend, so a non-negative dividend suffices.
+          return nonneg(e->a());
+        case BinOp::kDiv:
+          // Divide-by-zero yields -1, so the divisor must be a provably
+          // positive constant.
+          return nonneg(e->a()) && e->b()->kind == ExprKind::kConstInt && e->b()->ival > 0;
+        case BinOp::kMin:
+        case BinOp::kMax:
+          return nonneg(e->a()) && nonneg(e->b());
+        default:
+          return false;  // add/sub/mul/shl/or/xor can produce negatives
+      }
+    default:
+      return false;
+  }
+}
+
+ExprPtr reduce_expr(const ExprPtr& e, int& count) {
+  auto node = std::make_shared<Expr>(*e);
+  for (auto& arg : node->args) arg = reduce_expr(arg, count);
+  if (node->kind != ExprKind::kBinary || node->type != Scalar::kI32) return node;
+  const auto cint = [](const ExprPtr& x) -> std::optional<int32_t> {
+    if (x->kind == ExprKind::kConstInt) return x->ival;
+    return std::nullopt;
+  };
+  switch (node->bin) {
+    case BinOp::kMul:
+      // Two's-complement multiply by 2^k is exactly a left shift (mod 2^32).
+      if (const auto c = cint(node->b()); c && is_pow2(*c) && *c > 1) {
+        ++count;
+        return make_bin(BinOp::kShl, node->a(), make_ci32(log2_exact(*c)));
+      }
+      if (const auto c = cint(node->a()); c && is_pow2(*c) && *c > 1) {
+        ++count;
+        return make_bin(BinOp::kShl, node->b(), make_ci32(log2_exact(*c)));
+      }
+      break;
+    case BinOp::kDiv:
+      if (const auto c = cint(node->b())) {
+        if (*c == 1) {
+          ++count;
+          return node->a();
+        }
+        // Truncating signed division only equals the arithmetic shift for
+        // non-negative dividends.
+        if (is_pow2(*c) && nonneg(node->a())) {
+          ++count;
+          return make_bin(BinOp::kShr, node->a(), make_ci32(log2_exact(*c)));
+        }
+      }
+      break;
+    case BinOp::kRem:
+      if (const auto c = cint(node->b())) {
+        if (is_pow2(*c) && nonneg(node->a())) {
+          ++count;
+          if (*c == 1) return make_ci32(0);
+          return make_bin(BinOp::kAnd, node->a(), make_ci32(*c - 1));
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  return node;
+}
+
+void reduce_block(std::vector<StmtPtr>& block, int& count) {
+  for (auto& s : block) {
+    if (s->a) s->a = reduce_expr(s->a, count);
+    if (s->b) s->b = reduce_expr(s->b, count);
+    if (s->c) s->c = reduce_expr(s->c, count);
+    for (auto& arg : s->print_args) arg = reduce_expr(arg, count);
+    reduce_block(s->body, count);
+    reduce_block(s->else_body, count);
+  }
+}
+
+}  // namespace
+
+int strength_reduce(Kernel& kernel) {
+  int count = 0;
+  reduce_block(kernel.body, count);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// licm
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_defined_vars(const std::vector<StmtPtr>& block,
+                          std::unordered_set<std::string>& defs) {
+  for (const auto& s : block) {
+    if (s->kind == StmtKind::kLet || s->kind == StmtKind::kAssign || s->kind == StmtKind::kFor) {
+      defs.insert(s->var);
+    }
+    if (!s->result_var.empty()) defs.insert(s->result_var);
+    collect_defined_vars(s->body, defs);
+    collect_defined_vars(s->else_body, defs);
+  }
+}
+
+void collect_all_names(const std::vector<StmtPtr>& block, std::unordered_set<std::string>& names) {
+  collect_defined_vars(block, names);
+}
+
+bool expr_uses_vars(const ExprPtr& e, const std::unordered_set<std::string>& vars) {
+  if (e->kind == ExprKind::kVar && vars.contains(e->var)) return true;
+  for (const auto& arg : e->args) {
+    if (expr_uses_vars(arg, vars)) return true;
+  }
+  return false;
+}
+
+bool hoistable_kind(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kSelect:
+    case ExprKind::kCast:
+    case ExprKind::kCall:  // only sqrt survives expand_builtins; it is pure
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Top-down collection of maximal pure loop-invariant subexpressions:
+// qualifying nodes are recorded without descending, so candidates never
+// overlap within one tree.
+void collect_invariant_subexprs(const ExprPtr& e, const std::unordered_set<std::string>& loop_defs,
+                                std::vector<ExprPtr>& out) {
+  if (hoistable_kind(e) && expr_is_pure(e) && !expr_uses_vars(e, loop_defs)) {
+    for (const auto& seen : out) {
+      if (expr_equal(seen, e)) return;
+    }
+    out.push_back(e);
+    return;
+  }
+  for (const auto& arg : e->args) collect_invariant_subexprs(arg, loop_defs, out);
+}
+
+void collect_from_block(const std::vector<StmtPtr>& block,
+                        const std::unordered_set<std::string>& loop_defs,
+                        std::vector<ExprPtr>& out) {
+  for (const auto& s : block) {
+    for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+      if (*e) collect_invariant_subexprs(*e, loop_defs, out);
+    }
+    for (const auto& arg : s->print_args) collect_invariant_subexprs(arg, loop_defs, out);
+    collect_from_block(s->body, loop_defs, out);
+    collect_from_block(s->else_body, loop_defs, out);
+  }
+}
+
+ExprPtr rewrite_expr(const ExprPtr& e, const ExprPtr& pattern, const ExprPtr& replacement) {
+  if (expr_equal(e, pattern)) return replacement;
+  if (e->args.empty()) return e;
+  auto node = std::make_shared<Expr>(*e);
+  for (auto& arg : node->args) arg = rewrite_expr(arg, pattern, replacement);
+  return node;
+}
+
+void rewrite_block(std::vector<StmtPtr>& block, const ExprPtr& pattern,
+                   const ExprPtr& replacement) {
+  for (auto& s : block) {
+    if (s->a) s->a = rewrite_expr(s->a, pattern, replacement);
+    if (s->b) s->b = rewrite_expr(s->b, pattern, replacement);
+    if (s->c) s->c = rewrite_expr(s->c, pattern, replacement);
+    for (auto& arg : s->print_args) arg = rewrite_expr(arg, pattern, replacement);
+    rewrite_block(s->body, pattern, replacement);
+    rewrite_block(s->else_body, pattern, replacement);
+  }
+}
+
+struct LicmContext {
+  std::unordered_set<std::string> names;  // every name defined in the kernel
+  int counter = 0;
+  int hoisted = 0;
+
+  std::string fresh_name() {
+    std::string name;
+    do {
+      name = "licm" + std::to_string(counter++);
+    } while (names.contains(name));
+    names.insert(name);
+    return name;
+  }
+};
+
+// Cap per loop: hoisted values live across the whole loop, so each one costs
+// a long live range. Four covers the benchmarks' address products without
+// meaningfully raising register pressure.
+constexpr size_t kMaxHoistsPerLoop = 4;
+
+void licm_block(std::vector<StmtPtr>& block, LicmContext& ctx) {
+  for (size_t i = 0; i < block.size(); ++i) {
+    StmtPtr s = block[i];
+    // Innermost loops first: an inner hoist creates a `licm%d` definition in
+    // the outer loop's body, which the outer invariance check then sees.
+    licm_block(s->body, ctx);
+    licm_block(s->else_body, ctx);
+    if (s->kind != StmtKind::kFor && s->kind != StmtKind::kWhile) continue;
+
+    std::unordered_set<std::string> loop_defs;
+    if (s->kind == StmtKind::kFor) loop_defs.insert(s->var);
+    collect_defined_vars(s->body, loop_defs);
+
+    // Per-iteration expressions: the while condition and the for-loop's
+    // end/step are re-evaluated every trip; the begin expression runs once,
+    // so hoisting it would not save anything.
+    std::vector<ExprPtr> candidates;
+    if (s->kind == StmtKind::kWhile) collect_invariant_subexprs(s->a, loop_defs, candidates);
+    if (s->kind == StmtKind::kFor) {
+      collect_invariant_subexprs(s->b, loop_defs, candidates);
+      collect_invariant_subexprs(s->c, loop_defs, candidates);
+    }
+    collect_from_block(s->body, loop_defs, candidates);
+
+    // Biggest savings first; std::stable_sort keeps the first-occurrence
+    // order on ties so the output is deterministic.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const ExprPtr& a, const ExprPtr& b) {
+                       return expr_size(a) > expr_size(b);
+                     });
+    if (candidates.size() > kMaxHoistsPerLoop) candidates.resize(kMaxHoistsPerLoop);
+
+    for (const auto& expr : candidates) {
+      const std::string name = ctx.fresh_name();
+      auto let = std::make_shared<Stmt>();
+      let->kind = StmtKind::kLet;
+      let->var = name;
+      let->a = expr;
+      const ExprPtr var = make_var(name, expr->type);
+      if (s->kind == StmtKind::kWhile) s->a = rewrite_expr(s->a, expr, var);
+      if (s->kind == StmtKind::kFor) {
+        s->b = rewrite_expr(s->b, expr, var);
+        s->c = rewrite_expr(s->c, expr, var);
+      }
+      rewrite_block(s->body, expr, var);
+      block.insert(block.begin() + static_cast<std::ptrdiff_t>(i), let);
+      ++i;  // keep pointing at the loop statement
+      ++ctx.hoisted;
+    }
+  }
+}
+
+}  // namespace
+
+int licm(Kernel& kernel) {
+  LicmContext ctx;
+  collect_all_names(kernel.body, ctx.names);
+  licm_block(kernel.body, ctx);
+  return ctx.hoisted;
+}
+
+}  // namespace fgpu::kir

@@ -62,4 +62,32 @@ int expand_builtins(Module& module);
 // get_group_id varies across lanes.
 void analyze_divergence(Kernel& kernel, bool group_id_uniform);
 
+// ---------------------------------------------------------------------------
+// Soft-GPU -O pipeline passes (opt.cpp). These run at -O2 inside
+// codegen::compile_kernel (on the kernel clone); they are semantics-
+// preserving against the reference interpreter bit for bit.
+// ---------------------------------------------------------------------------
+
+// Removes statements with no observable effect: lets/assignments to
+// variables that are never read (pure right-hand sides only), empty ifs
+// with pure conditions, and empty for-loops with pure bounds and a
+// provably-terminating (positive constant) step. Iterates to fixpoint.
+// Returns the number of statements removed.
+int dead_code_elim(Kernel& kernel);
+
+// Loop-invariant code motion over KIR for/while loops: hoists maximal pure
+// invariant subexpressions (e.g. the `row * size` address products inside
+// sgemm's k-loop) into fresh `licm%d` lets directly before the loop and
+// rewrites the loop to reference them. Pure expressions cannot trap (the
+// ISA's div/rem never trap), so evaluating them on the zero-trip path is
+// safe. Returns the number of hoisted expressions.
+int licm(Kernel& kernel);
+
+// Strength reduction of integer arithmetic: x*2^k -> x<<k (exact mod 2^32);
+// x/2^k -> x>>k and x%2^k -> x & (2^k-1) only where x is provably
+// non-negative (signed division truncates toward zero, so the shift/mask
+// forms are only equivalent for non-negative dividends). Returns the number
+// of rewritten operations.
+int strength_reduce(Kernel& kernel);
+
 }  // namespace fgpu::kir

@@ -1,5 +1,8 @@
 #include "suite/report.hpp"
 
+#include <cstdio>
+#include <string_view>
+
 #include "arch/isa.hpp"
 
 namespace fgpu::suite {
@@ -238,6 +241,14 @@ void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
   w.field("total_cycles", run.total_cycles);
   w.field("total_instrs", run.total_instrs);
   w.field("total_time_ms", run.total_time_ms);
+  // Hex so the 64-bit value survives JSON readers that parse numbers as
+  // doubles. Identical across opt levels when the optimizer is sound.
+  {
+    char digest[19];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(run.output_digest));
+    w.field("output_digest", std::string_view(digest));
+  }
   if (kind == DeviceKind::kHls) {
     w.field("synthesis_hours", run.synthesis_hours);
     w.key("area");

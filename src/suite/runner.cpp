@@ -70,7 +70,9 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
         options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
     vortex::Config config = options.vortex_config;
     config.profile = config.profile || options.capture_profile;
-    vcl::VortexDevice device(config, board);
+    codegen::Options codegen_options;
+    codegen_options.opt_level = options.opt_level;
+    vcl::VortexDevice device(config, board, codegen_options);
     outcome.vortex_device = device.name();
     const auto t0 = std::chrono::steady_clock::now();
     outcome.vortex = run_benchmark(device, bench);
@@ -144,6 +146,7 @@ void write_suite_header(trace::JsonWriter& w, const RunnerOptions& options,
       options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
   w.field("vortex_board", vx_board.name);
   w.field("hls_board", hls_board.name);
+  w.field("opt_level", static_cast<int64_t>(options.opt_level));
   w.field("benchmark_count", static_cast<uint64_t>(result.outcomes.size()));
   w.end_object();
 }

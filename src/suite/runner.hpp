@@ -38,6 +38,11 @@ struct RunnerOptions {
   // schema; consumed by workloads that randomize beyond their built-in
   // fixed seeds).
   uint64_t suite_seed = 0xF69A;
+  // Guest-code optimization level for the soft-GPU compiler (clamped 0..2
+  // by codegen); recorded in every suite header so baselines are
+  // self-describing. 0 is the straight-lowering oracle used by the
+  // differential CI step.
+  int opt_level = 2;
   // Record a trace::Sink per benchmark (exported via write_trace_json).
   bool capture_trace = false;
   // Collect the per-PC cycle profile on the soft GPU (exported via

@@ -251,6 +251,32 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
     final_buffers.push_back(std::move(host));
   }
 
+  // Digest the checked buffers (all of them when the benchmark does not
+  // narrow the set). FNV-1a over (index, length, words) so buffer identity
+  // and shape are part of the hash, not just the payload.
+  {
+    std::vector<int> digest_indices = bench.checked_buffers;
+    if (digest_indices.empty()) {
+      for (size_t i = 0; i < final_buffers.size(); ++i) {
+        digest_indices.push_back(static_cast<int>(i));
+      }
+    }
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xFF;
+        h *= 1099511628211ull;
+      }
+    };
+    for (int index : digest_indices) {
+      const auto& buf = final_buffers[static_cast<size_t>(index)];
+      mix(static_cast<uint64_t>(index));
+      mix(buf.size());
+      for (uint32_t w : buf) mix(w);
+    }
+    result.output_digest = h;
+  }
+
   // Verify.
   if (bench.custom_verify) {
     result.verify = bench.custom_verify(final_buffers, device.console());

@@ -109,6 +109,11 @@ struct DeviceRun {
   std::string fail_reason;  // short Table-I-style reason ("Not enough BRAM")
   uint64_t total_cycles = 0;
   uint64_t total_instrs = 0;  // simulated instructions summed over launches
+  // FNV-1a over the final checked device buffers (index, length, words).
+  // Opt-level-independent by construction: the differential CI step compares
+  // this field between -O0 and -O2 stats exports to prove the optimizer
+  // preserved every output bit. 0 until buffers have been downloaded.
+  uint64_t output_digest = 0;
   double total_time_ms = 0.0;
   vcl::LaunchStats last;  // stats of the final launch
   fpga::AreaReport area;  // HLS: summed module area

@@ -124,7 +124,18 @@ std::string Program::disassemble(const DisasmOptions& options) const {
     if (options.source_map != nullptr && i < options.source_map->word_source.size()) {
       const int32_t src = options.source_map->word_source[i];
       if (src >= 0 && src != last_source) {
-        os << "# " << options.source_map->sources[static_cast<size_t>(src)] << "\n";
+        // Comments must stay on one line or the listing stops re-assembling:
+        // source strings can embed control characters (printf format text).
+        os << "# ";
+        for (const char c : options.source_map->sources[static_cast<size_t>(src)]) {
+          switch (c) {
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default: os << c; break;
+          }
+        }
+        os << "\n";
         last_source = src;
       }
     }

@@ -106,14 +106,25 @@ TEST_P(FuzzCodegen, SimulatorMatchesInterpreter) {
                   .is_ok())
       << kernel.to_string();
 
-  // Three compilation variants must all match.
+  // Every compilation variant must match the interpreter bit-for-bit — and
+  // therefore each other. The opt-level sweep is the differential gate for
+  // the whole -O pipeline: -O0 is the straight-lowering oracle, -O2 runs
+  // every KIR pass, the peephole, and the spill-splitting allocator.
   struct Variant {
     const char* name;
     codegen::Options options;
   };
-  std::vector<Variant> variants = {{"default", {}}, {"no-uniform-opt", {}}, {"blocked", {}}};
+  std::vector<Variant> variants = {
+      {"default", {}}, {"no-uniform-opt", {}}, {"blocked", {}},
+      {"O0", {}},      {"O1", {}},             {"O2", {}},
+      {"blocked-O0", {}}};
   variants[1].options.uniform_branch_opt = false;
   variants[2].options.distribution = codegen::WorkDistribution::kBlocked;
+  variants[3].options.opt_level = 0;
+  variants[4].options.opt_level = 1;
+  variants[5].options.opt_level = 2;
+  variants[6].options.distribution = codegen::WorkDistribution::kBlocked;
+  variants[6].options.opt_level = 0;
 
   for (const auto& variant : variants) {
     vcl::VortexDevice device(vortex::Config::with(2, 4, 8), fpga::stratix10_sx2800(),

@@ -136,6 +136,59 @@ TEST(RegAllocTest, NoTwoLiveVregsShareARegister) {
   }
 }
 
+TEST(RegAllocTest, DisjointSpilledRangesShareASlot) {
+  RegAllocConfig config;
+  config.int_regs = {5, 6};  // two registers force a spill in each cluster
+  MFunction fn;
+  // Two temporally disjoint pressure clusters: three values live at once in
+  // each, so each cluster spills exactly one value — and because the first
+  // cluster's slot lifetime has ended by the time the second cluster needs
+  // one, lifetime-based slot assignment must reuse it.
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    std::vector<int> regs;
+    for (int i = 0; i < 3; ++i) {
+      regs.push_back(fn.new_vreg());
+      fn.code.push_back(alu(regs.back(), 0, 0));
+    }
+    for (int i = 0; i < 3; ++i) fn.code.push_back(alu(0, regs[static_cast<size_t>(i)], 0));
+  }
+  auto alloc = allocate_registers(fn, config);
+  const size_t stack_served = alloc.spill_slot.size() + alloc.split.size();
+  ASSERT_GE(stack_served, 2u) << "each cluster must push one value to the stack";
+  EXPECT_EQ(alloc.num_spill_slots, 1) << "disjoint spill lifetimes must share one slot";
+}
+
+TEST(RegAllocTest, LongLivedSingleDefValueIsSplitNotSpilled) {
+  RegAllocConfig config;
+  config.int_regs = {5, 6};
+  MFunction fn;
+  // `early` is defined once, used immediately, then not touched while a
+  // burst of short-lived values exhausts both registers, and finally read
+  // again at the end. The allocator should split it — keep the register
+  // through the early uses, serve the late use from the stack — rather than
+  // reload it at every access like a whole-interval spill.
+  const int early = fn.new_vreg();
+  fn.code.push_back(alu(early, 0, 0));
+  fn.code.push_back(alu(0, early, 0));
+  for (int i = 0; i < 4; ++i) {
+    const int a = fn.new_vreg(), b = fn.new_vreg();
+    fn.code.push_back(alu(a, 0, 0));
+    fn.code.push_back(alu(b, 0, 0));
+    fn.code.push_back(alu(0, a, b));
+  }
+  fn.code.push_back(alu(0, early, 0));  // distant last use
+  auto alloc = allocate_registers(fn, config);
+  ASSERT_TRUE(alloc.is_split(early))
+      << "single-def long-gap interval should split, not spill whole";
+  const auto& split = alloc.split.at(early);
+  EXPECT_TRUE(split.phys == 5 || split.phys == 6);
+  EXPECT_GT(split.split_pos, 1) << "register must cover the early use";
+  EXPECT_GE(split.slot, 0);
+  EXPECT_FALSE(alloc.assignment.contains(early));
+  EXPECT_FALSE(alloc.is_spilled(early));
+  EXPECT_GE(alloc.num_spill_slots, 1);
+}
+
 TEST(RegAllocTest, FloatAndIntPoolsAreIndependent) {
   MFunction fn;
   const int iv = fn.new_vreg(), fv = fn.new_vreg();

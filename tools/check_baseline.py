@@ -10,9 +10,16 @@ and exits non-zero on:
     device (Table I is the paper's central claim);
   * cycle regression — a passing soft-GPU benchmark got more than
     --max-regression slower than the baseline (default 10%);
+  * with --max-cycles=N, a passing soft-GPU benchmark growing by more
+    than N absolute cycles fails. --max-cycles=0 is the optimizer gate:
+    no benchmark may regress by even one cycle;
   * with --exact-cycles, ANY cycle delta on either device fails. This is
     the gate for host-speed-only changes (decode cache, idle skipping):
     simulator fast paths must not move a single reported cycle.
+
+A per-benchmark soft-GPU cycle table (baseline/current/delta/% plus the
+geomean) is always printed, pass or fail, so every CI log doubles as a
+perf report.
 
 Cycle *improvements* are reported but never fail (outside --exact-cycles):
 refresh the baseline (see README of the CI step) when an intentional perf
@@ -35,7 +42,7 @@ with --compare-baseline/--compare-current (BENCH_compare.json in CI):
     regressions AND unexplained improvements demand a baseline refresh.
 
 Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
-                         [--exact-cycles]
+                         [--max-cycles=N] [--exact-cycles]
                          [--host-baseline=H.json --host-current=H2.json]
                          [--compare-baseline=C.json --compare-current=C2.json
                           --speedup-tolerance=0.05]
@@ -45,7 +52,30 @@ Stdlib only — runs on a bare CI python3.
 
 import argparse
 import json
+import math
 import sys
+
+
+def cycle_table(base_benchmarks, cur_benchmarks):
+    """Always-printed soft-GPU cycle report: baseline/current/delta/% + geomean."""
+    rows = []
+    ratios = []
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        b = (base_benchmarks[name].get("vortex") or {}).get("total_cycles")
+        c = (cur_benchmarks[name].get("vortex") or {}).get("total_cycles")
+        if b is None or c is None:
+            continue
+        pct = (c - b) / b * 100.0 if b > 0 else 0.0
+        rows.append((name, b, c, c - b, pct))
+        if b > 0 and c > 0:
+            ratios.append(c / b)
+    if not rows:
+        return
+    print(f"{'benchmark':<22} {'baseline':>12} {'current':>12} {'delta':>10} {'pct':>9}")
+    for name, b, c, d, pct in rows:
+        print(f"{name:<22} {b:>12} {c:>12} {d:>+10} {pct:>+8.2f}%")
+    geo = math.prod(ratios) ** (1.0 / len(ratios)) if ratios else 1.0
+    print(f"{'geomean':<22} {'':>12} {'':>12} {'':>10} {(geo - 1) * 100.0:>+8.2f}%")
 
 
 def schema_paths(node, prefix=""):
@@ -158,6 +188,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--max-regression", type=float, default=0.10,
                         help="allowed fractional cycle growth (default 0.10)")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="allowed absolute per-benchmark cycle growth; "
+                             "0 fails on any regression (optimizer gate)")
     parser.add_argument("--exact-cycles", action="store_true",
                         help="fail on ANY cycle delta (gate for host-speed-only changes)")
     parser.add_argument("--host-baseline", help="fgpu.host.v1 baseline (non-gating)")
@@ -191,6 +224,7 @@ def main():
 
     base_benchmarks = by_name(base)
     cur_benchmarks = by_name(cur)
+    cycle_table(base_benchmarks, cur_benchmarks)
     for name in sorted(set(base_benchmarks) - set(cur_benchmarks)):
         failures.append(f"{name}: present in baseline but missing from the run")
     for name in sorted(set(cur_benchmarks) - set(base_benchmarks)):
@@ -214,6 +248,10 @@ def main():
         if device_ok(b, "vortex") and device_ok(c, "vortex"):
             base_cycles = b["vortex"]["total_cycles"]
             cur_cycles = c["vortex"]["total_cycles"]
+            if args.max_cycles is not None and cur_cycles > base_cycles + args.max_cycles:
+                failures.append(
+                    f"{name}/vortex: cycles grew {base_cycles} -> {cur_cycles} "
+                    f"(+{cur_cycles - base_cycles} > --max-cycles={args.max_cycles})")
             if base_cycles > 0:
                 delta = (cur_cycles - base_cycles) / base_cycles
                 if delta > args.max_regression:

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/codegen.hpp"
 #include "common/log.hpp"
 #include "suite/compare.hpp"
 #include "suite/runner.hpp"
@@ -52,6 +53,12 @@ void usage(const char* argv0) {
       "                   byte-identical determinism contract; default off)\n"
       "  --no-idle-skip   tick every cycle (disable event-driven idle skipping;\n"
       "                   reported cycles are identical either way)\n"
+      "  -O0 | -O1 | -O2  guest-code optimization level for the soft-GPU\n"
+      "                   compiler (default -O2; -O0 is the straight-lowering\n"
+      "                   oracle). --opt=N is the long spelling.\n"
+      "  --dump-asm=BENCH print each kernel of BENCH as side-by-side annotated\n"
+      "                   listings: -O0 on the left, the active level on the\n"
+      "                   right (for debugging pass regressions)\n"
       "  --list           print selected benchmarks (name, origin, device coverage)\n"
       "  --quiet          suppress the per-benchmark table\n",
       argv0);
@@ -106,6 +113,69 @@ const char* status_cell(bool ran, const suite::DeviceRun& run) {
   return run.ok() ? "O" : "X";
 }
 
+// --dump-asm: every kernel of one benchmark, -O0 listing beside the
+// active-level listing. Listings use synthetic labels without addresses, so
+// each column is the re-assemblable annotated form.
+int dump_asm(const std::string& bench_name, int opt_level) {
+  const auto& names = suite::all_benchmark_names();
+  if (std::find(names.begin(), names.end(), bench_name) == names.end()) {
+    std::fprintf(stderr, "fgpu-run: --dump-asm: unknown benchmark '%s'\n", bench_name.c_str());
+    return 2;
+  }
+  const suite::Benchmark bench = suite::make_benchmark(bench_name);
+  for (const auto& kernel : bench.module.kernels) {
+    codegen::Options pre_opts;
+    pre_opts.opt_level = 0;
+    codegen::Options post_opts;
+    post_opts.opt_level = opt_level;
+    auto pre = codegen::compile_kernel(kernel, pre_opts);
+    auto post = codegen::compile_kernel(kernel, post_opts);
+    if (!pre.is_ok() || !post.is_ok()) {
+      std::fprintf(stderr, "fgpu-run: --dump-asm: %s: %s\n", kernel.name.c_str(),
+                   (!pre.is_ok() ? pre.status() : post.status()).message().c_str());
+      return 1;
+    }
+    const auto render = [](const codegen::CompiledKernel& ck) {
+      vasm::DisasmOptions o;
+      o.addresses = false;
+      o.synth_labels = true;
+      o.source_map = &ck.source_map;
+      return ck.program.disassemble(o);
+    };
+    const auto split = [](const std::string& text) {
+      std::vector<std::string> lines;
+      size_t start = 0;
+      while (start <= text.size()) {
+        const size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+          if (start < text.size()) lines.push_back(text.substr(start));
+          break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+      }
+      return lines;
+    };
+    const auto left = split(render(*pre));
+    const auto right = split(render(*post));
+    size_t width = 24;
+    for (const auto& line : left) width = std::max(width, line.size());
+    width = std::min<size_t>(width, 56);
+    std::printf("== %s / %s: %zu words at -O0, %zu words at -O%d ==\n", bench_name.c_str(),
+                kernel.name.c_str(), pre->program.words.size(), post->program.words.size(),
+                post->opt_level);
+    std::printf("%-*s | %s\n", static_cast<int>(width), "-O0", ("-O" + std::to_string(post->opt_level)).c_str());
+    const size_t rows = std::max(left.size(), right.size());
+    for (size_t i = 0; i < rows; ++i) {
+      const std::string& l = i < left.size() ? left[i] : std::string();
+      const std::string& r = i < right.size() ? right[i] : std::string();
+      std::printf("%-*s | %s\n", static_cast<int>(width), l.c_str(), r.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +187,7 @@ int main(int argc, char** argv) {
   uint32_t hotspots = 0;
   uint32_t repeat = 1;
   bool idle_skip = true;  // applied after parsing (--config rebuilds the Config)
+  std::string dump_asm_bench;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -145,6 +216,20 @@ int main(int argc, char** argv) {
       options.host_in_stats = true;
     } else if (std::strcmp(arg, "--no-idle-skip") == 0) {
       idle_skip = false;
+    } else if (std::strcmp(arg, "-O0") == 0) {
+      options.opt_level = 0;
+    } else if (std::strcmp(arg, "-O1") == 0) {
+      options.opt_level = 1;
+    } else if (std::strcmp(arg, "-O2") == 0) {
+      options.opt_level = 2;
+    } else if (flag_value(arg, "--opt", &value)) {
+      if (value.size() != 1 || value[0] < '0' || value[0] > '2') {
+        std::fprintf(stderr, "fgpu-run: bad --opt '%s' (expected 0, 1, or 2)\n", value.c_str());
+        return 2;
+      }
+      options.opt_level = value[0] - '0';
+    } else if (flag_value(arg, "--dump-asm", &value)) {
+      dump_asm_bench = value;
     } else if (flag_value(arg, "--json", &value)) {
       json_path = value;
     } else if (flag_value(arg, "--trace", &value)) {
@@ -183,6 +268,8 @@ int main(int argc, char** argv) {
   }
 
   options.vortex_config.idle_skip = idle_skip;
+
+  if (!dump_asm_bench.empty()) return dump_asm(dump_asm_bench, options.opt_level);
 
   // Flag/device consistency: each export needs the device(s) that produce
   // its data, so a contradictory --device is a usage error (exit 2), not a
