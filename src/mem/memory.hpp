@@ -75,6 +75,13 @@ class MainMemory {
 
   void clear() { pages_.clear(); }
 
+  // Direct page access for fast interpreters (vortex/jit): returns the
+  // backing storage of the 64 KiB page containing `addr`, allocating a
+  // zeroed page if absent (so reads through it match read()'s zero-fill
+  // semantics). The pointer stays valid until clear() — pages are
+  // unique_ptr-owned, so map growth never moves them.
+  uint8_t* page_data(uint32_t addr) { return touch_page(addr).data(); }
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
 

@@ -1,0 +1,76 @@
+// Host-side ECALL console shared by the execution-tier device backends
+// (runtime/vortex_device.cpp, runtime/turbo_device.cpp). Assembles printf
+// output per work item: lanes of a warp execute the same ECALL in lockstep,
+// so a shared buffer would interleave characters from different items.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "common/bits.hpp"
+#include "mem/memory.hpp"
+#include "vortex/core.hpp"
+
+namespace fgpu::vcl {
+
+class EcallConsole {
+ public:
+  // The EcallHandler to install on a cluster/engine. Captures `this`; the
+  // console must outlive the simulator it is attached to.
+  vortex::EcallHandler handler() {
+    return [this](const vortex::EcallRequest& req, mem::MainMemory& memory) {
+      const uint64_t key = (static_cast<uint64_t>(req.core_id) << 32) |
+                           (static_cast<uint64_t>(req.warp_id) << 8) | req.lane;
+      std::string& partial = partial_[key];
+      char buf[48];
+      switch (req.function) {
+        case arch::kEcallPutChar:
+          if (static_cast<char>(req.arg0) == '\n') {
+            lines_.push_back(partial);
+            partial.clear();
+          } else {
+            partial += static_cast<char>(req.arg0);
+          }
+          return;
+        case arch::kEcallPrintInt:
+          std::snprintf(buf, sizeof(buf), "%d", static_cast<int32_t>(req.arg0));
+          partial += buf;
+          return;
+        case arch::kEcallPrintFlt:
+          std::snprintf(buf, sizeof(buf), "%f", u2f(req.arg0));
+          partial += buf;
+          return;
+        case arch::kEcallPrintStr: {
+          uint32_t addr = req.arg0;
+          for (char c; (c = static_cast<char>(memory.load8(addr))) != 0; ++addr) {
+            partial += c;
+          }
+          return;
+        }
+        default:
+          return;
+      }
+    };
+  }
+
+  // Emits unterminated partial lines; call at end of launch so output
+  // missing a trailing '\n' still reaches the console.
+  void flush() {
+    for (auto& [key, partial] : partial_) {
+      if (!partial.empty()) lines_.push_back(partial);
+    }
+    partial_.clear();
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+  std::unordered_map<uint64_t, std::string> partial_;  // per (core,warp,lane)
+};
+
+}  // namespace fgpu::vcl

@@ -1,11 +1,16 @@
-// vcl — a miniature OpenCL-style host runtime with two device backends:
+// vcl — a miniature OpenCL-style host runtime with three device backends:
 //
 //   * the Vortex soft GPU (runtime/vortex_device.*): kernels are compiled
 //     to Vortex ISA binaries and executed on the cycle-level simulator —
-//     the paper's PoCL-runtime + Vortex flow (Fig. 5), and
+//     the paper's PoCL-runtime + Vortex flow (Fig. 5) and the sole timing
+//     oracle,
 //   * the Intel-HLS-like device (runtime/hls_device.*): kernels are
 //     "synthesized" into a pipelined datapath model with an area report and
-//     a fitter that can fail — the paper's AOC flow (Fig. 3).
+//     a fitter that can fail — the paper's AOC flow (Fig. 3), and
+//   * the turbo functional tier (runtime/turbo_device.*): the same Vortex
+//     binaries executed by a threaded-code binary translator — identical
+//     output digests at interpreter-free speed, no timing claims (see
+//     DESIGN.md "Execution tiers").
 //
 // Host code written against this API runs unmodified on either device,
 // mirroring the paper's methodology ("identical source code (both host and

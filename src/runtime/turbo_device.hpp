@@ -1,5 +1,9 @@
-// Soft-GPU device backend: compiles KIR kernels with codegen/ and executes
-// them on the vortex/ cycle-level cluster (the paper's Vortex + PoCL flow).
+// Turbo device backend: compiles KIR kernels with codegen/ (same binaries
+// as the soft GPU) but executes them on the vortex/jit binary translator —
+// the functional tier of the two-tier execution contract (DESIGN.md
+// "Execution tiers"). Reports instruction counts and JIT statistics only;
+// device_cycles is always 0 and no profile is ever produced, so the
+// cycle-exact VortexDevice remains the sole timing oracle.
 #pragma once
 
 #include <unordered_map>
@@ -8,15 +12,15 @@
 #include "mem/memory.hpp"
 #include "runtime/console.hpp"
 #include "runtime/runtime.hpp"
-#include "vortex/cluster.hpp"
+#include "vortex/jit/turbo.hpp"
 
 namespace fgpu::vcl {
 
-class VortexDevice final : public Device {
+class TurboDevice final : public Device {
  public:
-  explicit VortexDevice(vortex::Config config = {},
-                        const fpga::Board& board = fpga::stratix10_sx2800(),
-                        codegen::Options codegen_options = {});
+  explicit TurboDevice(vortex::Config config = {},
+                       const fpga::Board& board = fpga::stratix10_sx2800(),
+                       codegen::Options codegen_options = {});
 
   std::string name() const override;
   const fpga::Board& board() const override { return board_; }
@@ -35,6 +39,8 @@ class VortexDevice final : public Device {
   void clear_console() override { console_.clear(); }
 
   const vortex::Config& config() const { return config_; }
+  // Cumulative translation/dispatch counters (fgpu.host.v1 "turbo" detail).
+  const vortex::jit::TurboStats& jit_stats() const { return engine_->stats(); }
   // Direct access for tests.
   mem::MainMemory& memory() { return memory_; }
 
@@ -48,11 +54,14 @@ class VortexDevice final : public Device {
   fpga::Board board_;
   codegen::Options codegen_options_;
   mem::MainMemory memory_;
-  std::unique_ptr<vortex::Cluster> cluster_;
+  std::unique_ptr<vortex::jit::TurboEngine> engine_;
   kir::Module module_;  // retained copy so Built::kernel stays valid
   std::unordered_map<std::string, Built> kernels_;
   std::vector<KernelBuildInfo> build_info_;
   EcallConsole console_;
+  // Kernel whose binary currently occupies the code region. Relaunching it
+  // keeps the translated blocks; loading a different one invalidates.
+  std::string loaded_kernel_;
   uint32_t heap_next_ = 0;
 };
 

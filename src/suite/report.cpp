@@ -89,6 +89,13 @@ void write_json(trace::JsonWriter& w, const vcl::LaunchStats& stats, DeviceKind 
     w.key("dram");
     write_json(w, stats.dram);
     w.end_object();
+  } else if (kind == DeviceKind::kTurbo) {
+    // Functional tier: instruction count only. Deliberately no "perf"
+    // stall buckets and no cache stats — turbo makes no timing claims
+    // (DESIGN.md "Execution tiers").
+    w.key("turbo").begin_object();
+    w.field("instrs", stats.perf.instrs);
+    w.end_object();
   } else {
     w.key("hls").begin_object();
     w.field("pipeline_depth", stats.pipeline_depth);

@@ -42,7 +42,7 @@ inline constexpr const char* kHostSchema = "fgpu.host.v1";
 inline constexpr const char* kHlsProfSchema = "fgpu.hlsprof.v1";
 
 // Which sections of a LaunchStats/DeviceRun are meaningful.
-enum class DeviceKind { kVortex, kHls };
+enum class DeviceKind { kVortex, kHls, kTurbo };
 
 // Each writes one JSON object at the writer's current position.
 void write_json(trace::JsonWriter& w, const vortex::PerfCounters& perf);

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <regex>
+#include <string_view>
 #include <thread>
 
 #include "runtime/hls_device.hpp"
+#include "runtime/turbo_device.hpp"
 #include "runtime/vortex_device.hpp"
 #include "suite/report.hpp"
 
@@ -21,6 +24,12 @@ int SuiteRunResult::vortex_passes() const {
 int SuiteRunResult::hls_passes() const {
   int n = 0;
   for (const auto& outcome : outcomes) n += outcome.ran_hls && outcome.hls.ok();
+  return n;
+}
+
+int SuiteRunResult::turbo_passes() const {
+  int n = 0;
+  for (const auto& outcome : outcomes) n += outcome.ran_turbo && outcome.turbo.ok();
   return n;
 }
 
@@ -79,6 +88,22 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
     outcome.vortex_wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     outcome.ran_vortex = true;
+  }
+  if (options.run_turbo) {
+    // Same binaries and board pairing as the soft GPU, so output digests
+    // are comparable 1:1 against the cycle-exact run above.
+    const fpga::Board& board =
+        options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
+    codegen::Options codegen_options;
+    codegen_options.opt_level = options.opt_level;
+    vcl::TurboDevice device(options.vortex_config, board, codegen_options);
+    outcome.turbo_device = device.name();
+    const auto t0 = std::chrono::steady_clock::now();
+    outcome.turbo = run_benchmark(device, bench);
+    outcome.turbo_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    outcome.turbo_jit = device.jit_stats();
+    outcome.ran_turbo = true;
   }
   if (options.run_hls) {
     const fpga::Board& board =
@@ -173,6 +198,20 @@ void write_stats_json(std::ostream& os, const RunnerOptions& options,
     if (outcome.ran_vortex) {
       w.key("vortex");
       write_json(w, outcome.vortex, DeviceKind::kVortex, outcome.vortex_device);
+    }
+    if (outcome.ran_turbo) {
+      // Only present when --device turbo/all ran, so default documents stay
+      // byte-identical to the pre-turbo baselines (schema-drift contract).
+      w.key("turbo");
+      write_json(w, outcome.turbo, DeviceKind::kTurbo, outcome.turbo_device);
+      w.key("turbo_jit").begin_object();
+      w.field("blocks_translated", outcome.turbo_jit.blocks_translated);
+      w.field("block_lookups", outcome.turbo_jit.block_lookups);
+      w.field("block_hits", outcome.turbo_jit.block_hits);
+      w.field("block_cache_hit_rate", outcome.turbo_jit.hit_rate());
+      w.field("chained_dispatches", outcome.turbo_jit.chained_dispatches);
+      w.field("invalidations", outcome.turbo_jit.invalidations);
+      w.end_object();
     }
     if (outcome.ran_hls) {
       w.key("hls");
@@ -297,6 +336,52 @@ void write_host_json(std::ostream& os, const RunnerOptions& options,
   w.field("vortex_mcps", rate_per_sec(total_cycles, wall_min));
   w.field("vortex_mips", rate_per_sec(total_instrs, wall_min));
 
+  // Turbo (functional tier) totals, present only when the tier ran. The
+  // headline speedup compares *execution* time only — host wall spent inside
+  // Device::launch() (DeviceRun::launch_host_ms, min over repeats per
+  // benchmark) — because the costs around a launch (guest-code compilation,
+  // workload generation, buffer transfer, verification) are identical for
+  // both tiers and would dilute the ratio into a measurement of the harness
+  // rather than the tiers. Summed over the benchmarks where BOTH tiers ran
+  // and passed, so a missing or failing row cannot skew the ratio.
+  bool any_turbo = false;
+  for (const auto& outcome : primary.outcomes) any_turbo |= outcome.ran_turbo;
+  if (any_turbo) {
+    uint64_t turbo_instrs = 0;
+    double turbo_wall = 0.0, turbo_launch = 0.0;
+    double vortex_launch_paired = 0.0, turbo_launch_paired = 0.0;
+    for (size_t i = 0; i < primary.outcomes.size(); ++i) {
+      const auto& outcome = primary.outcomes[i];
+      if (!outcome.ran_turbo || !outcome.turbo.ok()) continue;
+      double best = outcome.turbo_wall_ms;
+      double best_launch = outcome.turbo.launch_host_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best = std::min(best, run->outcomes[i].turbo_wall_ms);
+        best_launch = std::min(best_launch, run->outcomes[i].turbo.launch_host_ms);
+      }
+      turbo_instrs += outcome.turbo.total_instrs;
+      turbo_wall += best;
+      turbo_launch += best_launch;
+      if (outcome.ran_vortex && outcome.vortex.ok()) {
+        double vx_launch = outcome.vortex.launch_host_ms;
+        for (const SuiteRunResult* run : repeats) {
+          vx_launch = std::min(vx_launch, run->outcomes[i].vortex.launch_host_ms);
+        }
+        vortex_launch_paired += vx_launch;
+        turbo_launch_paired += best_launch;
+      }
+    }
+    w.field("turbo_total_instrs", turbo_instrs);
+    w.field("turbo_wall_ms", turbo_wall);
+    w.field("turbo_mips", rate_per_sec(turbo_instrs, turbo_wall));
+    w.field("turbo_launch_ms", turbo_launch);
+    w.field("turbo_dispatch_mips", rate_per_sec(turbo_instrs, turbo_launch));
+    w.field("vortex_launch_ms_paired", vortex_launch_paired);
+    w.field("turbo_launch_ms_paired", turbo_launch_paired);
+    w.field("turbo_speedup_over_vortex",
+            turbo_launch_paired > 0.0 ? vortex_launch_paired / turbo_launch_paired : 0.0);
+  }
+
   // Per-benchmark wall times: min over repeats, per device. The repeats all
   // ran the same canonical benchmark list, so index i is the same
   // benchmark in every run.
@@ -310,13 +395,54 @@ void write_host_json(std::ostream& os, const RunnerOptions& options,
       for (const SuiteRunResult* run : repeats) {
         best = std::min(best, run->outcomes[i].vortex_wall_ms);
       }
+      double best_launch = outcome.vortex.launch_host_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best_launch = std::min(best_launch, run->outcomes[i].vortex.launch_host_ms);
+      }
       w.key("vortex").begin_object();
       w.field("ok", outcome.vortex.ok());
       w.field("wall_ms", best);
+      w.field("launch_ms", best_launch);
       w.field("cycles", outcome.vortex.total_cycles);
       w.field("instrs", outcome.vortex.total_instrs);
       w.field("mcps", rate_per_sec(outcome.vortex.total_cycles, best));
       w.field("mips", rate_per_sec(outcome.vortex.total_instrs, best));
+      {
+        // Reference side of the turbo-vs-vortex digest cross-check
+        // (check_baseline.py --turbo-digests).
+        char digest[19];
+        std::snprintf(digest, sizeof(digest), "0x%016llx",
+                      static_cast<unsigned long long>(outcome.vortex.output_digest));
+        w.field("output_digest", std::string_view(digest));
+      }
+      w.end_object();
+    }
+    if (outcome.ran_turbo) {
+      double best = outcome.turbo_wall_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best = std::min(best, run->outcomes[i].turbo_wall_ms);
+      }
+      double best_launch = outcome.turbo.launch_host_ms;
+      for (const SuiteRunResult* run : repeats) {
+        best_launch = std::min(best_launch, run->outcomes[i].turbo.launch_host_ms);
+      }
+      w.key("turbo").begin_object();
+      w.field("ok", outcome.turbo.ok());
+      w.field("wall_ms", best);
+      w.field("launch_ms", best_launch);
+      w.field("instrs", outcome.turbo.total_instrs);
+      w.field("mips", rate_per_sec(outcome.turbo.total_instrs, best));
+      w.field("dispatch_mips", rate_per_sec(outcome.turbo.total_instrs, best_launch));
+      w.field("blocks_translated", outcome.turbo_jit.blocks_translated);
+      w.field("block_cache_hit_rate", outcome.turbo_jit.hit_rate());
+      {
+        // Digest here too: the turbo-vs-vortex cross-check gate
+        // (check_baseline.py --turbo-digests) reads host documents.
+        char digest[19];
+        std::snprintf(digest, sizeof(digest), "0x%016llx",
+                      static_cast<unsigned long long>(outcome.turbo.output_digest));
+        w.field("output_digest", std::string_view(digest));
+      }
       w.end_object();
     }
     if (outcome.ran_hls) {

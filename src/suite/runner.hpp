@@ -18,6 +18,7 @@
 #include "trace/json.hpp"
 #include "trace/trace.hpp"
 #include "vortex/config.hpp"
+#include "vortex/jit/turbo.hpp"
 
 namespace fgpu::suite {
 
@@ -29,6 +30,10 @@ struct RunnerOptions {
   uint32_t jobs = 1;
   bool run_vortex = true;
   bool run_hls = true;
+  // Functional tier (binary translation): same binaries and board as the
+  // soft GPU, digest-comparable outputs, no timing. Off by default — the
+  // cycle-exact tier stays the default correctness + timing path.
+  bool run_turbo = false;
   vortex::Config vortex_config = vortex::Config::with(4, 8, 8);
   // Boards default to the paper's pairing: SX2800 (DDR4) for the soft GPU,
   // MX2100 (HBM2) for the HLS flow.
@@ -62,15 +67,22 @@ struct BenchmarkOutcome {
   uint64_t workload_seed = 0;
   bool ran_vortex = false;
   bool ran_hls = false;
+  bool ran_turbo = false;
   DeviceRun vortex;
   DeviceRun hls;
+  DeviceRun turbo;
   std::string vortex_device;  // device name strings for the report
   std::string hls_device;
+  std::string turbo_device;
+  // Cumulative translation/dispatch counters of the turbo run
+  // (deterministic: warp scheduling is single-threaded round-robin).
+  vortex::jit::TurboStats turbo_jit;
   std::unique_ptr<trace::Sink> trace;  // set when capture_trace
   // Host wall-clock of each device run. NOT serialized into the stats
   // JSON (determinism contract) — exported via write_host_json.
   double vortex_wall_ms = 0.0;
   double hls_wall_ms = 0.0;
+  double turbo_wall_ms = 0.0;
 };
 
 struct SuiteRunResult {
@@ -81,6 +93,7 @@ struct SuiteRunResult {
 
   int vortex_passes() const;
   int hls_passes() const;
+  int turbo_passes() const;
 };
 
 // FNV-1a derivation: stable across platforms, distinct per benchmark.

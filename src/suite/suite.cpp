@@ -1,5 +1,6 @@
 #include "suite/suite.hpp"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "kir/interp.hpp"
@@ -189,7 +190,11 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
           break;
       }
     }
+    const auto launch_t0 = std::chrono::steady_clock::now();
     auto stats = device.launch(launch.kernel, args, launch.ndrange);
+    result.launch_host_ms +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - launch_t0)
+            .count();
     if (!stats.is_ok()) {
       result.run = stats.status();
       result.fail_reason = "Runtime error";

@@ -115,6 +115,12 @@ struct DeviceRun {
   // preserved every output bit. 0 until buffers have been downloaded.
   uint64_t output_digest = 0;
   double total_time_ms = 0.0;
+  // Host wall-clock spent inside Device::launch() calls only — excludes
+  // build/synthesis, workload generation, buffer transfer and verification.
+  // This is the denominator of the execution-tier throughput comparison
+  // (fgpu.host.v1 "dispatch" rates): the shared fixed costs around a launch
+  // are identical across devices and would otherwise dilute the ratio.
+  double launch_host_ms = 0.0;
   vcl::LaunchStats last;  // stats of the final launch
   fpga::AreaReport area;  // HLS: summed module area
   double synthesis_hours = 0.0;

@@ -28,6 +28,21 @@ change lands.
 Host wall-clock (fgpu.host.v1 documents from fgpu-run --host-json) is
 compared with --host-baseline/--host-current. Host throughput is NON-GATING
 by design — CI machines vary — it prints a wall-time trajectory only.
+When both documents carry turbo sections, the turbo dispatch throughput and
+turbo-over-vortex speedup trajectory are printed too (equally non-gating).
+
+Turbo digest gate (--turbo-digests): BASELINE and CURRENT are read as
+fgpu.host.v1 documents from an fgpu-run --device=all run (they may be the
+same file — the cross-check is between the two devices of one run, not
+between two runs). For every benchmark present in both documents, the
+CURRENT "turbo" entry must be ok and its output_digest must equal the
+BASELINE "vortex" entry's digest bit-for-bit: the binary-translation tier
+must retire exactly the architectural state the cycle-exact oracle does.
+The gate fails if fewer than --turbo-min benchmarks (default 8) were
+compared — a filter typo must not pass silently as "0 of 0 matched" — and
+--turbo-full additionally requires the full 28-benchmark Table I set (the
+weekly-equivalent sweep). Schema/coverage/cycle gates are skipped in this
+mode; they belong to the fgpu.stats.v1 path.
 
 Comparison documents (fgpu.compare.v1 from fgpu-run --compare) are GATED
 with --compare-baseline/--compare-current (BENCH_compare.json in CI):
@@ -121,6 +136,60 @@ def compare_host(host_baseline, host_current):
     print(f"host (non-gating): suite wall {b_wall:.0f} ms -> {c_wall:.0f} ms "
           f"({speedup:.2f}x {'faster' if speedup >= 1 else 'slower'}); "
           f"vortex {cur.get('vortex_mips', 0):.2f} simulated MIPS")
+    # Turbo throughput trajectory, present since the turbo tier landed.
+    # Equally non-gating: dispatch MIPS and the turbo-over-vortex ratio are
+    # machine-dependent; the digest gate (--turbo-digests) is what protects
+    # correctness.
+    b_dispatch = base.get("turbo_dispatch_mips")
+    c_dispatch = cur.get("turbo_dispatch_mips")
+    if b_dispatch and c_dispatch:
+        print(f"turbo (non-gating): dispatch {b_dispatch:.1f} -> {c_dispatch:.1f} MIPS; "
+              f"speedup over cycle path "
+              f"{base.get('turbo_speedup_over_vortex', 0):.1f}x -> "
+              f"{cur.get('turbo_speedup_over_vortex', 0):.1f}x")
+
+
+def check_turbo_digests(base, cur, minimum, full):
+    """GATING turbo-vs-vortex digest cross-check. Returns failures."""
+    failures = []
+    for doc, which in ((base, "baseline"), (cur, "current")):
+        if doc.get("schema") != "fgpu.host.v1":
+            failures.append(f"--turbo-digests: {which} doc has schema "
+                            f"{doc.get('schema')!r}, expected fgpu.host.v1")
+    if failures:
+        return failures
+
+    base_benchmarks = by_name(base)
+    cur_benchmarks = by_name(cur)
+    compared = 0
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        vortex = base_benchmarks[name].get("vortex")
+        turbo = cur_benchmarks[name].get("turbo")
+        if vortex is None or turbo is None:
+            continue
+        if not vortex.get("ok"):
+            # The oracle itself failed — nothing to cross-check against.
+            failures.append(f"turbo-digests: {name}: cycle-exact reference run not ok")
+            continue
+        compared += 1
+        if not turbo.get("ok"):
+            failures.append(f"turbo-digests: {name}: turbo run failed")
+            continue
+        want = vortex.get("output_digest")
+        got = turbo.get("output_digest")
+        if want != got:
+            failures.append(f"turbo-digests: {name}: digest mismatch "
+                            f"(vortex {want}, turbo {got})")
+    if compared < minimum:
+        failures.append(f"turbo-digests: only {compared} benchmark(s) cross-checked, "
+                        f"need >= {minimum} (--turbo-min)")
+    if full and compared < 28:
+        failures.append(f"turbo-digests: --turbo-full requires the whole 28-benchmark "
+                        f"Table I set, got {compared}")
+    if not failures:
+        print(f"turbo-digests: {compared} benchmarks, every turbo output_digest "
+              f"matches the cycle-exact oracle")
+    return failures
 
 
 def compare_compare(compare_baseline, compare_current, tolerance):
@@ -201,12 +270,32 @@ def main():
     parser.add_argument("--speedup-tolerance", type=float, default=0.05,
                         help="allowed fractional speedup-ratio drift, either "
                              "direction (default 0.05)")
+    parser.add_argument("--turbo-digests", action="store_true",
+                        help="GATE turbo output_digest equality against the "
+                             "cycle-exact entries (BASELINE/CURRENT are "
+                             "fgpu.host.v1 docs; may be the same file)")
+    parser.add_argument("--turbo-min", type=int, default=8,
+                        help="minimum benchmarks the --turbo-digests gate must "
+                             "cross-check (default 8, the sampled-CI floor)")
+    parser.add_argument("--turbo-full", action="store_true",
+                        help="--turbo-digests must cover all 28 Table I "
+                             "benchmarks (the full-sweep gate)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
         base = json.load(f)
     with open(args.current) as f:
         cur = json.load(f)
+
+    if args.turbo_digests:
+        failures = check_turbo_digests(base, cur, args.turbo_min, args.turbo_full)
+        if failures:
+            print(f"check_baseline: {len(failures)} failure(s) in --turbo-digests:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        return 0
 
     failures = []
 

@@ -37,7 +37,11 @@ void usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --filter=REGEX   run benchmarks whose name matches REGEX (default: all 28)\n"
       "  --jobs=N         worker threads (default 1; 0 = hardware concurrency)\n"
-      "  --device=KIND    vortex | hls | both (default both)\n"
+      "  --device=KIND    vortex | hls | turbo | both | all (default both)\n"
+      "                   vortex = cycle-exact soft GPU (the timing oracle)\n"
+      "                   turbo  = binary-translation functional tier: same\n"
+      "                   binaries and output digests, no cycles/profiles\n"
+      "                   both = vortex+hls; all = vortex+hls+turbo\n"
       "  --config=CcWwTt  soft-GPU shape, e.g. C4W8T8 (default C4W8T8)\n"
       "  --json=PATH      write fgpu.stats.v1 JSON stats (see OBSERVABILITY.md)\n"
       "  --trace=PATH     write Chrome trace_event JSON (open in chrome://tracing)\n"
@@ -248,8 +252,16 @@ int main(int argc, char** argv) {
     } else if (flag_value(arg, "--device", &value)) {
       if (value == "vortex") {
         options.run_hls = false;
+        options.run_turbo = false;
       } else if (value == "hls") {
         options.run_vortex = false;
+        options.run_turbo = false;
+      } else if (value == "turbo") {
+        options.run_vortex = false;
+        options.run_hls = false;
+        options.run_turbo = true;
+      } else if (value == "all") {
+        options.run_turbo = true;
       } else if (value != "both") {
         std::fprintf(stderr, "fgpu-run: unknown --device '%s'\n", value.c_str());
         return 2;
@@ -276,21 +288,25 @@ int main(int argc, char** argv) {
   // silently empty document.
   if (!compare_path.empty() && (!options.run_vortex || !options.run_hls)) {
     std::fprintf(stderr,
-                 "fgpu-run: --compare joins both flows; it requires --device=both "
-                 "(got --device=%s)\n",
-                 options.run_vortex ? "vortex" : "hls");
+                 "fgpu-run: --compare joins the vortex and hls flows; it requires "
+                 "--device=both or --device=all (got --device=%s)\n",
+                 options.run_vortex ? "vortex" : (options.run_hls ? "hls" : "turbo"));
     return 2;
   }
   if (options.capture_profile && !options.run_vortex) {
+    // Turbo is functional-only: it never produces a per-PC profile
+    // (fgpu.profile.v1 is exclusively a cycle-exact product — DESIGN.md).
     std::fprintf(stderr,
-                 "fgpu-run: --profile/--hotspots collect the soft-GPU per-PC profile; "
-                 "they conflict with --device=hls\n");
+                 "fgpu-run: --profile/--hotspots collect the cycle-exact per-PC profile; "
+                 "they conflict with --device=%s\n",
+                 options.run_hls ? "hls" : "turbo");
     return 2;
   }
   if (!hlsprof_path.empty() && !options.run_hls) {
     std::fprintf(stderr,
                  "fgpu-run: --hlsprof collects the HLS per-site profile; it conflicts "
-                 "with --device=vortex\n");
+                 "with --device=%s\n",
+                 options.run_vortex ? "vortex" : "turbo");
     return 2;
   }
 
@@ -346,19 +362,34 @@ int main(int argc, char** argv) {
   for (const auto& run : reruns) all_runs.push_back(&run);
 
   if (!quiet) {
-    std::printf("%-16s | %-6s | %-12s | %-6s | %-18s\n", "benchmark", "vortex", "cycles", "hls",
-                "hls fail reason");
-    std::printf("-----------------+--------+--------------+--------+-------------------\n");
+    if (options.run_turbo) {
+      std::printf("%-16s | %-6s | %-12s | %-6s | %-6s | %-18s\n", "benchmark", "vortex",
+                  "cycles", "turbo", "hls", "hls fail reason");
+      std::printf(
+          "-----------------+--------+--------------+--------+--------+-------------------\n");
+    } else {
+      std::printf("%-16s | %-6s | %-12s | %-6s | %-18s\n", "benchmark", "vortex", "cycles",
+                  "hls", "hls fail reason");
+      std::printf("-----------------+--------+--------------+--------+-------------------\n");
+    }
     for (const auto& outcome : result->outcomes) {
       char cycles[24] = "-";
       if (outcome.ran_vortex && outcome.vortex.ok()) {
         std::snprintf(cycles, sizeof(cycles), "%llu",
                       static_cast<unsigned long long>(outcome.vortex.total_cycles));
       }
-      std::printf("%-16s | %-6s | %-12s | %-6s | %-18s\n", outcome.name.c_str(),
-                  status_cell(outcome.ran_vortex, outcome.vortex), cycles,
-                  status_cell(outcome.ran_hls, outcome.hls),
-                  outcome.ran_hls && !outcome.hls.ok() ? outcome.hls.fail_reason.c_str() : "");
+      if (options.run_turbo) {
+        std::printf("%-16s | %-6s | %-12s | %-6s | %-6s | %-18s\n", outcome.name.c_str(),
+                    status_cell(outcome.ran_vortex, outcome.vortex), cycles,
+                    status_cell(outcome.ran_turbo, outcome.turbo),
+                    status_cell(outcome.ran_hls, outcome.hls),
+                    outcome.ran_hls && !outcome.hls.ok() ? outcome.hls.fail_reason.c_str() : "");
+      } else {
+        std::printf("%-16s | %-6s | %-12s | %-6s | %-18s\n", outcome.name.c_str(),
+                    status_cell(outcome.ran_vortex, outcome.vortex), cycles,
+                    status_cell(outcome.ran_hls, outcome.hls),
+                    outcome.ran_hls && !outcome.hls.ok() ? outcome.hls.fail_reason.c_str() : "");
+      }
     }
     if (repeat > 1) {
       std::vector<double> walls;
@@ -375,6 +406,9 @@ int main(int argc, char** argv) {
     }
     if (options.run_vortex) {
       std::printf("; vortex %d/%zu pass", result->vortex_passes(), result->outcomes.size());
+    }
+    if (options.run_turbo) {
+      std::printf("; turbo %d/%zu pass", result->turbo_passes(), result->outcomes.size());
     }
     if (options.run_hls) {
       std::printf("; hls %d/%zu pass", result->hls_passes(), result->outcomes.size());
@@ -448,11 +482,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Soft-GPU failures are always unexpected (the paper's Table I: Vortex
-  // runs all 28); HLS failures are data, not errors.
+  // Soft-GPU and turbo failures are always unexpected (the paper's Table I:
+  // Vortex runs all 28, and turbo executes the same binaries); HLS failures
+  // are data, not errors.
   const int vortex_failures =
       options.run_vortex
           ? static_cast<int>(result->outcomes.size()) - result->vortex_passes()
           : 0;
-  return vortex_failures == 0 ? 0 : 1;
+  const int turbo_failures =
+      options.run_turbo
+          ? static_cast<int>(result->outcomes.size()) - result->turbo_passes()
+          : 0;
+  return vortex_failures + turbo_failures == 0 ? 0 : 1;
 }
