@@ -401,6 +401,7 @@ Status GroupExec::eval(const ExprPtr& e, const Mask& m, uint32_t n, Vec& out) {
           return st;
         }
         if (options_.on_load) options_.on_load(e.get());
+        if (options_.on_load_addr) options_.on_load_addr(e.get(), e->index, e->is_local, ti[i]);
         out[i] = (*data)[ti[i]];
       }
       give_vec(std::move(ti));

@@ -44,6 +44,13 @@ struct InterpOptions {
   std::function<void(const Expr* site)> on_load;
   std::function<void(const Stmt* site)> on_store;   // stores and atomics
 
+  // Address-carrying load hook for the memory-hierarchy profiler: fires
+  // once per executed per-item load with the static site, the target
+  // buffer (kernel param index, or local slot when is_local), and the
+  // accessed element index. Separate from on_load so existing
+  // request-counting consumers keep their cheap signature.
+  std::function<void(const Expr* site, int buffer, bool is_local, uint32_t elem)> on_load_addr;
+
   // When set, incremented once per evaluated expression node (a first-order
   // dynamic operation count, used by the analytical performance model).
   uint64_t* op_count = nullptr;

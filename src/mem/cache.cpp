@@ -80,6 +80,9 @@ void Cache::send(const MemRequest& req) {
     if ((!mshr.waiters.empty() || mshr.fill_sent) && mshr.line_addr == line_addr) {
       ++stats_.mshr_merges;
       ++stats_.misses;
+      if (profiler_) {
+        profiler_->on_merge(line_addr, req.pc, static_cast<MissClass>(mshr.miss_class));
+      }
       mshr.waiters.push_back(req);
       return;
     }
@@ -87,6 +90,7 @@ void Cache::send(const MemRequest& req) {
 
   if (LineState* line = lookup(line_addr)) {
     ++stats_.hits;
+    if (profiler_) profiler_->on_access(line_addr, req.pc, /*is_miss=*/false);
     line->lru = ++lru_counter_;
     if (req.is_write) line->dirty = true;
     hit_queue_.push_back(PendingResponse{req, now_ + config_.hit_latency});
@@ -94,6 +98,8 @@ void Cache::send(const MemRequest& req) {
   }
 
   ++stats_.misses;
+  MissClass miss_class{};
+  if (profiler_) miss_class = profiler_->on_access(line_addr, req.pc, /*is_miss=*/true);
   // Allocate an MSHR; caller guaranteed availability via can_accept().
   Mshr* slot = nullptr;
   for (auto& mshr : mshrs_) {
@@ -109,10 +115,12 @@ void Cache::send(const MemRequest& req) {
   }
   slot->line_addr = line_addr;
   slot->fill_sent = false;
+  slot->miss_class = static_cast<uint8_t>(miss_class);
   slot->waiters.clear();
   slot->waiters.push_back(req);
   ++mshr_used_;
   ++mshr_unsent_;
+  if (profiler_) profiler_->on_mshr_change(mshr_used_, now_);
 }
 
 void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
@@ -131,6 +139,11 @@ void Cache::on_lower_response(uint64_t id, bool /*was_write*/) {
       mshr.waiters.clear();
       mshr.fill_sent = false;
       --mshr_used_;
+      // Defer the occupancy transition to this cache's tick of the same
+      // cycle: responses arrive while now_ still holds the last ticked
+      // cycle, and how stale that is depends on idle skipping — charging
+      // here would make the histogram differ between skip modes.
+      mshr_profile_dirty_ = true;
       break;
     }
   }
@@ -150,7 +163,8 @@ void Cache::trace_counters(uint64_t cycle) {
                  {"misses", stats_.misses},
                  {"evictions", stats_.evictions},
                  {"writebacks", stats_.writebacks},
-                 {"mshr_merges", stats_.mshr_merges}});
+                 {"mshr_merges", stats_.mshr_merges},
+                 {"mshr_used", mshr_used_}});
 }
 
 void Cache::tick(uint64_t cycle) {
@@ -159,6 +173,10 @@ void Cache::tick(uint64_t cycle) {
   }
   now_ = cycle;
   accepted_this_cycle_ = 0;
+  if (profiler_ && mshr_profile_dirty_) {
+    profiler_->on_mshr_change(mshr_used_, now_);
+    mshr_profile_dirty_ = false;
+  }
   // Fast path: nothing queued anywhere — the common case for an idle cache.
   if (hit_queue_.empty() && writeback_queue_.empty() && mshr_unsent_ == 0) return;
 
@@ -182,7 +200,12 @@ void Cache::tick(uint64_t cycle) {
         if (!lower_->can_accept()) break;
         const uint64_t id = next_lower_id_++;
         fill_ids_[id] = mshr.line_addr;
-        lower_->send(MemRequest{.id = id, .addr = mshr.line_addr << kLineShift, .is_write = false});
+        // The fill carries the primary waiter's PC so lower-level misses
+        // stay attributable to the instruction that started the chain.
+        lower_->send(MemRequest{.id = id,
+                                .addr = mshr.line_addr << kLineShift,
+                                .is_write = false,
+                                .pc = mshr.waiters.front().pc});
         mshr.fill_sent = true;
         --mshr_unsent_;
       }

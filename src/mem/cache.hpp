@@ -1,17 +1,20 @@
 // Set-associative, write-back, write-allocate cache with MSHRs.
 // Used for the per-core L1 instruction/data caches and the shared L2 of
-// the soft-GPU cluster, and (read path only) for the HLS executor's
-// burst-coalesced LSU global-memory interface.
+// the soft-GPU cluster. (The HLS executor's burst-coalesced LSU is an
+// analytical timing model with no timed cache; its read path is profiled
+// through mem::ShadowCacheSim instead — see memprof.hpp.)
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "mem/memprof.hpp"
 #include "mem/timing.hpp"
 
 namespace fgpu::mem {
@@ -54,6 +57,22 @@ class Cache final : public MemPort {
     stats_ = MemStats{};
     std::fill(set_conflicts_.begin(), set_conflicts_.end(), 0ull);
     trace_last_total_ = 0;
+    if (profiler_) profiler_->reset();
+    mshr_profile_dirty_ = false;
+  }
+
+  // Turns on the memory-hierarchy profiler (miss classification, reuse
+  // distances, MSHR occupancy — see memprof.hpp). Runtime opt-in: when off
+  // (the default) the access path pays one null-pointer test and never
+  // allocates.
+  void enable_memprof() {
+    if (!profiler_) profiler_ = std::make_unique<CacheProfiler>(config_.num_lines());
+  }
+  bool memprof_enabled() const { return profiler_ != nullptr; }
+  // Profile snapshot with the open MSHR-occupancy interval closed at
+  // `final_cycle`. Empty profile when profiling is off.
+  CacheMemProfile memprof_snapshot(uint64_t final_cycle) const {
+    return profiler_ ? profiler_->snapshot(final_cycle) : CacheMemProfile{};
   }
 
   // Names this cache's counter track in exported traces ("l1d.c2"). The
@@ -77,6 +96,9 @@ class Cache final : public MemPort {
   struct Mshr {
     uint32_t line_addr = 0;  // line index (addr >> kLineShift)
     bool fill_sent = false;
+    // Miss class of the primary (allocating) miss; merged requests inherit
+    // it so the exact-sum contract holds without re-classifying.
+    uint8_t miss_class = 0;
     std::vector<MemRequest> waiters;
   };
   struct PendingResponse {
@@ -107,6 +129,11 @@ class Cache final : public MemPort {
   std::unordered_map<uint64_t, uint32_t> fill_ids_;  // lower-level id -> line addr
   MemStats stats_;
   std::vector<uint64_t> set_conflicts_;  // evictions per set
+  std::unique_ptr<CacheProfiler> profiler_;  // null unless enable_memprof()
+  // A lower-level response changed mshr_used_ before this cache's tick of
+  // that cycle; the occupancy transition is charged at the tick so its
+  // timestamp does not depend on idle skipping (see on_lower_response).
+  bool mshr_profile_dirty_ = false;
 
   // Trace hook state (see trace/trace.hpp).
   uint32_t trace_tid_ = 0;

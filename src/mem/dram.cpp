@@ -10,7 +10,8 @@ namespace fgpu::mem {
 DramModel::DramModel(DramConfig config)
     : config_(std::move(config)),
       queues_(config_.channels),
-      accepted_this_cycle_(config_.channels, 0) {}
+      accepted_this_cycle_(config_.channels, 0),
+      trace_name_(config_.name) {}
 
 bool DramModel::can_accept() const {
   // Conservative: accept only if every channel has room, since the caller
@@ -38,6 +39,10 @@ void DramModel::send(const MemRequest& req) {
   } else {
     ++stats_.reads;
   }
+  if (profiler_) {
+    profiler_->on_request(c, req.is_write);
+    profiler_->on_depth_change(c, static_cast<uint32_t>(queues_[c].size()), now_);
+  }
 }
 
 void DramModel::tick(uint64_t cycle) {
@@ -54,6 +59,9 @@ void DramModel::tick(uint64_t cycle) {
       queues_[c].pop_front();
       ++served;
       if (handler_) handler_(entry.req.id, entry.req.is_write);
+    }
+    if (served > 0 && profiler_) {
+      profiler_->on_depth_change(c, static_cast<uint32_t>(queues_[c].size()), now_);
     }
   }
 }
@@ -73,9 +81,11 @@ void DramModel::trace_counters(uint64_t cycle) {
   const uint64_t total = stats_.reads + stats_.writes;
   if (total == trace_last_total_) return;
   trace_last_total_ = total;
+  uint64_t queued = 0;
+  for (const auto& queue : queues_) queued += queue.size();
   // Interned: the sink may outlive this DRAM model.
-  sink->counter(sink->intern(config_.name), 0, cycle,
-                {{"reads", stats_.reads}, {"writes", stats_.writes}});
+  sink->counter(sink->intern(trace_name_), trace_tid_, cycle,
+                {{"reads", stats_.reads}, {"writes", stats_.writes}, {"queued", queued}});
 }
 
 }  // namespace fgpu::mem

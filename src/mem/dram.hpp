@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "mem/memprof.hpp"
 #include "mem/timing.hpp"
 
 namespace fgpu::mem {
@@ -52,6 +54,25 @@ class DramModel final : public MemPort {
   void reset_stats() {
     stats_ = MemStats{};
     trace_last_total_ = 0;
+    if (profiler_) profiler_->reset();
+  }
+
+  // Names this model's counter track in exported traces ("ddr4.d0"),
+  // mirroring Cache::set_trace_id so multi-cluster/multi-device traces
+  // keep DRAM tracks distinguishable.
+  void set_trace_id(uint32_t tid) {
+    trace_tid_ = tid;
+    trace_name_ = config_.name + ".d" + std::to_string(tid);
+  }
+
+  // Turns on the per-channel DRAM profiler (queue-depth histograms,
+  // channel imbalance — see memprof.hpp). Runtime opt-in like the cache's.
+  void enable_memprof() {
+    if (!profiler_) profiler_ = std::make_unique<DramProfiler>(config_.channels);
+  }
+  bool memprof_enabled() const { return profiler_ != nullptr; }
+  DramMemProfile memprof_snapshot(uint64_t final_cycle) const {
+    return profiler_ ? profiler_->snapshot(final_cycle) : DramMemProfile{};
   }
 
  private:
@@ -69,7 +90,12 @@ class DramModel final : public MemPort {
   uint64_t now_ = 0;
   ResponseHandler handler_;
   MemStats stats_;
-  uint64_t trace_last_total_ = 0;  // trace hook state (see trace/trace.hpp)
+  std::unique_ptr<DramProfiler> profiler_;  // null unless enable_memprof()
+
+  // Trace hook state (see trace/trace.hpp).
+  uint32_t trace_tid_ = 0;
+  std::string trace_name_;
+  uint64_t trace_last_total_ = 0;
 };
 
 }  // namespace fgpu::mem

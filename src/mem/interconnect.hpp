@@ -45,7 +45,8 @@ class Interconnect {
     void send(const MemRequest& req) override {
       const uint64_t tagged = owner->next_id_++;
       owner->routes_[tagged] = Route{index, req.id};
-      owner->lower_->send(MemRequest{.id = tagged, .addr = req.addr, .is_write = req.is_write});
+      owner->lower_->send(
+          MemRequest{.id = tagged, .addr = req.addr, .is_write = req.is_write, .pc = req.pc});
     }
     void set_response_handler(ResponseHandler h) override { handler = std::move(h); }
     void tick(uint64_t /*cycle*/) override {}  // pass-through; lower is ticked by owner

@@ -1,0 +1,301 @@
+#include "mem/memprof.hpp"
+
+#include <algorithm>
+
+namespace fgpu::mem {
+
+uint32_t reuse_bucket(uint64_t distance) {
+  if (distance == 0) return 0;
+  uint32_t bucket = 1;
+  while (bucket + 1 < kReuseBuckets && distance >= (1ull << bucket)) ++bucket;
+  return bucket;
+}
+
+// ---------------------------------------------------------------------------
+// StackDistance
+
+void StackDistance::bit_add(uint32_t pos, int delta) {
+  for (; pos < tree_.size(); pos += pos & (0u - pos)) {
+    tree_[pos] = static_cast<uint32_t>(static_cast<int64_t>(tree_[pos]) + delta);
+  }
+}
+
+uint64_t StackDistance::bit_sum(uint32_t pos) const {
+  uint64_t sum = 0;
+  for (; pos > 0; pos -= pos & (0u - pos)) sum += tree_[pos];
+  return sum;
+}
+
+void StackDistance::compact() {
+  // Reassign timestamps 1..n preserving recency order; memory stays
+  // proportional to the number of distinct live lines.
+  std::vector<std::pair<uint32_t, uint32_t>> live;  // (old timestamp, line)
+  live.reserve(last_pos_.size());
+  for (const auto& [line, pos] : last_pos_) live.emplace_back(pos, line);
+  std::sort(live.begin(), live.end());
+  const size_t capacity = std::max<size_t>(64, live.size() * 2);
+  tree_.assign(capacity + 1, 0);
+  time_ = 0;
+  for (const auto& [old_pos, line] : live) {
+    last_pos_[line] = ++time_;
+    bit_add(time_, +1);
+  }
+}
+
+uint64_t StackDistance::access(uint32_t line_addr) {
+  // Compact before touching the tree: compacting after the lookup below
+  // would resurrect the line's just-removed timestamp from last_pos_,
+  // leaving a phantom live bit that shrinks later distances.
+  if (time_ + 1 >= tree_.size()) compact();
+  uint64_t distance = kCold;
+  const auto it = last_pos_.find(line_addr);
+  if (it != last_pos_.end()) {
+    // Live timestamps strictly newer than this line's previous access =
+    // distinct other lines touched since (its own timestamp is counted by
+    // bit_sum(pos), so it cancels out of the subtraction).
+    distance = static_cast<uint64_t>(last_pos_.size()) - bit_sum(it->second);
+    bit_add(it->second, -1);
+  }
+  ++time_;
+  bit_add(time_, +1);
+  last_pos_[line_addr] = time_;
+  return distance;
+}
+
+void StackDistance::clear() {
+  last_pos_.clear();
+  tree_.clear();
+  time_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Profile aggregates
+
+uint64_t CacheMemProfile::reuse_total() const {
+  uint64_t total = cold;
+  for (const uint64_t count : reuse) total += count;
+  return total;
+}
+
+void CacheMemProfile::merge(const CacheMemProfile& other) {
+  shadow_lines = std::max(shadow_lines, other.shadow_lines);
+  accesses += other.accesses;
+  misses += other.misses;
+  cold += other.cold;
+  classes += other.classes;
+  for (uint32_t i = 0; i < kReuseBuckets; ++i) reuse[i] += other.reuse[i];
+  for (const auto& [tag, cls] : other.by_tag) by_tag[tag] += cls;
+  if (mshr_cycles.size() < other.mshr_cycles.size()) {
+    mshr_cycles.resize(other.mshr_cycles.size(), 0);
+  }
+  for (size_t i = 0; i < other.mshr_cycles.size(); ++i) {
+    mshr_cycles[i] += other.mshr_cycles[i];
+  }
+}
+
+uint64_t DramChannelProfile::busy_cycles() const {
+  uint64_t busy = 0;
+  for (size_t depth = 1; depth < depth_cycles.size(); ++depth) busy += depth_cycles[depth];
+  return busy;
+}
+
+uint64_t DramChannelProfile::weighted_depth() const {
+  uint64_t weighted = 0;
+  for (size_t depth = 1; depth < depth_cycles.size(); ++depth) {
+    weighted += depth * depth_cycles[depth];
+  }
+  return weighted;
+}
+
+void DramChannelProfile::merge(const DramChannelProfile& other) {
+  reads += other.reads;
+  writes += other.writes;
+  if (depth_cycles.size() < other.depth_cycles.size()) {
+    depth_cycles.resize(other.depth_cycles.size(), 0);
+  }
+  for (size_t i = 0; i < other.depth_cycles.size(); ++i) {
+    depth_cycles[i] += other.depth_cycles[i];
+  }
+}
+
+uint64_t DramMemProfile::total_requests() const {
+  uint64_t total = 0;
+  for (const auto& channel : channels) total += channel.requests();
+  return total;
+}
+
+double DramMemProfile::imbalance() const {
+  const uint64_t total = total_requests();
+  if (total == 0 || channels.empty()) return 0.0;
+  uint64_t peak = 0;
+  for (const auto& channel : channels) peak = std::max(peak, channel.requests());
+  const double mean = static_cast<double>(total) / static_cast<double>(channels.size());
+  return static_cast<double>(peak) / mean;
+}
+
+void DramMemProfile::merge(const DramMemProfile& other) {
+  if (channels.size() < other.channels.size()) channels.resize(other.channels.size());
+  for (size_t i = 0; i < other.channels.size(); ++i) channels[i].merge(other.channels[i]);
+}
+
+void MemHierarchyProfile::merge(const MemHierarchyProfile& other) {
+  enabled = enabled || other.enabled;
+  l1d.merge(other.l1d);
+  l1i.merge(other.l1i);
+  l2.merge(other.l2);
+  dram.merge(other.dram);
+}
+
+// ---------------------------------------------------------------------------
+// CacheProfiler
+
+CacheProfiler::CacheProfiler(uint32_t shadow_lines) { profile_.shadow_lines = shadow_lines; }
+
+MissClass CacheProfiler::classify(uint64_t distance) const {
+  if (distance == StackDistance::kCold) return MissClass::kCompulsory;
+  return distance < profile_.shadow_lines ? MissClass::kConflict : MissClass::kCapacity;
+}
+
+void CacheProfiler::record_reuse(uint64_t distance) {
+  ++profile_.accesses;
+  if (distance == StackDistance::kCold) {
+    ++profile_.cold;
+  } else {
+    ++profile_.reuse[reuse_bucket(distance)];
+  }
+}
+
+MissClass CacheProfiler::on_access(uint32_t line_addr, uint32_t tag, bool is_miss) {
+  const uint64_t distance = stack_.access(line_addr);
+  record_reuse(distance);
+  const MissClass cls = classify(distance);
+  if (is_miss) {
+    ++profile_.misses;
+    profile_.classes.add(cls);
+    profile_.by_tag[tag].add(cls);
+  }
+  return cls;
+}
+
+void CacheProfiler::on_merge(uint32_t line_addr, uint32_t tag, MissClass cls) {
+  record_reuse(stack_.access(line_addr));
+  ++profile_.misses;
+  profile_.classes.add(cls);
+  profile_.by_tag[tag].add(cls);
+}
+
+void CacheProfiler::on_mshr_change(uint32_t used, uint64_t cycle) {
+  // Responses can arrive through a lower level ticked ahead of this cache,
+  // so clamp to keep transition times monotonic.
+  const uint64_t at = std::max(cycle, mshr_since_);
+  if (at > mshr_since_) {
+    if (profile_.mshr_cycles.size() <= mshr_cur_) profile_.mshr_cycles.resize(mshr_cur_ + 1, 0);
+    profile_.mshr_cycles[mshr_cur_] += at - mshr_since_;
+  }
+  mshr_since_ = at;
+  mshr_cur_ = used;
+}
+
+void CacheProfiler::reset() {
+  const uint32_t shadow_lines = profile_.shadow_lines;
+  profile_ = CacheMemProfile{};
+  profile_.shadow_lines = shadow_lines;
+  stack_.clear();
+  mshr_cur_ = 0;
+  mshr_since_ = 0;
+}
+
+CacheMemProfile CacheProfiler::snapshot(uint64_t final_cycle) const {
+  CacheMemProfile out = profile_;
+  // Close the open occupancy interval; only meaningful for timed caches.
+  if (final_cycle > mshr_since_) {
+    if (out.mshr_cycles.size() <= mshr_cur_) out.mshr_cycles.resize(mshr_cur_ + 1, 0);
+    out.mshr_cycles[mshr_cur_] += final_cycle - mshr_since_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShadowCacheSim
+
+ShadowCacheSim::ShadowCacheSim(uint32_t lines, uint32_t ways)
+    : sets_(std::max(1u, lines / std::max(1u, ways))),
+      ways_(std::max(1u, ways)),
+      store_(static_cast<size_t>(sets_) * ways_),
+      profiler_(lines) {}
+
+void ShadowCacheSim::access(uint32_t line_addr, uint32_t tag) {
+  Way* base = &store_[static_cast<size_t>(line_addr % sets_) * ways_];
+  bool hit = false;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      base[w].lru = ++lru_counter_;
+      hit = true;
+      break;
+    }
+  }
+  if (!hit) {
+    Way* victim = base;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    victim->valid = true;
+    victim->line_addr = line_addr;
+    victim->lru = ++lru_counter_;
+  }
+  profiler_.on_access(line_addr, tag, !hit);
+}
+
+// ---------------------------------------------------------------------------
+// DramProfiler
+
+DramProfiler::DramProfiler(uint32_t channels)
+    : depth_cur_(channels, 0), depth_since_(channels, 0) {
+  profile_.channels.resize(channels);
+}
+
+void DramProfiler::on_request(uint32_t channel, bool is_write) {
+  DramChannelProfile& ch = profile_.channels[channel];
+  if (is_write) {
+    ++ch.writes;
+  } else {
+    ++ch.reads;
+  }
+}
+
+void DramProfiler::on_depth_change(uint32_t channel, uint32_t depth, uint64_t cycle) {
+  const uint64_t at = std::max(cycle, depth_since_[channel]);
+  if (at > depth_since_[channel]) {
+    auto& hist = profile_.channels[channel].depth_cycles;
+    if (hist.size() <= depth_cur_[channel]) hist.resize(depth_cur_[channel] + 1, 0);
+    hist[depth_cur_[channel]] += at - depth_since_[channel];
+  }
+  depth_since_[channel] = at;
+  depth_cur_[channel] = depth;
+}
+
+void DramProfiler::reset() {
+  const size_t channels = profile_.channels.size();
+  profile_ = DramMemProfile{};
+  profile_.channels.resize(channels);
+  std::fill(depth_cur_.begin(), depth_cur_.end(), 0u);
+  std::fill(depth_since_.begin(), depth_since_.end(), 0ull);
+}
+
+DramMemProfile DramProfiler::snapshot(uint64_t final_cycle) const {
+  DramMemProfile out = profile_;
+  for (size_t c = 0; c < out.channels.size(); ++c) {
+    if (final_cycle > depth_since_[c]) {
+      auto& hist = out.channels[c].depth_cycles;
+      if (hist.size() <= depth_cur_[c]) hist.resize(depth_cur_[c] + 1, 0);
+      hist[depth_cur_[c]] += final_cycle - depth_since_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace fgpu::mem

@@ -27,6 +27,10 @@ struct MemRequest {
   uint64_t id = 0;       // requester-chosen token, returned with the response
   uint32_t addr = 0;     // byte address (component aligns to its granularity)
   bool is_write = false;
+  // Attribution tag for the memory profiler: the PC of the instruction
+  // behind the access (0 when none, e.g. writebacks). Caches propagate the
+  // primary waiter's PC on MSHR fills so L2 misses stay attributable.
+  uint32_t pc = 0;
 };
 
 // A component that accepts memory requests and later answers them through
@@ -51,6 +55,8 @@ struct MemStats {
   uint64_t writebacks = 0;
   uint64_t mshr_merges = 0;
   uint64_t stall_rejects = 0;  // sends refused due to back-pressure
+
+  bool operator==(const MemStats&) const = default;
 
   double hit_rate() const {
     const uint64_t total = hits + misses;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "common/bits.hpp"
@@ -148,12 +149,14 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
 
   // Assemble interpreter arguments directly over the device-side storage.
   std::vector<kir::KernelArg> interp_args;
+  std::vector<uint32_t> param_addr(args.size(), 0);  // flat base per buffer param
   for (size_t i = 0; i < args.size(); ++i) {
     if (const auto* buffer = std::get_if<Buffer>(&args[i])) {
       auto it = buffers_.find(buffer->device_addr);
       if (it == buffers_.end()) {
         return Result<LaunchStats>(ErrorKind::kInvalidArgument, "unknown buffer argument");
       }
+      param_addr[i] = buffer->device_addr;
       interp_args.push_back(kir::KernelArg::buffer(&it->second));
     } else if (const auto* iv = std::get_if<int32_t>(&args[i])) {
       interp_args.push_back(kir::KernelArg::scalar_i32(*iv));
@@ -168,6 +171,27 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
   interp_options.print_sink = [this](const std::string& line) { console_.push_back(line); };
   interp_options.on_load = [&](const kir::Expr* site) { ++dyn_requests[site]; };
   interp_options.on_store = [&](const kir::Stmt* site) { ++dyn_requests[site]; };
+
+  // Memory-hierarchy shadow profiling (see set_memprof): every global load
+  // becomes a flat device address fed through a shadow cache of the
+  // soft-GPU L1D geometry; misses are 3C-classified per AccessSite.
+  std::unique_ptr<mem::ShadowCacheSim> shadow;
+  std::unordered_map<const void*, uint32_t> load_site_index;
+  if (memprof_enabled_) {
+    shadow = std::make_unique<mem::ShadowCacheSim>(memprof_lines_, memprof_ways_);
+    for (size_t i = 0; i < design.dfg.sites.size(); ++i) {
+      const hls::AccessSite& site = design.dfg.sites[i];
+      if (!site.is_store) load_site_index[site.site] = static_cast<uint32_t>(i);
+    }
+    interp_options.on_load_addr = [&](const kir::Expr* site, int buffer, bool is_local,
+                                      uint32_t elem) {
+      if (is_local) return;  // on-chip memory, not the burst-LSU read path
+      const auto it = load_site_index.find(site);
+      const uint32_t tag = it == load_site_index.end() ? ~0u : it->second;
+      const uint32_t addr = param_addr[static_cast<size_t>(buffer)] + elem * 4u;
+      shadow->access(mem::line_of(addr), tag);
+    };
+  }
 
   // module_ was expanded at build time; the interpreter runs the very nodes
   // the access sites point at.
@@ -216,6 +240,10 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
       static_cast<uint64_t>(std::max(0.0, bandwidth_cycles - issue_cycles));
   stats.dram_bytes = static_cast<uint64_t>(bytes_moved);
   attribute_stalls(stats.memory_stall_cycles, stats.hls_sites);
+  if (shadow) {
+    stats.hls_mem_enabled = true;
+    stats.hls_mem = shadow->profile();
+  }
   if (trace::Sink* sink = trace::kEnabled ? trace::current() : nullptr) {
     sink->set_thread_name(0, "hls-pipeline");
     sink->complete(sink->intern(kernel_name), "kernel", 0, 0, stats.device_cycles,

@@ -39,6 +39,18 @@ class HlsDevice final : public Device {
     return it == designs_.end() ? nullptr : &it->second;
   }
 
+  // Memory-hierarchy profiling of the burst-LSU read path: each launch's
+  // global-load address stream is classified against a mem::ShadowCacheSim
+  // of the given geometry (the soft-GPU L1D by convention, so the two
+  // backends' miss classes are comparable), tagged by AccessSite index.
+  // The HLS timing model has no timed cache, so this is observational only
+  // — device_cycles are unchanged.
+  void set_memprof(bool enabled, uint32_t shadow_lines, uint32_t shadow_ways) {
+    memprof_enabled_ = enabled;
+    memprof_lines_ = shadow_lines;
+    memprof_ways_ = shadow_ways;
+  }
+
  private:
   fpga::Board board_;
   hls::HlsOptions options_;
@@ -48,6 +60,9 @@ class HlsDevice final : public Device {
   std::unordered_map<uint32_t, std::vector<uint32_t>> buffers_;  // addr -> data
   std::vector<std::string> console_;
   uint32_t next_addr_ = 0x1000;
+  bool memprof_enabled_ = false;
+  uint32_t memprof_lines_ = 1024;  // soft-GPU L1D default: 16 KiB / 16 B
+  uint32_t memprof_ways_ = 2;
 };
 
 }  // namespace fgpu::vcl

@@ -27,6 +27,7 @@
 #include "fpga/board.hpp"
 #include "hls/synth_report.hpp"
 #include "kir/kir.hpp"
+#include "mem/memprof.hpp"
 #include "mem/timing.hpp"
 #include "vasm/program.hpp"
 #include "vortex/perf.hpp"
@@ -77,6 +78,10 @@ struct LaunchStats {
   // Per-PC issue/stall profile of this launch (enabled only when the
   // device's vortex::Config::profile is set).
   vortex::PcProfile profile;
+  // Memory-hierarchy profile of this launch (miss classes, reuse
+  // distances, occupancy histograms; enabled only when the device's
+  // vortex::Config::memprof is set).
+  mem::MemHierarchyProfile memprof;
 
   // HLS detail.
   uint64_t pipeline_depth = 0;
@@ -85,6 +90,12 @@ struct LaunchStats {
   // Per-access-site attribution of this launch (empty on the soft GPU);
   // stall_cycles over these sites sums exactly to memory_stall_cycles.
   std::vector<HlsSiteStats> hls_sites;
+  // HLS burst-LSU read-path shadow profile: the launch's global-load
+  // address stream classified against a shadow cache of the soft-GPU L1D
+  // reference geometry, by_tag keyed by AccessSite index (set only when
+  // HlsDevice::set_memprof enabled it).
+  bool hls_mem_enabled = false;
+  mem::CacheMemProfile hls_mem;
 };
 
 // Result of building one kernel (per-kernel logs feed the coverage table).

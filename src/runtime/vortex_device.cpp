@@ -166,6 +166,7 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
   out.dram = stats->dram;
   out.dram_bytes = stats->dram_bytes;
   if (config_.profile) out.profile = cluster_->collect_profile();
+  if (config_.memprof) out.memprof = cluster_->collect_mem_profile();
   return out;
 }
 

@@ -236,6 +236,164 @@ void write_json(trace::JsonWriter& w, const HlsKernelProfile& profile) {
   w.end_object();
 }
 
+void write_json(trace::JsonWriter& w, const mem::CacheMemProfile& profile) {
+  w.begin_object();
+  // Geometry of the shadow fully-associative LRU stack that classifies
+  // misses: conflict = would hit in a same-capacity FA cache, capacity =
+  // would miss there too, compulsory = first touch of the line.
+  w.field("shadow_lines", profile.shadow_lines);
+  w.field("accesses", profile.accesses);
+  w.field("misses", profile.misses);
+  // Exact-sum contract: compulsory + capacity + conflict == misses
+  // (asserted by tests/test_memprof.cpp).
+  w.key("miss_classes").begin_object();
+  w.field("compulsory", profile.classes.compulsory);
+  w.field("capacity", profile.classes.capacity);
+  w.field("conflict", profile.classes.conflict);
+  w.end_object();
+  // Reuse-distance histogram over line-granular stack distances, log2
+  // buckets: bucket 0 holds distance 0, bucket b holds [2^(b-1), 2^b).
+  // "cold" counts first-touch accesses (no finite distance); cold + the
+  // bucket counts == accesses exactly. Sparse: zero buckets omitted.
+  w.field("cold", profile.cold);
+  w.key("reuse").begin_array();
+  for (uint32_t b = 0; b < mem::kReuseBuckets; ++b) {
+    if (profile.reuse[b] == 0) continue;
+    w.begin_object();
+    w.field("bucket", b);
+    w.field("count", profile.reuse[b]);
+    w.end_object();
+  }
+  w.end_array();
+  // Time-weighted MSHR occupancy: cycles spent with exactly N MSHRs in
+  // flight. Sparse; empty for shadow-only (HLS read-path) profiles, which
+  // have no timed MSHR file.
+  w.key("mshr_occupancy").begin_array();
+  for (size_t n = 0; n < profile.mshr_cycles.size(); ++n) {
+    if (profile.mshr_cycles[n] == 0) continue;
+    w.begin_object();
+    w.field("mshrs", static_cast<uint64_t>(n));
+    w.field("cycles", profile.mshr_cycles[n]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_json(trace::JsonWriter& w, const mem::DramMemProfile& profile) {
+  w.begin_object();
+  w.field("channels", static_cast<uint64_t>(profile.channels.size()));
+  w.field("total_requests", profile.total_requests());
+  // Peak-over-mean channel load; 1.0 = perfectly balanced interleave.
+  w.field("imbalance", profile.imbalance());
+  w.key("per_channel").begin_array();
+  for (size_t c = 0; c < profile.channels.size(); ++c) {
+    const auto& ch = profile.channels[c];
+    w.begin_object();
+    w.field("channel", static_cast<uint64_t>(c));
+    w.field("reads", ch.reads);
+    w.field("writes", ch.writes);
+    w.field("busy_cycles", ch.busy_cycles());
+    const uint64_t busy = ch.busy_cycles();
+    w.field("mean_busy_depth",
+            busy ? static_cast<double>(ch.weighted_depth()) / static_cast<double>(busy) : 0.0);
+    // Time-weighted queue-depth histogram: cycles at each depth. Sparse;
+    // depth 0 (idle) omitted along with other zero entries.
+    w.key("depth_cycles").begin_array();
+    for (size_t d = 0; d < ch.depth_cycles.size(); ++d) {
+      if (ch.depth_cycles[d] == 0) continue;
+      w.begin_object();
+      w.field("depth", static_cast<uint64_t>(d));
+      w.field("cycles", ch.depth_cycles[d]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+// Per-PC miss-class attribution with the same instruction + KIR provenance
+// join as the fgpu.profile.v1 PC table (by_tag keys are PCs here).
+void write_by_pc(trace::JsonWriter& w, const char* name, const KernelMemProfile& profile,
+                 const mem::CacheMemProfile& level) {
+  w.key(name).begin_array();
+  for (const auto& [pc, classes] : level.by_tag) {
+    w.begin_object();
+    w.field("pc", pc);
+    const size_t index = (pc - profile.binary.base) / 4;
+    std::string text = "<unknown>";
+    if (index < profile.binary.words.size()) {
+      const auto instr = arch::decode(profile.binary.words[index]);
+      text = instr ? arch::to_string(*instr) : "<invalid>";
+    }
+    w.field("instr", text);
+    w.field("source", profile.source_map.source_for(index));
+    w.field("misses", classes.total());
+    w.field("compulsory", classes.compulsory);
+    w.field("capacity", classes.capacity);
+    w.field("conflict", classes.conflict);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+void write_json(trace::JsonWriter& w, const KernelMemProfile& profile) {
+  w.begin_object();
+  w.field("kernel", profile.kernel);
+  w.field("launches", profile.launches);
+  if (!profile.is_hls) {
+    // Soft-GPU hierarchy: per-level profiles (cores summed), L1D and L2
+    // with per-PC attribution, plus the DRAM occupancy/imbalance view.
+    w.key("l1d");
+    write_json(w, profile.mem.l1d);
+    write_by_pc(w, "l1d_by_pc", profile, profile.mem.l1d);
+    w.key("l1i");
+    write_json(w, profile.mem.l1i);
+    w.key("l2");
+    write_json(w, profile.mem.l2);
+    write_by_pc(w, "l2_by_pc", profile, profile.mem.l2);
+    w.key("dram");
+    write_json(w, profile.mem.dram);
+  } else {
+    // HLS burst-LSU read path: shadow cache with the soft-GPU L1D geometry
+    // (reference locality model — the analytical HLS pipeline has no timed
+    // cache), attributed per AccessSite.
+    w.key("readpath");
+    write_json(w, profile.hls_mem);
+    w.key("by_site").begin_array();
+    for (const auto& [tag, classes] : profile.hls_mem.by_tag) {
+      w.begin_object();
+      if (tag < profile.sites.size()) {
+        const auto& site = profile.sites[tag];
+        w.field("site", tag);
+        w.field("buffer", site.buffer);
+        w.field("source", site.source);
+        w.field("lsu", site.lsu);
+        w.field("pattern", site.pattern);
+      } else {
+        w.field("site", static_cast<int64_t>(-1));
+        w.field("buffer", "<unmapped>");
+        w.field("source", "<unmapped>");
+        w.field("lsu", "");
+        w.field("pattern", "");
+      }
+      w.field("misses", classes.total());
+      w.field("compulsory", classes.compulsory);
+      w.field("capacity", classes.capacity);
+      w.field("conflict", classes.conflict);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
 void write_json(trace::JsonWriter& w, const DeviceRun& run, DeviceKind kind,
                 const std::string& device_name) {
   w.begin_object();

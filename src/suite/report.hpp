@@ -41,6 +41,12 @@ inline constexpr const char* kHostSchema = "fgpu.host.v1";
 // attribution with KIR provenance plus the structured synthesis report.
 inline constexpr const char* kHlsProfSchema = "fgpu.hlsprof.v1";
 
+// Version tag of the memory-hierarchy profile export (fgpu-run --memprof;
+// see OBSERVABILITY.md "Memory profiles"): per-level 3C miss
+// classification, reuse-distance histograms, MSHR/DRAM occupancy
+// histograms, and per-PC / per-AccessSite miss attribution.
+inline constexpr const char* kMemSchema = "fgpu.mem.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls, kTurbo };
 
@@ -61,5 +67,16 @@ void write_json(trace::JsonWriter& w, const hls::SynthReport& synth);
 // One kernel's accumulated per-site HLS attribution — the "kernels" array
 // elements of fgpu.hlsprof.v1.
 void write_json(trace::JsonWriter& w, const HlsKernelProfile& profile);
+// One cache level's memory profile (miss classes, reuse-distance and MSHR
+// occupancy histograms); by_tag attribution is written by the callers that
+// know how to render the tags.
+void write_json(trace::JsonWriter& w, const mem::CacheMemProfile& profile);
+// DRAM side of the memory profile: per-channel request counts, queue-depth
+// histograms, bandwidth busy cycles, and the imbalance summary.
+void write_json(trace::JsonWriter& w, const mem::DramMemProfile& profile);
+// One kernel's accumulated memory-hierarchy profile — the "kernels" array
+// elements of fgpu.mem.v1 (vortex levels with per-PC provenance joins, or
+// the HLS read-path shadow profile with per-site joins).
+void write_json(trace::JsonWriter& w, const KernelMemProfile& profile);
 
 }  // namespace fgpu::suite

@@ -79,6 +79,7 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
         options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
     vortex::Config config = options.vortex_config;
     config.profile = config.profile || options.capture_profile;
+    config.memprof = config.memprof || options.capture_memprof;
     codegen::Options codegen_options;
     codegen_options.opt_level = options.opt_level;
     vcl::VortexDevice device(config, board, codegen_options);
@@ -109,6 +110,11 @@ void run_one(const RunnerOptions& options, const std::string& name, BenchmarkOut
     const fpga::Board& board =
         options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
     vcl::HlsDevice device(board);
+    if (options.capture_memprof) {
+      // Shadow the read path with the soft-GPU L1D geometry so the locality
+      // view is directly comparable across the two flows.
+      device.set_memprof(true, options.vortex_config.l1d.num_lines(), options.vortex_config.l1d.ways);
+    }
     outcome.hls_device = device.name();
     const auto t0 = std::chrono::steady_clock::now();
     outcome.hls = run_benchmark(device, bench);
@@ -274,6 +280,48 @@ void write_hlsprof_json(std::ostream& os, const RunnerOptions& options,
     w.key("kernels").begin_array();
     for (const auto& profile : outcome.hls.hls_profiles) write_json(w, profile);
     w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_mem_json(std::ostream& os, const RunnerOptions& options,
+                    const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kMemSchema);
+  write_suite_header(w, options, result);
+  // Geometry of the HLS read-path shadow cache (mirrors the soft-GPU L1D;
+  // see run_one). Recorded so mem documents are self-describing.
+  w.key("shadow").begin_object();
+  w.field("lines", options.vortex_config.l1d.num_lines());
+  w.field("ways", options.vortex_config.l1d.ways);
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.ran_vortex && !outcome.ran_hls) continue;
+    w.begin_object();
+    w.field("name", outcome.name);
+    if (outcome.ran_vortex) {
+      w.key("vortex").begin_object();
+      w.field("device", outcome.vortex_device);
+      w.field("ok", outcome.vortex.ok());
+      w.key("kernels").begin_array();
+      for (const auto& profile : outcome.vortex.mem_profiles) write_json(w, profile);
+      w.end_array();
+      w.end_object();
+    }
+    if (outcome.ran_hls) {
+      w.key("hls").begin_object();
+      w.field("device", outcome.hls_device);
+      w.field("ok", outcome.hls.ok());
+      w.key("kernels").begin_array();
+      for (const auto& profile : outcome.hls.mem_profiles) write_json(w, profile);
+      w.end_array();
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

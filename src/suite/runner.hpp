@@ -53,6 +53,11 @@ struct RunnerOptions {
   // Collect the per-PC cycle profile on the soft GPU (exported via
   // write_profile_json; see vortex/profile.hpp and OBSERVABILITY.md).
   bool capture_profile = false;
+  // Collect the memory-hierarchy profile (miss classes, reuse distances,
+  // occupancy histograms) on the soft GPU and the HLS burst-LSU read path
+  // (exported via write_mem_json; see mem/memprof.hpp). Observational
+  // only: cycle counts are identical with it on or off.
+  bool capture_memprof = false;
   // Opt-in: embed host wall-clock / simulated-MIPS fields into the stats
   // JSON. Default off because fgpu.stats.v1's determinism contract forbids
   // host-dependent bytes (byte-identical across --jobs, machines, and the
@@ -120,6 +125,13 @@ void write_profile_json(std::ostream& os, const RunnerOptions& options,
 // determinism contract: byte-identical across --jobs.
 void write_hlsprof_json(std::ostream& os, const RunnerOptions& options,
                         const SuiteRunResult& result);
+
+// Serializes the memory-hierarchy profiles (per-level miss classes, reuse
+// distances, MSHR/DRAM occupancy histograms, per-PC / per-site miss
+// attribution) to the fgpu.mem.v1 schema. Same determinism contract:
+// byte-identical across --jobs.
+void write_mem_json(std::ostream& os, const RunnerOptions& options,
+                    const SuiteRunResult& result);
 
 // Shared "suite" header object of every suite-level document (stats,
 // profile, hlsprof, compare): run configuration + benchmark count.

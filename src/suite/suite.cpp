@@ -244,6 +244,29 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench) {
       kp->perf.accumulate(stats->perf);
       kp->perf.cycles = cycles;
     }
+    if (stats->memprof.enabled || stats->hls_mem_enabled) {
+      KernelMemProfile* mp = nullptr;
+      for (auto& existing : result.mem_profiles) {
+        if (existing.kernel == launch.kernel) mp = &existing;
+      }
+      if (mp == nullptr) {
+        mp = &result.mem_profiles.emplace_back();
+        mp->kernel = launch.kernel;
+        if (stats->memprof.enabled) {
+          if (const auto* info = device.find_build_info(launch.kernel)) {
+            mp->binary = info->binary;
+            mp->source_map = info->source_map;
+          }
+        }
+      }
+      ++mp->launches;
+      if (stats->memprof.enabled) mp->mem.merge(stats->memprof);
+      if (stats->hls_mem_enabled) {
+        mp->is_hls = true;
+        mp->hls_mem.merge(stats->hls_mem);
+        if (mp->sites.empty()) mp->sites = stats->hls_sites;
+      }
+    }
     result.last = *stats;
   }
 

@@ -102,6 +102,23 @@ struct HlsKernelProfile {
   std::vector<vcl::HlsSiteStats> sites;
 };
 
+// Accumulated memory-hierarchy profile of one kernel across a benchmark's
+// launches (exported as fgpu.mem.v1). A vortex entry carries the full
+// hierarchy plus the kernel image/source map so by_tag PCs render with
+// instruction + KIR provenance; an HLS entry carries the burst-LSU
+// read-path shadow profile with by_tag keyed by AccessSite index, joined
+// against `sites` at export.
+struct KernelMemProfile {
+  std::string kernel;
+  uint64_t launches = 0;
+  bool is_hls = false;
+  mem::MemHierarchyProfile mem;          // vortex hierarchy
+  vasm::Program binary;                  // vortex: PC provenance
+  vasm::SourceMap source_map;
+  mem::CacheMemProfile hls_mem;          // hls read path
+  std::vector<vcl::HlsSiteStats> sites;  // hls: site table for the tag join
+};
+
 struct DeviceRun {
   Status build;          // program build (HLS synthesis can fail here)
   Status run;            // launch execution
@@ -131,6 +148,9 @@ struct DeviceRun {
   // build order (present even when the build failed — the synth reports of
   // failed fits are the Table II data points).
   std::vector<HlsKernelProfile> hls_profiles;
+  // Per-kernel memory-hierarchy profiles in first-launch order; filled only
+  // when memory profiling is enabled (RunnerOptions::capture_memprof).
+  std::vector<KernelMemProfile> mem_profiles;
 
   bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
 };

@@ -28,6 +28,11 @@ void add_stats(mem::MemStats& into, const mem::MemStats& from) {
 Cluster::Cluster(const Config& config, mem::MainMemory& gmem, EcallHandler ecall_handler)
     : config_(config), gmem_(gmem), dram_(config.dram), l2_(config.l2, &dram_), noc_(&l2_) {
   l2_.set_trace_id(0);
+  dram_.set_trace_id(0);
+  if (config_.memprof) {
+    l2_.enable_memprof();
+    dram_.enable_memprof();
+  }
   cores_.reserve(config_.cores);
   stall_track_names_.reserve(config_.cores);
   for (uint32_t c = 0; c < config_.cores; ++c) {
@@ -136,6 +141,21 @@ ClusterStats Cluster::collect_stats() const {
   add_stats(stats.dram, dram_.stats());
   stats.dram_bytes = dram_.bytes_read() + dram_.bytes_written();
   return stats;
+}
+
+mem::MemHierarchyProfile Cluster::collect_mem_profile() const {
+  mem::MemHierarchyProfile profile;
+  if (!config_.memprof) return profile;
+  profile.enabled = true;
+  // Open time-weighted intervals (MSHR occupancy, DRAM queue depth) close
+  // at the final simulated cycle.
+  for (const auto& core : cores_) {
+    profile.l1d.merge(core->l1d().memprof_snapshot(cycle_));
+    profile.l1i.merge(core->l1i().memprof_snapshot(cycle_));
+  }
+  profile.l2 = l2_.memprof_snapshot(cycle_);
+  profile.dram = dram_.memprof_snapshot(cycle_);
+  return profile;
 }
 
 PcProfile Cluster::collect_profile() const {

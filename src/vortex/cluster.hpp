@@ -46,6 +46,9 @@ class Cluster {
   // Per-PC profile merged across cores, plus the cluster-level cache
   // conflict histograms (empty PcProfile unless Config::profile).
   PcProfile collect_profile() const;
+  // Memory-hierarchy profile merged across cores + the shared L2/DRAM;
+  // empty (enabled=false) unless Config::memprof is set.
+  mem::MemHierarchyProfile collect_mem_profile() const;
 
  private:
   void trace_counters() const;

@@ -64,6 +64,12 @@ struct Config {
   bool profile = false;
   uint32_t profile_interval = 256;  // cycles between occupancy samples
 
+  // Memory-hierarchy profiler (mem/memprof.hpp): per-level miss
+  // classification, reuse-distance histograms, MSHR/DRAM occupancy
+  // timelines. Off by default — collection costs a shadow-stack update per
+  // cache access; cycle counts are unchanged either way.
+  bool memprof = false;
+
   // Optional instruction trace: invoked once per issued instruction.
   // Costly — leave unset except when debugging kernels.
   std::function<void(const TraceEvent&)> trace;

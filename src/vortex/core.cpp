@@ -67,6 +67,10 @@ Core::Core(const Config& config, uint32_t core_id, mem::MainMemory& gmem, mem::M
   assert(config_.warps <= (1u << kIdSlotBits) && "warp index must fit the id slot byte");
   assert(config_.lsu_queue_depth <= (1u << kIdSlotBits) && "LSU slot must fit the id slot byte");
   for (auto& warp : warps_) warp.ibuffer.init(std::max(1u, config_.ibuffer_depth));
+  if (config_.memprof) {
+    l1d_.enable_memprof();
+    l1i_.enable_memprof();
+  }
   l1d_.set_response_handler([this](uint64_t id, bool /*w*/) {
     // O(1): the queue slot is in the id's low byte; the token above it
     // rejects responses addressed to a previous occupant of the slot.
@@ -1009,7 +1013,7 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
     case Op::kAmoxorW:
     case Op::kAmominW:
     case Op::kAmomaxW:
-      execute_memory(w, in, cycle);
+      execute_memory(w, in, pc, cycle);
       break;
     default:
       FGPU_LOG(kError, "core %u: unimplemented op '%s' at %08x", core_id_,
@@ -1019,7 +1023,7 @@ void Core::execute(uint32_t w, const FetchSlot& slot, uint64_t cycle) {
   }
 }
 
-void Core::execute_memory(uint32_t w, const Instr& in, uint64_t cycle) {
+void Core::execute_memory(uint32_t w, const Instr& in, uint32_t pc, uint64_t cycle) {
   Warp& warp = warps_[w];
   const uint64_t mask = warp.tmask;
   const bool is_amo = arch::op_info(in.op).fmt == arch::Format::kAmo;
@@ -1130,6 +1134,7 @@ void Core::execute_memory(uint32_t w, const Instr& in, uint64_t cycle) {
     entry.has_rd = has_rd && (is_float || in.rd != 0);
     entry.writes_float = is_float;
     entry.rd = in.rd;
+    entry.pc = pc;
     entry.token = next_mem_id_++;
     entry.lines_pending = std::move(lines);
     entry.outstanding = 0;
@@ -1160,7 +1165,7 @@ void Core::do_lsu(uint64_t cycle) {
       const uint32_t line = entry.lines_pending.back();
       entry.lines_pending.pop_back();
       l1d_.send(mem::MemRequest{.id = id, .addr = line << mem::kLineShift,
-                                .is_write = entry.is_write});
+                                .is_write = entry.is_write, .pc = entry.pc});
       ++entry.outstanding;
       ++sent;
       progressed_ = true;
@@ -1196,7 +1201,7 @@ void Core::do_fetch(uint64_t cycle) {
     warp.fetch_id = id;
     warp.fetch_pc = warp.pc;
     warp.fetch_generation = warp.generation;
-    l1i_.send(mem::MemRequest{.id = id, .addr = warp.pc, .is_write = false});
+    l1i_.send(mem::MemRequest{.id = id, .addr = warp.pc, .is_write = false, .pc = warp.pc});
     warp.pc += 4;
     fetch_rr_ = (w + 1) % config_.warps;
     progressed_ = true;

@@ -195,6 +195,7 @@ class Core {
     bool has_rd = false;
     bool writes_float = false;
     uint8_t rd = 0;
+    uint32_t pc = 0;  // issuing instruction (memory-profiler attribution)
     uint64_t token = 0;                   // allocation token (stale-response guard)
     std::vector<uint32_t> lines_pending;  // line addresses not yet sent
     uint32_t outstanding = 0;             // responses still expected
@@ -230,7 +231,7 @@ class Core {
   // data hazard); sets *stall_reason for attribution.
   bool can_issue(const Warp& warp, const DecodedInstr& instr, uint64_t cycle, int* stall_reason);
   void execute(uint32_t warp_id, const FetchSlot& slot, uint64_t cycle);
-  void execute_memory(uint32_t warp_id, const arch::Instr& instr, uint64_t cycle);
+  void execute_memory(uint32_t warp_id, const arch::Instr& instr, uint32_t pc, uint64_t cycle);
   void redirect(Warp& warp, uint32_t new_pc);
   uint32_t first_active_lane(uint64_t mask) const;
   uint32_t read_csr(uint32_t csr, uint32_t warp_id, uint32_t lane, uint64_t cycle) const;

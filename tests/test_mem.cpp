@@ -9,6 +9,7 @@
 #include "mem/dram.hpp"
 #include "mem/interconnect.hpp"
 #include "mem/memory.hpp"
+#include "mem/memprof.hpp"
 
 namespace fgpu::mem {
 namespace {
@@ -280,6 +281,190 @@ INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
                                            std::tuple{4, 2, 2}, std::tuple{4, 4, 8},
                                            std::tuple{16, 2, 6}, std::tuple{16, 8, 16},
                                            std::tuple{64, 4, 4}));
+
+TEST(MemStatsTest, EqualityOperator) {
+  MemStats a, b;
+  EXPECT_TRUE(a == b);
+  a.hits = 3;
+  EXPECT_FALSE(a == b);
+  b.hits = 3;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(StackDistanceTest, ColdThenExactDistances) {
+  StackDistance sd;
+  EXPECT_EQ(sd.access(1), StackDistance::kCold);
+  EXPECT_EQ(sd.access(2), StackDistance::kCold);
+  EXPECT_EQ(sd.access(3), StackDistance::kCold);
+  EXPECT_EQ(sd.access(1), 2u);  // lines 2 and 3 touched since
+  EXPECT_EQ(sd.access(1), 0u);  // back-to-back reuse
+  EXPECT_EQ(sd.access(3), 1u);  // only line 1 touched since
+  EXPECT_EQ(sd.distinct_lines(), 3u);
+}
+
+TEST(StackDistanceTest, CompactionPreservesDistances) {
+  // 900+ accesses over 3 lines exhaust the initial timestamp space several
+  // times; distances must survive every in-place compaction.
+  StackDistance sd;
+  sd.access(10);
+  sd.access(20);
+  sd.access(30);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(sd.access(10), 2u) << "round " << i;
+    ASSERT_EQ(sd.access(20), 2u) << "round " << i;
+    ASSERT_EQ(sd.access(30), 2u) << "round " << i;
+  }
+  EXPECT_EQ(sd.distinct_lines(), 3u);
+}
+
+TEST(ReuseBucketTest, Log2BucketsWithSaturation) {
+  EXPECT_EQ(reuse_bucket(0), 0u);
+  EXPECT_EQ(reuse_bucket(1), 1u);
+  EXPECT_EQ(reuse_bucket(2), 2u);
+  EXPECT_EQ(reuse_bucket(3), 2u);
+  EXPECT_EQ(reuse_bucket(4), 3u);
+  EXPECT_EQ(reuse_bucket(1023), 10u);
+  EXPECT_EQ(reuse_bucket(1024), 11u);
+  EXPECT_EQ(reuse_bucket(~0ull >> 1), kReuseBuckets - 1);
+}
+
+TEST(CacheProfilerTest, ThreeCClassification) {
+  CacheProfiler prof(4);  // shadow FA-LRU capacity: 4 lines
+  EXPECT_EQ(prof.on_access(0, 0, true), MissClass::kCompulsory);
+  EXPECT_EQ(prof.on_access(1, 0, true), MissClass::kCompulsory);
+  // Distance 1 < 4: a same-size fully-associative cache would have hit.
+  EXPECT_EQ(prof.on_access(0, 0, true), MissClass::kConflict);
+  for (uint32_t line = 2; line <= 5; ++line) prof.on_access(line, 0, true);
+  // Four distinct lines touched since the last access: distance >= capacity.
+  EXPECT_EQ(prof.on_access(0, 0, true), MissClass::kCapacity);
+  const CacheMemProfile p = prof.snapshot(0);
+  EXPECT_EQ(p.classes.total(), p.misses);
+  EXPECT_EQ(p.reuse_total(), p.accesses);
+  EXPECT_EQ(p.classes.compulsory, 6u);
+  EXPECT_EQ(p.classes.conflict, 1u);
+  EXPECT_EQ(p.classes.capacity, 1u);
+}
+
+// The tentpole's exact-sum contracts against a real timed cache:
+// compulsory + capacity + conflict == misses == MemStats::misses,
+// cold + reuse histogram == accesses == hits + misses, and the by_tag
+// attribution partitions the aggregate classes exactly.
+TEST(CacheProfilerTest, ExactSumContractsMatchCacheStats) {
+  CacheConfig config;
+  config.size_bytes = 256;  // 16 lines: small enough to evict under the stream
+  config.ways = 2;
+  config.mshrs = 4;
+  Harness h(config);
+  h.cache.enable_memprof();
+  ASSERT_TRUE(h.cache.memprof_enabled());
+  uint32_t addr = 0x40;
+  for (int i = 0; i < 300; ++i) {
+    addr = addr * 1664525u + 1013904223u;
+    h.send(static_cast<uint64_t>(i), addr % 4096, (i % 5) == 0);
+    if (i % 3 == 0) h.tick(2);
+  }
+  h.drain_until(300);
+  const CacheMemProfile p = h.cache.memprof_snapshot(h.cycle);
+  EXPECT_EQ(p.misses, h.cache.stats().misses);
+  EXPECT_EQ(p.classes.total(), p.misses);
+  EXPECT_EQ(p.accesses, h.cache.stats().hits + h.cache.stats().misses);
+  EXPECT_EQ(p.reuse_total(), p.accesses);
+  EXPECT_GT(p.classes.conflict + p.classes.capacity, 0u);  // stream evicts
+  MissClasses by_tag_sum;
+  for (const auto& [tag, cls] : p.by_tag) by_tag_sum += cls;
+  EXPECT_EQ(by_tag_sum, p.classes);
+  // Time-weighted MSHR occupancy accounts for every cycle of the run.
+  uint64_t occupancy_cycles = 0;
+  for (const uint64_t c : p.mshr_cycles) occupancy_cycles += c;
+  EXPECT_EQ(occupancy_cycles, h.cycle);
+}
+
+TEST(CacheProfilerTest, MergedMissInheritsPrimaryClass) {
+  Harness h;
+  h.cache.enable_memprof();
+  while (!h.cache.can_accept()) h.tick();
+  h.cache.send(MemRequest{.id = 1, .addr = 0x2000, .is_write = false, .pc = 0x100});
+  h.tick();
+  while (!h.cache.can_accept()) h.tick();
+  h.cache.send(MemRequest{.id = 2, .addr = 0x2008, .is_write = false, .pc = 0x104});
+  h.drain_until(2);
+  ASSERT_EQ(h.cache.stats().mshr_merges, 1u);
+  const CacheMemProfile p = h.cache.memprof_snapshot(h.cycle);
+  EXPECT_EQ(p.misses, h.cache.stats().misses);
+  // The secondary miss rides the primary's fill: it must inherit the
+  // compulsory class, not be re-classified as a distance-0 conflict.
+  EXPECT_EQ(p.classes.compulsory, 2u);
+  EXPECT_EQ(p.classes.conflict, 0u);
+  ASSERT_EQ(p.by_tag.size(), 2u);
+  EXPECT_EQ(p.by_tag.at(0x100).compulsory, 1u);
+  EXPECT_EQ(p.by_tag.at(0x104).compulsory, 1u);
+}
+
+TEST(CacheProfilerTest, ResetStatsClearsProfile) {
+  Harness h;
+  h.cache.enable_memprof();
+  h.send(1, 0x1000);
+  h.drain_until(1);
+  h.cache.reset_stats();
+  const CacheMemProfile p = h.cache.memprof_snapshot(h.cycle);
+  EXPECT_EQ(p.accesses, 0u);
+  EXPECT_EQ(p.misses, 0u);
+  EXPECT_EQ(p.by_tag.size(), 0u);
+}
+
+TEST(ShadowCacheSimTest, ClassifiesConflictInDirectMappedStore) {
+  ShadowCacheSim sim(4, 1);  // 4 sets, direct-mapped; shadow capacity 4 lines
+  sim.access(0, 7);
+  sim.access(4, 8);  // same set (4 % 4 == 0) evicts line 0 from the store
+  sim.access(0, 7);  // distance 1 < 4: the FA shadow still holds it -> conflict
+  const CacheMemProfile p = sim.profile();
+  EXPECT_EQ(p.accesses, 3u);
+  EXPECT_EQ(p.misses, 3u);
+  EXPECT_EQ(p.classes.compulsory, 2u);
+  EXPECT_EQ(p.classes.conflict, 1u);
+  EXPECT_EQ(p.by_tag.at(7).conflict, 1u);
+}
+
+TEST(ShadowCacheSimTest, HitsAreNotMisclassified) {
+  ShadowCacheSim sim(16, 2);
+  sim.access(1, 0);
+  sim.access(1, 0);  // hit: counted as an access, never as a miss
+  const CacheMemProfile p = sim.profile();
+  EXPECT_EQ(p.accesses, 2u);
+  EXPECT_EQ(p.misses, 1u);
+  EXPECT_EQ(p.reuse_total(), 2u);
+}
+
+TEST(DramTest, MemprofCountsRequestsAndOccupancyPerChannel) {
+  DramModel dram(DramConfig{"test", 5, 2, 1, 32});  // 2 channels
+  dram.enable_memprof();
+  dram.set_trace_id(3);  // distinct counter-track name per cluster
+  int responses = 0;
+  dram.set_response_handler([&](uint64_t, bool) { ++responses; });
+  uint64_t cycle = 0;
+  dram.tick(cycle);
+  int sent = 0;
+  while (responses < 8 && cycle < 500) {
+    if (sent < 8 && dram.can_accept()) {
+      dram.send(MemRequest{.id = static_cast<uint64_t>(sent),
+                           .addr = static_cast<uint32_t>(sent * 16),
+                           .is_write = (sent % 2) == 1});
+      ++sent;
+    }
+    dram.tick(++cycle);
+  }
+  ASSERT_EQ(responses, 8);
+  const DramMemProfile p = dram.memprof_snapshot(cycle);
+  ASSERT_EQ(p.channels.size(), 2u);
+  EXPECT_EQ(p.total_requests(), 8u);
+  // Line-interleaved addresses split evenly across the two channels.
+  EXPECT_EQ(p.channels[0].requests(), 4u);
+  EXPECT_EQ(p.channels[1].requests(), 4u);
+  EXPECT_DOUBLE_EQ(p.imbalance(), 1.0);
+  uint64_t busy = 0;
+  for (const auto& ch : p.channels) busy += ch.busy_cycles();
+  EXPECT_GT(busy, 0u);
+}
 
 }  // namespace
 }  // namespace fgpu::mem

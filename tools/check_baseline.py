@@ -44,6 +44,17 @@ compared — a filter typo must not pass silently as "0 of 0 matched" — and
 weekly-equivalent sweep). Schema/coverage/cycle gates are skipped in this
 mode; they belong to the fgpu.stats.v1 path.
 
+Memory-profile documents (fgpu.mem.v1 from fgpu-run --memprof) are GATED
+with --mem-baseline/--mem-current (BENCH_mem.json in CI):
+
+  * schema-tag and key-path drift, as for the stats document;
+  * the benchmark set must match the baseline exactly;
+  * per-kernel, per-level miss-class drift — every (accesses, misses,
+    compulsory, capacity, conflict) vector of every cache level (l1d/
+    l1i/l2 on the soft GPU, the read-path shadow on HLS) must match the
+    baseline EXACTLY. Miss classification is deterministic, so any delta
+    is a real behavior change that demands a baseline refresh.
+
 Comparison documents (fgpu.compare.v1 from fgpu-run --compare) are GATED
 with --compare-baseline/--compare-current (BENCH_compare.json in CI):
 
@@ -59,6 +70,7 @@ with --compare-baseline/--compare-current (BENCH_compare.json in CI):
 Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
                          [--max-cycles=N] [--exact-cycles]
                          [--host-baseline=H.json --host-current=H2.json]
+                         [--mem-baseline=M.json --mem-current=M2.json]
                          [--compare-baseline=C.json --compare-current=C2.json
                           --speedup-tolerance=0.05]
 
@@ -251,6 +263,81 @@ def compare_compare(compare_baseline, compare_current, tolerance):
     return failures
 
 
+def mem_kernel_signature(bench):
+    """Per-(device, kernel) map of per-level miss-class vectors."""
+    sig = {}
+    for device in ("vortex", "hls"):
+        dev = bench.get(device)
+        if dev is None:
+            continue
+        for kernel in dev.get("kernels", []):
+            levels = {}
+            for level in ("l1d", "l1i", "l2", "readpath"):
+                p = kernel.get(level)
+                if p is None:
+                    continue
+                mc = p.get("miss_classes", {})
+                levels[level] = (p.get("accesses"), p.get("misses"),
+                                 mc.get("compulsory"), mc.get("capacity"),
+                                 mc.get("conflict"))
+            sig[(device, kernel.get("kernel"))] = levels
+    return sig
+
+
+def compare_mem(mem_baseline, mem_current):
+    """GATING comparison of two fgpu.mem.v1 documents. Returns failures."""
+    failures = []
+    with open(mem_baseline) as f:
+        base = json.load(f)
+    with open(mem_current) as f:
+        cur = json.load(f)
+
+    for doc, path in ((base, mem_baseline), (cur, mem_current)):
+        if doc.get("schema") != "fgpu.mem.v1":
+            failures.append(f"mem doc {path} has schema {doc.get('schema')!r}, "
+                            "expected fgpu.mem.v1")
+    if failures:
+        return failures
+
+    base_paths = schema_paths(base)
+    cur_paths = schema_paths(cur)
+    for path in sorted(base_paths - cur_paths):
+        failures.append(f"mem schema drift: field '{path}' vanished")
+    for path in sorted(cur_paths - base_paths):
+        failures.append(f"mem schema drift: new field '{path}' not in the baseline "
+                        "(regenerate BENCH_mem.json and bump the schema tag if breaking)")
+
+    base_benchmarks = by_name(base)
+    cur_benchmarks = by_name(cur)
+    for name in sorted(set(base_benchmarks) - set(cur_benchmarks)):
+        failures.append(f"mem: {name} present in baseline but missing from the run")
+    for name in sorted(set(cur_benchmarks) - set(base_benchmarks)):
+        failures.append(f"mem: {name} ran but has no baseline entry")
+
+    kernels = 0
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        sig_b = mem_kernel_signature(base_benchmarks[name])
+        sig_c = mem_kernel_signature(cur_benchmarks[name])
+        for key in sorted(set(sig_b) - set(sig_c)):
+            failures.append(f"mem: {name}/{key[0]}/{key[1]}: kernel vanished")
+        for key in sorted(set(sig_c) - set(sig_b)):
+            failures.append(f"mem: {name}/{key[0]}/{key[1]}: new kernel not in baseline")
+        for key in sorted(set(sig_b) & set(sig_c)):
+            kernels += 1
+            for level in sorted(set(sig_b[key]) | set(sig_c[key])):
+                want = sig_b[key].get(level)
+                got = sig_c[key].get(level)
+                if want != got:
+                    failures.append(
+                        f"mem: {name}/{key[0]}/{key[1]}/{level}: miss-class drift "
+                        f"(accesses, misses, compulsory, capacity, conflict) "
+                        f"{want} -> {got}")
+    if not failures:
+        print(f"mem: {len(base_benchmarks)} benchmarks / {kernels} kernels, every "
+              f"per-level miss-class vector matches the baseline")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -264,6 +351,9 @@ def main():
                         help="fail on ANY cycle delta (gate for host-speed-only changes)")
     parser.add_argument("--host-baseline", help="fgpu.host.v1 baseline (non-gating)")
     parser.add_argument("--host-current", help="fgpu.host.v1 current run (non-gating)")
+    parser.add_argument("--mem-baseline",
+                        help="fgpu.mem.v1 baseline (GATING, e.g. BENCH_mem.json)")
+    parser.add_argument("--mem-current", help="fgpu.mem.v1 current run (GATING)")
     parser.add_argument("--compare-baseline",
                         help="fgpu.compare.v1 baseline (GATING, e.g. BENCH_compare.json)")
     parser.add_argument("--compare-current", help="fgpu.compare.v1 current run (GATING)")
@@ -353,6 +443,9 @@ def main():
 
     if args.host_baseline and args.host_current:
         compare_host(args.host_baseline, args.host_current)
+
+    if args.mem_baseline and args.mem_current:
+        failures.extend(compare_mem(args.mem_baseline, args.mem_current))
 
     if args.compare_baseline and args.compare_current:
         failures.extend(compare_compare(args.compare_baseline, args.compare_current,

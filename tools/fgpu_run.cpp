@@ -18,9 +18,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "arch/isa.hpp"
 #include "codegen/codegen.hpp"
 #include "common/log.hpp"
 #include "suite/compare.hpp"
@@ -47,6 +50,10 @@ void usage(const char* argv0) {
       "  --trace=PATH     write Chrome trace_event JSON (open in chrome://tracing)\n"
       "  --profile=PATH   write fgpu.profile.v1 per-PC cycle profile JSON\n"
       "  --hlsprof=PATH   write fgpu.hlsprof.v1 per-access-site HLS profile JSON\n"
+      "  --memprof=PATH   write fgpu.mem.v1 memory-hierarchy profile JSON (miss\n"
+      "                   classes, reuse distances, MSHR/DRAM occupancy)\n"
+      "  --mem-hotspots=K print top-K L1D miss sites per kernel (implies --memprof\n"
+      "                   collection; soft GPU by PC, HLS by access site)\n"
       "  --compare=PATH   write fgpu.compare.v1 vortex-vs-HLS comparison JSON\n"
       "                   (requires both devices, i.e. not --device=vortex/hls)\n"
       "  --hotspots=K     print top-K stalled PCs per kernel (implies profiling)\n"
@@ -180,15 +187,68 @@ int dump_asm(const std::string& bench_name, int opt_level) {
   return 0;
 }
 
+// --mem-hotspots: the top-K miss sites of each kernel, ranked by total
+// misses with the 3C split beside them. Soft GPU sites are L1D PCs rendered
+// with instruction + KIR provenance; HLS sites are the burst-LSU access
+// sites of the read-path shadow cache.
+void print_mem_hotspots(const suite::BenchmarkOutcome& outcome, uint32_t k) {
+  const auto rank = [](const std::map<uint32_t, mem::MissClasses>& by_tag) {
+    std::vector<std::pair<uint32_t, mem::MissClasses>> sites(by_tag.begin(), by_tag.end());
+    std::stable_sort(sites.begin(), sites.end(),
+                     [](const auto& a, const auto& b) { return a.second.total() > b.second.total(); });
+    return sites;
+  };
+  for (const auto& mp : outcome.vortex.mem_profiles) {
+    std::printf("\n== %s / %s: top %u L1D miss PCs (compulsory/capacity/conflict) ==\n",
+                outcome.name.c_str(), mp.kernel.c_str(), k);
+    uint32_t shown = 0;
+    for (const auto& [pc, classes] : rank(mp.mem.l1d.by_tag)) {
+      if (shown == k) break;
+      ++shown;
+      const size_t index = (pc - mp.binary.base) / 4;
+      std::string text = "<unknown>";
+      if (index < mp.binary.words.size()) {
+        const auto instr = arch::decode(mp.binary.words[index]);
+        text = instr ? arch::to_string(*instr) : "<invalid>";
+      }
+      std::printf("  %08x  %-28s %8llu misses (%llu/%llu/%llu)  %s\n", pc, text.c_str(),
+                  static_cast<unsigned long long>(classes.total()),
+                  static_cast<unsigned long long>(classes.compulsory),
+                  static_cast<unsigned long long>(classes.capacity),
+                  static_cast<unsigned long long>(classes.conflict),
+                  mp.source_map.source_for(index).c_str());
+    }
+  }
+  for (const auto& mp : outcome.hls.mem_profiles) {
+    std::printf("\n== %s / %s: top %u read-path miss sites (compulsory/capacity/conflict) ==\n",
+                outcome.name.c_str(), mp.kernel.c_str(), k);
+    uint32_t shown = 0;
+    for (const auto& [tag, classes] : rank(mp.hls_mem.by_tag)) {
+      if (shown == k) break;
+      ++shown;
+      const bool mapped = tag < mp.sites.size();
+      std::printf("  site %-4d %-28s %8llu misses (%llu/%llu/%llu)  %s\n",
+                  mapped ? static_cast<int>(tag) : -1,
+                  mapped ? mp.sites[tag].buffer.c_str() : "<unmapped>",
+                  static_cast<unsigned long long>(classes.total()),
+                  static_cast<unsigned long long>(classes.compulsory),
+                  static_cast<unsigned long long>(classes.capacity),
+                  static_cast<unsigned long long>(classes.conflict),
+                  mapped ? mp.sites[tag].source.c_str() : "");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Log::level() = LogLevel::kOff;
   suite::RunnerOptions options;
-  std::string json_path, trace_path, profile_path, hlsprof_path, compare_path, host_json_path,
-      value;
+  std::string json_path, trace_path, profile_path, hlsprof_path, memprof_path, compare_path,
+      host_json_path, value;
   bool list_only = false, quiet = false;
   uint32_t hotspots = 0;
+  uint32_t mem_hotspots = 0;
   uint32_t repeat = 1;
   bool idle_skip = true;  // applied after parsing (--config rebuilds the Config)
   std::string dump_asm_bench;
@@ -244,6 +304,12 @@ int main(int argc, char** argv) {
       options.capture_profile = true;
     } else if (flag_value(arg, "--hlsprof", &value)) {
       hlsprof_path = value;
+    } else if (flag_value(arg, "--memprof", &value)) {
+      memprof_path = value;
+      options.capture_memprof = true;
+    } else if (flag_value(arg, "--mem-hotspots", &value)) {
+      mem_hotspots = static_cast<uint32_t>(std::stoul(value));
+      options.capture_memprof = true;
     } else if (flag_value(arg, "--compare", &value)) {
       compare_path = value;
     } else if (flag_value(arg, "--hotspots", &value)) {
@@ -307,6 +373,14 @@ int main(int argc, char** argv) {
                  "fgpu-run: --hlsprof collects the HLS per-site profile; it conflicts "
                  "with --device=%s\n",
                  options.run_vortex ? "vortex" : "turbo");
+    return 2;
+  }
+  if (options.capture_memprof && !options.run_vortex && !options.run_hls) {
+    // Turbo has no memory hierarchy to observe — binary translation executes
+    // loads host-side with no cache/DRAM model behind them.
+    std::fprintf(stderr,
+                 "fgpu-run: --memprof/--mem-hotspots observe the memory hierarchy; "
+                 "they conflict with --device=turbo\n");
     return 2;
   }
 
@@ -452,6 +526,15 @@ int main(int argc, char** argv) {
     suite::write_hlsprof_json(out, options, *result);
     if (!quiet) std::printf("hlsprof -> %s\n", hlsprof_path.c_str());
   }
+  if (!memprof_path.empty()) {
+    std::ofstream out(memprof_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", memprof_path.c_str());
+      return 2;
+    }
+    suite::write_mem_json(out, options, *result);
+    if (!quiet) std::printf("memprof -> %s\n", memprof_path.c_str());
+  }
   if (!compare_path.empty()) {
     std::ofstream out(compare_path);
     if (!out) {
@@ -480,6 +563,9 @@ int main(int argc, char** argv) {
             stdout);
       }
     }
+  }
+  if (mem_hotspots > 0) {
+    for (const auto& outcome : result->outcomes) print_mem_hotspots(outcome, mem_hotspots);
   }
 
   // Soft-GPU and turbo failures are always unexpected (the paper's Table I:
