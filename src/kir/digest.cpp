@@ -1,0 +1,110 @@
+#include "kir/digest.hpp"
+
+#include "common/bits.hpp"
+
+namespace fgpu::kir {
+namespace {
+
+// FNV-1a over explicit byte feeds. Every field is mixed with a leading kind
+// byte so differently-shaped trees cannot collide by field reordering
+// (e.g. a kStore's index/value vs a kLet's value/step).
+struct Fnv {
+  uint64_t h = 14695981039346656037ull;
+
+  void byte(uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) byte(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<uint8_t>(c));
+  }
+};
+
+void mix_expr(Fnv& fnv, const ExprPtr& e) {
+  if (e == nullptr) {
+    fnv.byte(0xEE);  // null marker distinct from any ExprKind
+    return;
+  }
+  fnv.byte(static_cast<uint8_t>(e->kind));
+  fnv.byte(static_cast<uint8_t>(e->type));
+  fnv.u32(static_cast<uint32_t>(e->ival));
+  fnv.u32(f2u(e->fval));  // bit pattern, so -0.0f and NaN payloads count
+  fnv.str(e->var);
+  fnv.u32(static_cast<uint32_t>(e->index));
+  fnv.byte(e->is_local ? 1 : 0);
+  fnv.byte(e->pipelined ? 1 : 0);
+  fnv.byte(static_cast<uint8_t>(e->bin));
+  fnv.byte(static_cast<uint8_t>(e->un));
+  fnv.byte(static_cast<uint8_t>(e->call));
+  fnv.byte(static_cast<uint8_t>(e->special));
+  fnv.u64(e->args.size());
+  for (const auto& arg : e->args) mix_expr(fnv, arg);
+}
+
+void mix_stmt(Fnv& fnv, const StmtPtr& s) {
+  if (s == nullptr) {
+    fnv.byte(0x55);  // null marker distinct from any StmtKind
+    return;
+  }
+  fnv.byte(static_cast<uint8_t>(s->kind));
+  fnv.str(s->var);
+  mix_expr(fnv, s->a);
+  mix_expr(fnv, s->b);
+  mix_expr(fnv, s->c);
+  fnv.u32(static_cast<uint32_t>(s->buffer));
+  fnv.byte(s->is_local ? 1 : 0);
+  fnv.byte(static_cast<uint8_t>(s->atomic));
+  fnv.str(s->result_var);
+  fnv.u64(s->body.size());
+  for (const auto& child : s->body) mix_stmt(fnv, child);
+  fnv.u64(s->else_body.size());
+  for (const auto& child : s->else_body) mix_stmt(fnv, child);
+  fnv.str(s->text);
+  fnv.u64(s->print_args.size());
+  for (const auto& arg : s->print_args) mix_expr(fnv, arg);
+  // Stmt::divergent is intentionally not mixed: derived analysis state,
+  // recomputed by every consumer on a clone.
+}
+
+void mix_kernel(Fnv& fnv, const Kernel& kernel) {
+  fnv.str(kernel.name);
+  fnv.u64(kernel.params.size());
+  for (const auto& param : kernel.params) {
+    fnv.str(param.name);
+    fnv.byte(param.is_buffer ? 1 : 0);
+    fnv.byte(static_cast<uint8_t>(param.elem));
+  }
+  fnv.u64(kernel.locals.size());
+  for (const auto& local : kernel.locals) {
+    fnv.str(local.name);
+    fnv.byte(static_cast<uint8_t>(local.elem));
+    fnv.u32(local.size);
+  }
+  fnv.u64(kernel.body.size());
+  for (const auto& stmt : kernel.body) mix_stmt(fnv, stmt);
+}
+
+}  // namespace
+
+uint64_t kernel_digest(const Kernel& kernel) {
+  Fnv fnv;
+  mix_kernel(fnv, kernel);
+  return fnv.h;
+}
+
+uint64_t module_digest(const Module& module) {
+  Fnv fnv;
+  fnv.str(module.name);
+  fnv.u64(module.kernels.size());
+  for (const auto& kernel : module.kernels) mix_kernel(fnv, kernel);
+  return fnv.h;
+}
+
+}  // namespace fgpu::kir

@@ -1,0 +1,25 @@
+// Content digest of a KIR kernel: a 64-bit FNV-1a hash over every
+// semantically meaningful field of the statement/expression trees, the
+// parameter list and the __local arrays. Two kernels with equal digests
+// compile to identical binaries (codegen::compile_kernel is a pure function
+// of the kernel and its options), which is what makes the process-wide
+// compiled-kernel cache (runtime/kernel_cache.hpp) content-addressed rather
+// than name-addressed.
+//
+// The digest deliberately EXCLUDES Stmt::divergent: it is derived state
+// filled in by analysis passes, and compile_kernel recomputes it on a clone.
+#pragma once
+
+#include <cstdint>
+
+#include "kir/kir.hpp"
+
+namespace fgpu::kir {
+
+// Digest of a whole kernel (name, params, locals, body).
+uint64_t kernel_digest(const Kernel& kernel);
+
+// Digest of a whole module (name + every kernel, in order).
+uint64_t module_digest(const Module& module);
+
+}  // namespace fgpu::kir

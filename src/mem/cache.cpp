@@ -20,6 +20,21 @@ void Cache::flush() {
   for (auto& line : lines_) line = LineState{};
 }
 
+void Cache::reset() {
+  flush();
+  reset_stats();
+  hit_queue_.clear();
+  writeback_queue_.clear();
+  mshrs_.clear();
+  fill_ids_.clear();
+  now_ = 0;
+  lru_counter_ = 0;
+  accepted_this_cycle_ = 0;
+  mshr_used_ = 0;
+  mshr_unsent_ = 0;
+  next_lower_id_ = 1;
+}
+
 Cache::LineState* Cache::lookup(uint32_t line_addr) {
   const uint32_t set = set_of(line_addr);
   const uint32_t tag = tag_of(line_addr);

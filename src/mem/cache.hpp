@@ -86,6 +86,15 @@ class Cache final : public MemPort {
   // Invalidates all lines (kernel-launch boundary).
   void flush();
 
+  // Full return to construction-time state: flush() + reset_stats() plus
+  // everything the per-launch path leaves behind — pending hit responses,
+  // queued writebacks, MSHR allocations, request-id state and internal
+  // clocks. After reset() the cache is indistinguishable from a freshly
+  // constructed one (the device-reuse contract, DESIGN.md "Device
+  // lifecycle"); memprof enablement is configuration, not state, and
+  // survives. No allocation is released — capacity stays warm for reuse.
+  void reset();
+
  private:
   struct LineState {
     uint32_t tag = 0;

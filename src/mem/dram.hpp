@@ -57,6 +57,16 @@ class DramModel final : public MemPort {
     if (profiler_) profiler_->reset();
   }
 
+  // Full return to construction-time state: reset_stats() plus the
+  // per-channel request queues, acceptance counters and the internal clock
+  // (the device-reuse contract, DESIGN.md "Device lifecycle").
+  void reset() {
+    reset_stats();
+    for (auto& queue : queues_) queue.clear();
+    for (auto& count : accepted_this_cycle_) count = 0;
+    now_ = 0;
+  }
+
   // Names this model's counter track in exported traces ("ddr4.d0"),
   // mirroring Cache::set_trace_id so multi-cluster/multi-device traces
   // keep DRAM tracks distinguishable.

@@ -33,6 +33,15 @@ class Interconnect {
     return endpoints_.back().get();
   }
 
+  // Return to construction-time state (device-reuse contract): drops any
+  // stale response routes and restarts the tag sequence. Only valid when no
+  // traffic is in flight anywhere in the hierarchy — i.e. alongside
+  // Cache::reset()/DramModel::reset() from Cluster::hard_reset().
+  void reset() {
+    routes_.clear();
+    next_id_ = 1;
+  }
+
  private:
   struct Route {
     uint32_t port;

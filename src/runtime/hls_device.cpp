@@ -71,54 +71,53 @@ void HlsDevice::read(const Buffer& buffer, void* out, size_t bytes, size_t offse
 }
 
 Status HlsDevice::build(const kir::Module& module) {
-  // Deep-clone and expand builtins once: the synthesized access sites hold
-  // pointers into these kernels, and the launch-time interpreter must run
-  // the exact same nodes for site attribution (and so that both backends
-  // compute bit-identical results from the same lowered math).
-  module_ = module;
-  for (auto& kernel : module_.kernels) {
-    kernel = kir::clone_kernel(kernel);
-    kir::expand_builtins(kernel);
-  }
-  designs_.clear();
+  // Synthesis goes through the process-wide HlsCache: each entry owns a
+  // builtin-expanded kernel clone and the design synthesized from it (the
+  // access sites hold pointers into that clone, and the launch-time
+  // interpreter runs the exact same nodes for site attribution — and so
+  // that both backends compute bit-identical results from the same lowered
+  // math). Repeated builds (device pool, --repeat) reuse the shared entry.
+  entries_.clear();
   build_info_.clear();
   Status first_error;
   fpga::AreaReport total;
-  for (const auto& kernel : module_.kernels) {
+  for (const auto& kernel : module.kernels) {
     KernelBuildInfo info;
     info.kernel = kernel.name;
-    auto design = hls::synthesize(kernel, board_, options_);
-    if (design.is_ok()) {
+    auto entry = HlsCache::instance().synthesize(kernel, board_, options_);
+    if (entry->status.is_ok()) {
       info.status = Status::ok();
-      info.area = design->area;
-      info.synthesis_hours = design->synthesis_hours;
-      info.synth = design->report;
-      info.log = design->report.render();
-      designs_[kernel.name] = design.take();
+      info.area = entry->design->area;
+      info.synthesis_hours = entry->design->synthesis_hours;
+      info.synth = entry->design->report;
+      info.log = info.synth.render();
+      entries_[kernel.name] = std::move(entry);
     } else {
-      info.status = design.status();
-      info.log = design.status().to_string();
+      info.status = entry->status;
+      info.log = entry->status.to_string();
       // The failed attempt still has a structured report: its area rows are
       // exactly the Table II "does not fit" data points.
-      info.synth = hls::synth_report(kernel, board_);
+      info.synth = entry->failed_synth;
       info.area = info.synth.total;
       info.synthesis_hours = info.synth.synthesis_hours;
-      if (first_error.is_ok()) first_error = design.status();
+      if (first_error.is_ok()) first_error = entry->status;
     }
     total += info.area;
     build_info_.push_back(std::move(info));
   }
   // All kernels of a .cl file share one bitstream: the module must fit as a
-  // whole, even when each kernel fits individually.
+  // whole, even when each kernel fits individually. This check is per-build
+  // (it depends on the kernel SET, not any one kernel), so it stays
+  // device-side rather than in the cache.
   if (first_error.is_ok() && !board_.fits(total)) {
     const std::string resource = board_.bottleneck_resource(total);
     first_error = Status(
         ErrorKind::kResourceExceeded,
-        module_.name + ": fitter failed: Not enough " + resource + " (module needs " +
+        module.name + ": fitter failed: Not enough " + resource + " (module needs " +
             std::to_string(total.brams) + " BRAM blocks, " + board_.name + " has " +
             std::to_string(board_.capacity.brams) + "; utilization " +
             std::to_string(static_cast<int>(board_.utilization(total) * 100.0)) + "%)");
-    designs_.clear();  // nothing is launchable without a bitstream
+    entries_.clear();  // nothing is launchable without a bitstream
     for (auto& info : build_info_) {
       if (info.status.is_ok()) info.status = first_error;
       info.synthesis_hours = hls::failed_attempt_hours(total, board_);
@@ -132,17 +131,29 @@ Status HlsDevice::build(const kir::Module& module) {
   return first_error;
 }
 
+void HlsDevice::reset() {
+  entries_.clear();
+  build_info_.clear();
+  buffers_.clear();
+  console_.clear();
+  next_addr_ = 0x1000;
+  memprof_enabled_ = false;
+  memprof_lines_ = 1024;
+  memprof_ways_ = 2;
+}
+
 Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
                                       const std::vector<Arg>& args,
                                       const kir::NDRange& ndrange) {
-  auto design_it = designs_.find(kernel_name);
-  if (design_it == designs_.end()) {
+  auto entry_it = entries_.find(kernel_name);
+  if (entry_it == entries_.end()) {
     return Result<LaunchStats>(ErrorKind::kNotFound,
                                "kernel '" + kernel_name + "' was not synthesized");
   }
-  const hls::HlsDesign& design = design_it->second;
-  const kir::Kernel* kernel = module_.find(kernel_name);
-  if (kernel == nullptr || args.size() != kernel->params.size()) {
+  const HlsCache::Entry& entry = *entry_it->second;
+  const hls::HlsDesign& design = *entry.design;
+  const kir::Kernel* kernel = &entry.kernel;
+  if (args.size() != kernel->params.size()) {
     return Result<LaunchStats>(ErrorKind::kInvalidArgument,
                                kernel_name + ": wrong argument count");
   }
@@ -193,8 +204,8 @@ Result<LaunchStats> HlsDevice::launch(const std::string& kernel_name,
     };
   }
 
-  // module_ was expanded at build time; the interpreter runs the very nodes
-  // the access sites point at.
+  // The entry's kernel was expanded at synthesis time; the interpreter runs
+  // the very nodes the access sites point at.
   kir::Interpreter interp(interp_options);
   if (auto st = interp.run(*kernel, interp_args, ndrange); !st.is_ok()) {
     return Result<LaunchStats>(st.kind(), st.message());

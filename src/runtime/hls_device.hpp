@@ -4,10 +4,12 @@
 // (depth + items x II, bounded by off-chip bandwidth).
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "hls/compiler.hpp"
 #include "kir/interp.hpp"
+#include "runtime/hls_cache.hpp"
 #include "runtime/runtime.hpp"
 
 namespace fgpu::vcl {
@@ -27,16 +29,22 @@ class HlsDevice final : public Device {
   Status build(const kir::Module& module) override;
   const std::vector<KernelBuildInfo>& build_info() const override { return build_info_; }
 
+  // Device-pool re-arm: drops built kernels, buffers, console and the
+  // address allocator; memprof settings return to construction defaults.
+  // Synthesized designs live in the process-wide HlsCache, not here.
+  void reset() override;
+
   Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
                              const kir::NDRange& ndrange) override;
 
   const std::vector<std::string>& console() const override { return console_; }
   void clear_console() override { console_.clear(); }
 
-  // The synthesized design for a kernel (nullptr if synthesis failed).
+  // The synthesized design for a kernel (nullptr if synthesis failed or the
+  // module as a whole did not fit).
   const hls::HlsDesign* design(const std::string& kernel) const {
-    auto it = designs_.find(kernel);
-    return it == designs_.end() ? nullptr : &it->second;
+    auto it = entries_.find(kernel);
+    return it == entries_.end() ? nullptr : it->second->design.get();
   }
 
   // Memory-hierarchy profiling of the burst-LSU read path: each launch's
@@ -54,8 +62,11 @@ class HlsDevice final : public Device {
  private:
   fpga::Board board_;
   hls::HlsOptions options_;
-  kir::Module module_;
-  std::unordered_map<std::string, hls::HlsDesign> designs_;
+  // Launchable kernels: cache entries own both the expanded kernel the
+  // interpreter runs and the design whose access sites point into it.
+  // Cleared wholesale when the module does not fit as a whole (no
+  // bitstream -> nothing launchable), like clReleaseProgram.
+  std::unordered_map<std::string, std::shared_ptr<const HlsCache::Entry>> entries_;
   std::vector<KernelBuildInfo> build_info_;
   std::unordered_map<uint32_t, std::vector<uint32_t>> buffers_;  // addr -> data
   std::vector<std::string> console_;

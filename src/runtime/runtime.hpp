@@ -143,6 +143,19 @@ class Device {
     return nullptr;
   }
 
+  // Lifecycle ------------------------------------------------------------
+  // Returns the device to construction-time state without reallocating its
+  // big structures (simulator arrays, page tables): drops built kernels,
+  // buffers, console lines and all simulator-internal carry-over, so a
+  // subsequent build/launch sequence produces bit-identical results AND
+  // cycle counts to the same sequence on a freshly constructed device (the
+  // device-pool contract, DESIGN.md "Device lifecycle"; asserted by
+  // tests/test_lifecycle.cpp). Implementations may retain content-addressed
+  // warm state (e.g. turbo block translations) only where it is proven
+  // observationally neutral. Only valid between benchmarks, never
+  // mid-benchmark.
+  virtual void reset() = 0;
+
   // Execution ------------------------------------------------------------
   virtual Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
                                      const kir::NDRange& ndrange) = 0;

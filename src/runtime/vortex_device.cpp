@@ -5,6 +5,7 @@
 
 #include "codegen/abi.hpp"
 #include "common/bits.hpp"
+#include "runtime/kernel_cache.hpp"
 #include "trace/trace.hpp"
 
 namespace fgpu::vcl {
@@ -44,28 +45,43 @@ Status VortexDevice::build(const kir::Module& module) {
   kernels_.clear();
   build_info_.clear();
   Status first_error;
+  // Compiles go through the process-wide cache: same kernel digest + same
+  // codegen options + same target -> the shared CompiledKernel, so repeated
+  // builds (device pool, --repeat) cost a hash lookup.
+  const std::string target = config_.to_string() + "@" + board_.name;
   for (const auto& kernel : module_.kernels) {
     KernelBuildInfo info;
     info.kernel = kernel.name;
-    auto compiled = codegen::compile_kernel(kernel, codegen_options_);
-    if (compiled.is_ok()) {
+    auto entry = KernelCache::instance().compile(kernel, codegen_options_, target);
+    if (entry.status.is_ok()) {
+      const codegen::CompiledKernel& compiled = *entry.compiled;
       info.status = Status::ok();
-      info.binary_words = compiled->program.words.size();
-      info.barrier_dispatch = compiled->barrier_dispatch;
+      info.binary_words = compiled.program.words.size();
+      info.barrier_dispatch = compiled.barrier_dispatch;
       info.log = "compiled to " + std::to_string(info.binary_words) + " instructions (" +
-                 (compiled->barrier_dispatch ? "work-group dispatch" : "grid-stride dispatch") +
-                 ", " + std::to_string(compiled->spill_slots) + " spill slots)";
-      info.binary = compiled->program;
-      info.source_map = compiled->source_map;
-      kernels_[kernel.name] = Built{compiled.take(), &kernel};
+                 (compiled.barrier_dispatch ? "work-group dispatch" : "grid-stride dispatch") +
+                 ", " + std::to_string(compiled.spill_slots) + " spill slots)";
+      info.binary = compiled.program;
+      info.source_map = compiled.source_map;
+      kernels_[kernel.name] = Built{entry.compiled, &kernel};
     } else {
-      info.status = compiled.status();
-      info.log = compiled.status().to_string();
-      if (first_error.is_ok()) first_error = compiled.status();
+      info.status = entry.status;
+      info.log = entry.status.to_string();
+      if (first_error.is_ok()) first_error = entry.status;
     }
     build_info_.push_back(std::move(info));
   }
   return first_error;
+}
+
+void VortexDevice::reset() {
+  module_ = {};
+  kernels_.clear();
+  build_info_.clear();
+  memory_.clear();
+  console_.clear();
+  heap_next_ = arch::kHeapBase;
+  cluster_->hard_reset();
 }
 
 Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
@@ -89,7 +105,7 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
   }
   const uint32_t local_total = ndrange.local_items();
   uint32_t nbw = 0;
-  if (built.compiled.barrier_dispatch) {
+  if (built.compiled->barrier_dispatch) {
     const uint32_t lanes = config_.warps * config_.threads;
     if (local_total > lanes) {
       return Result<LaunchStats>(
@@ -106,8 +122,8 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
   }
 
   // Load the kernel binary.
-  memory_.write(built.compiled.program.base, built.compiled.program.words.data(),
-                built.compiled.program.size_bytes());
+  memory_.write(built.compiled->program.base, built.compiled->program.words.data(),
+                built.compiled->program.size_bytes());
 
   // Write the argument block (see codegen/abi.hpp).
   namespace abi = codegen::abi;
@@ -140,7 +156,7 @@ Result<LaunchStats> VortexDevice::launch(const std::string& kernel_name,
     w32(abi::arg_offset(static_cast<uint32_t>(i)), bits);
   }
 
-  auto stats = cluster_->run(built.compiled.program.entry());
+  auto stats = cluster_->run(built.compiled->program.entry());
   if (!stats.is_ok()) return stats.status();
   if (trace::Sink* sink = trace::kEnabled ? trace::current() : nullptr) {
     // Kernel begin/end on the sink's monotonic timeline: the per-launch

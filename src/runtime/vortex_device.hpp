@@ -2,6 +2,7 @@
 // them on the vortex/ cycle-level cluster (the paper's Vortex + PoCL flow).
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "codegen/codegen.hpp"
@@ -28,6 +29,12 @@ class VortexDevice final : public Device {
   Status build(const kir::Module& module) override;
   const std::vector<KernelBuildInfo>& build_info() const override { return build_info_; }
 
+  // Device-pool re-arm: drops module/kernels/buffers/console and hard-resets
+  // the cluster (cores, L1s, L2, DRAM, NoC) so the next build/launch sequence
+  // is cycle-identical to one on a fresh device. Compiled binaries live in
+  // the process-wide KernelCache, not here, so nothing warm is lost.
+  void reset() override;
+
   Result<LaunchStats> launch(const std::string& kernel, const std::vector<Arg>& args,
                              const kir::NDRange& ndrange) override;
 
@@ -40,7 +47,8 @@ class VortexDevice final : public Device {
 
  private:
   struct Built {
-    codegen::CompiledKernel compiled;
+    // Shared with the process-wide KernelCache (immutable once compiled).
+    std::shared_ptr<const codegen::CompiledKernel> compiled;
     const kir::Kernel* kernel = nullptr;  // points into module copy
   };
 

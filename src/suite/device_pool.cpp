@@ -1,0 +1,31 @@
+#include "suite/device_pool.hpp"
+
+#include <utility>
+
+namespace fgpu::suite {
+
+DeviceSet DevicePool::acquire(const std::string& identity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (identity != identity_) {
+    free_.clear();
+    identity_ = identity;
+  }
+  if (free_.empty()) return {};
+  DeviceSet set = std::move(free_.back());
+  free_.pop_back();
+  reuse_count_ += (set.vortex != nullptr) + (set.turbo != nullptr) + (set.hls != nullptr);
+  return set;
+}
+
+void DevicePool::release(DeviceSet set) {
+  if (set.vortex == nullptr && set.turbo == nullptr && set.hls == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(set));
+}
+
+uint64_t DevicePool::reuse_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuse_count_;
+}
+
+}  // namespace fgpu::suite

@@ -1,0 +1,60 @@
+// Reusable device pool: instead of constructing a VortexDevice (cluster,
+// caches, DRAM model), TurboDevice (translator cores) and HlsDevice per
+// benchmark, workers check a set out of the pool, re-arm it with
+// Device::reset(), and check it back in. Correctness rests on the reset()
+// contract (DESIGN.md "Device lifecycle"): a reset device produces
+// bit-identical outputs AND cycle counts to a freshly constructed one, so
+// pooling is observable only in fgpu.host.v1 (setup_ms, device_reuse_count)
+// — never in the byte-gated suite documents.
+//
+// A pool is keyed by an identity string digesting everything that flows
+// into device construction (config, boards, opt level, profiling flags).
+// Acquiring under a different identity drops the pooled devices: reset()
+// restores construction-time state, it cannot change construction
+// parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/hls_device.hpp"
+#include "runtime/turbo_device.hpp"
+#include "runtime/vortex_device.hpp"
+
+namespace fgpu::suite {
+
+// One worker's devices. Members are null until a tier first runs (the pool
+// never constructs devices — run_one does, with the right options — it only
+// stores and recycles them).
+struct DeviceSet {
+  std::unique_ptr<vcl::VortexDevice> vortex;
+  std::unique_ptr<vcl::TurboDevice> turbo;
+  std::unique_ptr<vcl::HlsDevice> hls;
+};
+
+class DevicePool {
+ public:
+  // Checks a set out. Returns an empty set when the pool is empty or
+  // `identity` differs from the identity the pooled devices were
+  // constructed under (the old sets are discarded). Each non-null device
+  // handed out counts toward reuse_count().
+  DeviceSet acquire(const std::string& identity);
+
+  // Returns a set for later reuse. Devices come back dirty; acquire()'s
+  // caller re-arms them with Device::reset() before use.
+  void release(DeviceSet set);
+
+  // Total devices handed out warm (fgpu.host.v1 "reuse" metric).
+  uint64_t reuse_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string identity_;
+  std::vector<DeviceSet> free_;
+  uint64_t reuse_count_ = 0;
+};
+
+}  // namespace fgpu::suite

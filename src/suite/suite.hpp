@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,33 @@ const std::vector<std::string>& all_benchmark_names();
 
 // Builds a benchmark instance (deterministic: same name -> same workload).
 Benchmark make_benchmark(const std::string& name);
+
+// Process-wide cache of generated benchmarks. Factories are deterministic
+// (fixed internal seeds: same name -> same module, buffers and launch
+// plan), benchmarks are never mutated after construction, and run_benchmark
+// only reads them — so one shared instance serves every repeat and worker.
+// Saves the workload-generation cost (matrix fills, graph construction)
+// that --repeat would otherwise pay per iteration.
+std::shared_ptr<const Benchmark> shared_benchmark(const std::string& name);
+
+struct WorkloadCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;  // one per actual make_benchmark call
+  uint64_t reference_hits = 0;
+  uint64_t reference_misses = 0;  // one per actual reference_run call
+};
+WorkloadCacheStats workload_cache_stats();
+// Tests only: drop every cached benchmark and zero the counters.
+void clear_workload_cache();
+
+// Memoized interpreter oracle over the shared workload cache: the final
+// buffer state of reference_run(*shared_benchmark(name)), computed once per
+// process instead of once per device run (three per benchmark per repeat
+// under --device=all). Pure: same benchmark -> same buffers, and verifiers
+// only read them. Null when the reference run fails (callers fall back to
+// the inline computation, which reports the error per run).
+std::shared_ptr<const std::vector<std::vector<uint32_t>>> shared_reference(
+    const std::string& name);
 
 // Runner ---------------------------------------------------------------------
 
@@ -138,6 +166,12 @@ struct DeviceRun {
   // (fgpu.host.v1 "dispatch" rates): the shared fixed costs around a launch
   // are identical across devices and would otherwise dilute the ratio.
   double launch_host_ms = 0.0;
+  // Host wall-clock spent inside Device::build() — guest-code compilation
+  // (or a KernelCache hit) on the soft-GPU tiers, synthesis (or an HlsCache
+  // hit) on HLS. Reported as "build_ms" in fgpu.host.v1 and EXCLUDED from
+  // the per-benchmark wall_ms there, so run-time comparisons are not
+  // diluted by one-time build cost.
+  double build_host_ms = 0.0;
   vcl::LaunchStats last;  // stats of the final launch
   fpga::AreaReport area;  // HLS: summed module area
   double synthesis_hours = 0.0;
@@ -155,8 +189,12 @@ struct DeviceRun {
   bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
 };
 
-// Builds + runs + verifies `bench` on `device`.
-DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench);
+// Builds + runs + verifies `bench` on `device`. When `expected` is non-null
+// it is used as the oracle's final buffer state (the memoized
+// shared_reference of the pooled suite path) instead of re-running the
+// reference interpreter; ignored for custom-verify benchmarks.
+DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench,
+                        const std::vector<std::vector<uint32_t>>* expected = nullptr);
 
 // Runs the interpreter oracle over the benchmark's launch sequence and
 // returns the final buffer state (also used by run_benchmark for

@@ -44,6 +44,14 @@ Cluster::Cluster(const Config& config, mem::MainMemory& gmem, EcallHandler ecall
   }
 }
 
+void Cluster::hard_reset() {
+  cycle_ = 0;
+  l2_.reset();
+  dram_.reset();
+  noc_.reset();
+  for (auto& core : cores_) core->hard_reset();
+}
+
 void Cluster::reset(uint32_t entry_pc) {
   cycle_ = 0;
   l2_.flush();

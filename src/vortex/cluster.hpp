@@ -39,6 +39,11 @@ class Cluster {
 
   // Single-step interface for tests.
   void reset(uint32_t entry_pc);
+  // Full return to construction-time state without reallocating anything:
+  // deep-resets every cache/DRAM queue, the interconnect's routing state and
+  // every core (device-reuse contract; DESIGN.md "Device lifecycle"). Only
+  // valid between kernels — reset(entry_pc) remains the per-launch boundary.
+  void hard_reset();
   void tick();
   bool busy() const;
   uint64_t cycle() const { return cycle_; }

@@ -146,6 +146,19 @@ void Core::reset(uint32_t entry_pc) {
   warps_[0].tmask = 1;
 }
 
+void Core::hard_reset() {
+  reset(0);
+  // reset() is the launch boundary: it leaves warp 0 armed. A hard reset
+  // models a not-yet-launched core, so deactivate it again.
+  warps_[0].reset();
+  // With every queue empty across the hierarchy there are no stale in-flight
+  // responses to collide with, so the id sequence can restart — giving a
+  // reused device the exact request-id stream of a fresh one.
+  next_mem_id_ = 1;
+  l1d_.reset();
+  l1i_.reset();
+}
+
 bool Core::busy() const {
   for (const auto& warp : warps_) {
     if (warp.active) return true;

@@ -57,6 +57,14 @@ class Core {
   // runtime rewrites the code region before each run).
   void reset(uint32_t entry_pc);
 
+  // Full return to construction-time state (device-reuse contract; DESIGN.md
+  // "Device lifecycle"): everything reset() does, plus the deep L1 state the
+  // per-launch path leaves behind (pending responses, MSHRs, id counters)
+  // and the memory-request id sequence. Safe only when no traffic is in
+  // flight — i.e. between benchmarks, never between the launches of one.
+  // Leaves every warp inactive (busy() == false), like a new core.
+  void hard_reset();
+
   // Ticks the core-internal caches (called by the cluster before logic()).
   void tick_caches(uint64_t cycle);
   // One cycle of pipeline logic: writeback, issue, LSU drain, fetch.

@@ -154,6 +154,18 @@ class TurboCore {
     if (any) ++stats_.invalidations;
   }
 
+  // Silent variant of invalidate() for the device-reuse boundary
+  // (TurboDevice::reset between benchmarks): the drop is lifecycle
+  // bookkeeping, not a kernel reload, so it must not perturb the
+  // invalidations counter — per-benchmark jit-stat deltas stay identical
+  // between a pooled device and a fresh one. Also deselects the kernel so
+  // the next build starts from a construction-state cache map.
+  void clear_blocks() {
+    caches_.clear();
+    active_kernel_.clear();
+    blocks_ = &caches_[active_kernel_];
+  }
+
   // Switches the active block cache to `kernel`'s. Each kernel of a build
   // keeps its own cache, so alternating launches (gaussian's Fan1/Fan2)
   // re-enter warm caches instead of re-translating; only build()'s
@@ -1601,6 +1613,10 @@ TurboEngine::~TurboEngine() = default;
 
 void TurboEngine::invalidate() {
   for (auto& core : cores_) core->invalidate();
+}
+
+void TurboEngine::reset_blocks() {
+  for (auto& core : cores_) core->clear_blocks();
 }
 
 void TurboEngine::select_kernel(const std::string& kernel) {

@@ -76,6 +76,14 @@ class TurboEngine {
   // retained per-kernel blocks are the hit-rate win.
   void invalidate();
 
+  // Device-reuse boundary (TurboDevice::reset): drops every translated
+  // block and deselects the kernel on every core WITHOUT counting an
+  // invalidation — the drop is pool lifecycle bookkeeping, not a kernel
+  // reload, so per-benchmark jit-stat deltas on a reused device stay
+  // byte-identical to a fresh device's. Cumulative counters survive (they
+  // are exported as before/after deltas by the suite runner).
+  void reset_blocks();
+
   // Selects `kernel`'s block cache on every core. Each kernel of a build
   // keeps a private cache (binaries share a load base, so PCs are only
   // meaningful per kernel); switching kernels swaps caches instead of

@@ -44,6 +44,15 @@ compared — a filter typo must not pass silently as "0 of 0 matched" — and
 weekly-equivalent sweep). Schema/coverage/cycle gates are skipped in this
 mode; they belong to the fgpu.stats.v1 path.
 
+Host-schema gate (--host-fields): CURRENT is read as an fgpu.host.v1
+document (BASELINE may be the same file; it is only schema-checked). The
+gate asserts the PR-8 reuse instrumentation is actually present and live:
+the "reuse" object with its compile_ms/synth_ms wall splits, per-benchmark
+setup_ms/build_ms/reused fields on every device entry, and — when the
+document was produced with --repeat > 1 under device reuse — a non-zero
+kernel_cache hit count and device_reuse_count (a repeat run that recompiles
+everything means the cache key or the pool identity broke silently).
+
 Memory-profile documents (fgpu.mem.v1 from fgpu-run --memprof) are GATED
 with --mem-baseline/--mem-current (BENCH_mem.json in CI):
 
@@ -201,6 +210,68 @@ def check_turbo_digests(base, cur, minimum, full):
     if not failures:
         print(f"turbo-digests: {compared} benchmarks, every turbo output_digest "
               f"matches the cycle-exact oracle")
+    return failures
+
+
+def check_host_fields(base, cur):
+    """GATING fgpu.host.v1 reuse-instrumentation check. Returns failures."""
+    failures = []
+    for doc, which in ((base, "baseline"), (cur, "current")):
+        if doc.get("schema") != "fgpu.host.v1":
+            failures.append(f"--host-fields: {which} doc has schema "
+                            f"{doc.get('schema')!r}, expected fgpu.host.v1")
+    if failures:
+        return failures
+
+    reuse = cur.get("reuse")
+    if not isinstance(reuse, dict):
+        failures.append("host-fields: 'reuse' object missing")
+        return failures
+    for field in ("device_reuse_count", "kernel_cache_hits", "kernel_cache_misses",
+                  "hls_cache_hits", "hls_cache_misses", "workload_cache_hits",
+                  "workload_cache_misses", "reference_cache_hits",
+                  "reference_cache_misses", "compile_ms", "synth_ms"):
+        if field not in reuse:
+            failures.append(f"host-fields: reuse.{field} missing")
+    if "reuse_devices" not in cur:
+        failures.append("host-fields: 'reuse_devices' missing")
+    if not isinstance(cur.get("repeats"), int):
+        failures.append("host-fields: 'repeats' missing")
+
+    checked = 0
+    for bench in cur.get("benchmarks", []):
+        for device in ("vortex", "turbo", "hls"):
+            entry = bench.get(device)
+            if entry is None:
+                continue
+            checked += 1
+            for field in ("setup_ms", "build_ms", "reused"):
+                if field not in entry:
+                    failures.append(
+                        f"host-fields: {bench.get('name')}/{device}.{field} missing")
+    if checked == 0:
+        failures.append("host-fields: no per-benchmark device entries to check")
+
+    # Liveness: a multi-repeat pooled run that compiled everything from
+    # scratch again means the cache key or pool identity regressed.
+    if cur.get("reuse_devices") and cur.get("repeats", 0) > 1 and not failures:
+        if reuse.get("kernel_cache_hits", 0) <= 0:
+            failures.append("host-fields: repeat run recorded zero kernel_cache_hits "
+                            "(cache key broken?)")
+        if reuse.get("device_reuse_count", 0) <= 0:
+            failures.append("host-fields: repeat run recorded zero device_reuse_count "
+                            "(pool identity broken?)")
+
+    if not failures:
+        hits = reuse.get("kernel_cache_hits", 0)
+        misses = reuse.get("kernel_cache_misses", 0)
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        print(f"host-fields: reuse instrumentation present on {checked} device entries; "
+              f"kernel cache {hits}/{total} hits ({rate:.0%}), "
+              f"{reuse.get('device_reuse_count', 0)} device reuses, "
+              f"compile {reuse.get('compile_ms', 0.0):.1f} ms / "
+              f"synth {reuse.get('synth_ms', 0.0):.1f} ms")
     return failures
 
 
@@ -370,6 +441,11 @@ def main():
     parser.add_argument("--turbo-full", action="store_true",
                         help="--turbo-digests must cover all 28 Table I "
                              "benchmarks (the full-sweep gate)")
+    parser.add_argument("--host-fields", action="store_true",
+                        help="GATE the fgpu.host.v1 reuse instrumentation "
+                             "(BASELINE/CURRENT are host docs; may be the "
+                             "same file). Repeat runs must show cache hits "
+                             "and device reuse")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -381,6 +457,16 @@ def main():
         failures = check_turbo_digests(base, cur, args.turbo_min, args.turbo_full)
         if failures:
             print(f"check_baseline: {len(failures)} failure(s) in --turbo-digests:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.host_fields:
+        failures = check_host_fields(base, cur)
+        if failures:
+            print(f"check_baseline: {len(failures)} failure(s) in --host-fields:",
                   file=sys.stderr)
             for failure in failures:
                 print(f"  - {failure}", file=sys.stderr)

@@ -27,6 +27,7 @@
 #include "codegen/codegen.hpp"
 #include "common/log.hpp"
 #include "suite/compare.hpp"
+#include "suite/device_pool.hpp"
 #include "suite/runner.hpp"
 #include "vortex/config.hpp"
 #include "vortex/profile.hpp"
@@ -58,7 +59,12 @@ void usage(const char* argv0) {
       "                   (requires both devices, i.e. not --device=vortex/hls)\n"
       "  --hotspots=K     print top-K stalled PCs per kernel (implies profiling)\n"
       "  --seed=N         suite seed mixed into per-benchmark workload seeds\n"
-      "  --repeat=N       run the suite N times; report min/median wall time\n"
+      "  --repeat=N       run the suite N times; report min/median wall time.\n"
+      "                   Repeats 2..N reuse pooled devices and hot caches\n"
+      "                   (host-json minima are taken over these warm runs)\n"
+      "  --fresh          construct devices per benchmark and regenerate\n"
+      "                   workloads per run instead of pooling/caching (the\n"
+      "                   A/B reference; simulated results are identical)\n"
       "  --host-json=PATH write fgpu.host.v1 host-throughput JSON (wall/MIPS)\n"
       "  --host-stats     embed host wall/MIPS in the stats JSON (breaks the\n"
       "                   byte-identical determinism contract; default off)\n"
@@ -278,6 +284,8 @@ int main(int argc, char** argv) {
       host_json_path = value;
     } else if (std::strcmp(arg, "--host-stats") == 0) {
       options.host_in_stats = true;
+    } else if (std::strcmp(arg, "--fresh") == 0) {
+      options.reuse_devices = false;
     } else if (std::strcmp(arg, "--no-idle-skip") == 0) {
       idle_skip = false;
     } else if (std::strcmp(arg, "-O0") == 0) {
@@ -411,6 +419,12 @@ int main(int argc, char** argv) {
                 suite::all_benchmark_names().size());
     return 0;
   }
+
+  // One pool for the whole process: --repeat iterations 2..N re-arm the
+  // previous iteration's devices, which is where the kernel-cache hits and
+  // turbo translation retention land.
+  suite::DevicePool pool;
+  if (options.reuse_devices) options.pool = &pool;
 
   auto result = suite::run_all(options);
   if (!result.is_ok()) {
