@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -912,57 +914,10 @@ class Lowering {
     }
   }
 
-  // Short one-line rendering of a statement for the source map. Nested
-  // bodies are elided (their statements carry their own labels).
-  std::string stmt_label(const Stmt& s) const {
-    const auto buf_name = [&](int buffer, bool is_local) -> std::string {
-      if (is_local) {
-        return buffer >= 0 && buffer < static_cast<int>(kernel_.locals.size())
-                   ? kernel_.locals[static_cast<size_t>(buffer)].name
-                   : "<local>";
-      }
-      return buffer >= 0 && buffer < static_cast<int>(kernel_.params.size())
-                 ? kernel_.params[static_cast<size_t>(buffer)].name
-                 : "<buffer>";
-    };
-    std::string text;
-    switch (s.kind) {
-      case StmtKind::kLet:
-        text = "let " + s.var + " = " + kir::expr_to_string(s.a);
-        break;
-      case StmtKind::kAssign:
-        text = s.var + " = " + kir::expr_to_string(s.a);
-        break;
-      case StmtKind::kStore:
-        text = buf_name(s.buffer, s.is_local) + "[" + kir::expr_to_string(s.a) +
-               "] = " + kir::expr_to_string(s.b);
-        break;
-      case StmtKind::kIf:
-        text = "if (" + kir::expr_to_string(s.a) + ")";
-        break;
-      case StmtKind::kFor:
-        text = "for (" + s.var + " = " + kir::expr_to_string(s.a) + "; " + s.var + " < " +
-               kir::expr_to_string(s.b) + "; " + s.var + " += " + kir::expr_to_string(s.c) + ")";
-        break;
-      case StmtKind::kWhile:
-        text = "while (" + kir::expr_to_string(s.a) + ")";
-        break;
-      case StmtKind::kBarrier:
-        text = "barrier()";
-        break;
-      case StmtKind::kAtomic:
-        text = (s.result_var.empty() ? std::string() : s.result_var + " = ") + "atomic(&" +
-               buf_name(s.buffer, s.is_local) + "[" + kir::expr_to_string(s.a) + "], " +
-               kir::expr_to_string(s.b) + ")";
-        break;
-      case StmtKind::kPrint:
-        text = "printf(\"" + s.text + "\", ...)";
-        break;
-    }
-    constexpr size_t kMaxLabel = 80;
-    if (text.size() > kMaxLabel) text = text.substr(0, kMaxLabel - 3) + "...";
-    return text;
-  }
+  // Short one-line rendering of a statement for the source map. Shared with
+  // the optimization-remark layer (kir::stmt_summary) so a remark's `site`
+  // string-matches the SourceMap entry of the code the statement lowered to.
+  std::string stmt_label(const Stmt& s) const { return kir::stmt_summary(kernel_, s); }
 
   void bind_var(const std::string& name, const Value& value, Scalar type) {
     if (value.owned) {
@@ -1348,6 +1303,7 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
   if (auto st = kir::verify(kernel); !st.is_ok()) return st;
 
   const int opt = std::clamp(options.opt_level, 0, 2);
+  const bool collect = options.collect_remarks;
 
   struct Variant {
     MFunction fn;
@@ -1357,6 +1313,18 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
     // spilled/split defs, reloads at slot-served uses). Per-lane stacks
     // never coalesce, so this dominates the runtime cost of a variant.
     int stack_refs = 0;
+    CodegenReport report;  // populated only when options.collect_remarks
+  };
+
+  // Machine-IR side of the telemetry snapshots (the KIR side is
+  // kir::kernel_size). Label markers are bookkeeping, not instructions.
+  const auto snap_m = [](const MFunction& fn) {
+    IrSnapshot s;
+    int n = 0;
+    for (const auto& m : fn.code) n += m.is_label() ? 0 : 1;
+    s.minstrs = n;
+    s.vregs = fn.next_vreg - kFirstVirtual;
+    return s;
   };
 
   // One full pipeline configuration. `kir_level` picks the KIR passes,
@@ -1364,27 +1332,115 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
   // machine-IR cleanups. Clones so pass rewrites never leak into the input;
   // level 0 is the straight-lowering oracle (builtin expansion only).
   auto build = [&](int kir_level, int lower_level, int peep_level) -> Result<Variant> {
-    kir::Kernel lowered = kir::clone_kernel(kernel);
-    kir::expand_builtins(lowered);
-    if (kir_level >= 1) kir::const_fold(lowered);
-    if (kir_level >= 2) {
-      if (!options.ablate.kir_licm) kir::licm(lowered);
-      if (!options.ablate.kir_strength_reduce) kir::strength_reduce(lowered);
-      kir::const_fold(lowered);  // fold what LICM/strength reduction exposed
-      if (!options.ablate.kir_dce) kir::dead_code_elim(lowered);
-    }
     Variant v;
+    RemarkSink local_sink;
+    RemarkSink* sink = collect ? &local_sink : nullptr;
+    v.report.collected = collect;
+
+    kir::Kernel lowered = kir::clone_kernel(kernel);
+
+    // Stage wrappers: snapshot IR size, count the remarks the body emits,
+    // and time it. With collection off only the body runs — the disabled
+    // pipeline is instruction-for-instruction the pre-observability one.
+    const auto kir_stage = [&](const char* name, auto&& body) {
+      if (!collect) {
+        body();
+        return;
+      }
+      PassTelemetry t;
+      t.pass = name;
+      t.before.kir_nodes = kir::kernel_size(lowered);
+      const size_t r0 = local_sink.remarks.size();
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      t.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      t.after.kir_nodes = kir::kernel_size(lowered);
+      t.remarks = static_cast<int>(local_sink.remarks.size() - r0);
+      v.report.passes.push_back(std::move(t));
+    };
+    const auto m_stage = [&](const char* name, auto&& body) {
+      if (!collect) {
+        body();
+        return;
+      }
+      PassTelemetry t;
+      t.pass = name;
+      t.before = snap_m(v.fn);
+      const size_t r0 = local_sink.remarks.size();
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      t.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      t.after = snap_m(v.fn);
+      t.remarks = static_cast<int>(local_sink.remarks.size() - r0);
+      v.report.passes.push_back(std::move(t));
+    };
+
+    kir_stage("expand-builtins", [&] { kir::expand_builtins(lowered); });
+    if (kir_level >= 1) kir_stage("const-fold", [&] { kir::const_fold(lowered); });
+    if (kir_level >= 2) {
+      if (!options.ablate.kir_licm) kir_stage("licm", [&] { kir::licm(lowered, sink); });
+      if (!options.ablate.kir_strength_reduce) {
+        kir_stage("strength-reduce", [&] { kir::strength_reduce(lowered, sink); });
+      }
+      // fold what LICM/strength reduction exposed
+      kir_stage("const-fold-2", [&] { kir::const_fold(lowered); });
+      if (!options.ablate.kir_dce) {
+        kir_stage("dce", [&] { kir::dead_code_elim(lowered, sink); });
+      }
+    }
     v.barrier_mode = options.force_group_dispatch || lowered.has_barrier();
     kir::analyze_divergence(lowered, /*group_id_uniform=*/v.barrier_mode);
 
     Options effective = options;
     effective.opt_level = lower_level;
     Lowering lowering(lowered, effective, v.barrier_mode);
+    // Lowering bridges the two IR domains: `before` is KIR nodes, `after`
+    // machine instructions — handled by hand because the body can fail.
+    PassTelemetry lower_t;
+    std::chrono::steady_clock::time_point lower_t0;
+    if (collect) {
+      lower_t.pass = "lower";
+      lower_t.before.kir_nodes = kir::kernel_size(lowered);
+      lower_t0 = std::chrono::steady_clock::now();
+    }
     auto fn = lowering.run();
     if (!fn.is_ok()) return fn.status();
     v.fn = fn.take();
-    if (peep_level >= 1 && !options.ablate.peephole) peephole(v.fn, peep_level);
-    v.alloc = allocate_registers(v.fn);
+    if (collect) {
+      lower_t.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - lower_t0)
+              .count();
+      lower_t.after = snap_m(v.fn);
+      v.report.passes.push_back(std::move(lower_t));
+    }
+
+    if (peep_level >= 1 && !options.ablate.peephole) {
+      m_stage("peephole", [&] {
+        const PeepholeStats ps = peephole(v.fn, peep_level, sink);
+        if (sink != nullptr) {
+          // Site-level notes cover the high-signal rewrites (LVN, branch
+          // fusion/collapse); the per-instruction cleanups are reported as
+          // whole-function aggregates to keep the stream readable.
+          if (ps.folded > 0) {
+            sink->add("peephole", "applied", "peep.fold", "<function>",
+                      "constants folded into immediates and I-type forms", ps.folded);
+          }
+          if (ps.propagated > 0) {
+            sink->add("peephole", "applied", "peep.copy-prop", "<function>",
+                      "register copies propagated", ps.propagated);
+          }
+          if (ps.removed > 0) {
+            sink->add("peephole", "applied", "peep.dce", "<function>",
+                      "dead machine instructions deleted", ps.removed);
+          }
+        }
+      });
+    }
+    m_stage("regalloc", [&] { v.alloc = allocate_registers(v.fn, {}, sink); });
 
     for (size_t i = 0; i < v.fn.code.size(); ++i) {
       const MInstr& m = v.fn.code[i];
@@ -1405,9 +1461,18 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
       count(m.rs2, false);
       count(m.rs3, false);
     }
+    if (collect) {
+      // The regalloc stage owns the pressure figures; the stack-traffic
+      // census above is part of its output (the ladder keys on it).
+      PassTelemetry& ra = v.report.passes.back();
+      ra.after.max_pressure = v.alloc.max_pressure;
+      ra.after.stack_refs = v.stack_refs;
+      v.report.remarks = std::move(local_sink.remarks);
+    }
     return v;
   };
 
+  std::vector<Remark> ladder_steps;
   auto chosen = build(opt, opt, opt);
   if (!chosen.is_ok()) return chosen.status();
   if (opt >= 2 && chosen->stack_refs > 0 && !options.ablate.pressure_ladder) {
@@ -1423,9 +1488,27 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
     const int ladder[][3] = {{1, 1, 2}, {1, 1, 1}};
     for (const auto& cfg : ladder) {
       if (chosen->stack_refs == 0) break;
+      const int before_refs = chosen->stack_refs;
       auto lower = build(cfg[0], cfg[1], cfg[2]);
       if (!lower.is_ok()) return lower.status();
-      if (lower->stack_refs < chosen->stack_refs) chosen = std::move(lower);
+      const bool adopted = lower->stack_refs < chosen->stack_refs;
+      const int after_refs = lower->stack_refs;
+      if (adopted) chosen = std::move(lower);
+      if (collect) {
+        char detail[96];
+        std::snprintf(detail, sizeof(detail),
+                      "re-lowered at kir=%d lower=%d peephole=%d: stack_refs %d -> %d%s",
+                      cfg[0], cfg[1], cfg[2], before_refs, after_refs,
+                      adopted ? "" : "; kept previous variant");
+        Remark r;
+        r.pass = "pressure-ladder";
+        r.action = adopted ? "applied" : "missed";
+        r.name = "ladder.relower";
+        r.site = "<pipeline>";
+        r.detail = detail;
+        r.value = before_refs - after_refs;
+        ladder_steps.push_back(std::move(r));
+      }
     }
   }
 
@@ -1434,10 +1517,31 @@ Result<CompiledKernel> compile_kernel(const kir::Kernel& kernel, const Options& 
   result.barrier_dispatch = v.barrier_mode;
   result.spill_slots = v.alloc.num_spill_slots;
   result.opt_level = opt;
+  result.report = std::move(v.report);
+  for (auto& r : ladder_steps) result.report.remarks.push_back(std::move(r));
+  // Final stage bridges back out of the MInstr domain: `after.minstrs` is
+  // the encoded word count (li/la expansions, spill traffic, far branches,
+  // fetch padding), which must equal CompiledKernel::instruction_count.
+  PassTelemetry emit_t;
+  std::chrono::steady_clock::time_point emit_t0;
+  if (collect) {
+    emit_t.pass = "emit";
+    emit_t.before = snap_m(v.fn);
+    emit_t.before.max_pressure = v.alloc.max_pressure;
+    emit_t.before.stack_refs = v.stack_refs;
+    emit_t0 = std::chrono::steady_clock::now();
+  }
   auto program = emit_program(v.fn, v.alloc, result);
   if (!program.is_ok()) return program.status();
   result.program = program.take();
   result.instruction_count = result.program.words.size();
+  if (collect) {
+    emit_t.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - emit_t0)
+            .count();
+    emit_t.after.minstrs = static_cast<int>(result.program.words.size());
+    result.report.passes.push_back(std::move(emit_t));
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 //     host ECALL interface respectively (§IV-A challenge 2).
 #pragma once
 
+#include "codegen/remarks.hpp"
 #include "common/status.hpp"
 #include "kir/kir.hpp"
 #include "vasm/program.hpp"
@@ -61,6 +62,12 @@ struct Options {
     bool pressure_ladder = false;  // the spill-feedback re-lowering
   };
   PassAblation ablate;
+  // Collect structured optimization remarks + per-pass telemetry into
+  // CompiledKernel::report (the fgpu.codegen.v1 layer, remarks.hpp). Off by
+  // default; the pipeline is bit-identical either way — the flag only adds
+  // observation. Part of the KernelCache key, so cached entries replay the
+  // stream they were compiled with.
+  bool collect_remarks = false;
 };
 
 struct CompiledKernel {
@@ -75,6 +82,9 @@ struct CompiledKernel {
   // Static instruction mix (for the Fig. 4/5 flow traces and area hints).
   size_t simt_instructions = 0;  // split/join/pred/tmc/wspawn/bar
   size_t mem_instructions = 0;
+  // Optimization remarks + per-pass telemetry of the winning pipeline
+  // variant (report.collected only when Options::collect_remarks was set).
+  CodegenReport report;
 };
 
 // Compiles one kernel. The input is transformed (builtin expansion,

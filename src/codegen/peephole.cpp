@@ -261,8 +261,8 @@ LvnKey lvn_key(const MInstr& m) {
 
 class Peep {
  public:
-  Peep(MFunction& fn, int opt_level, PeepholeStats& stats)
-      : fn_(fn), opt_(opt_level), stats_(stats) {}
+  Peep(MFunction& fn, int opt_level, PeepholeStats& stats, RemarkSink* sink)
+      : fn_(fn), opt_(opt_level), stats_(stats), sink_(sink) {}
 
   // One full round. Returns true if anything changed.
   bool round() {
@@ -278,6 +278,21 @@ class Peep {
   }
 
  private:
+  // Site-level remark for the high-signal rewrites (LVN hits, branch
+  // fusions, far-branch collapses). Null sink = remarks off; the cheap
+  // per-instruction rewrites (folds, copy propagation, dead deletes) are
+  // reported as pass-level counts by compile_kernel instead.
+  void note(const MInstr& m, const char* name, const char* detail) {
+    if (sink_ == nullptr) return;
+    const std::string& site =
+        m.src >= 0 && m.src < static_cast<int>(fn_.sources.size())
+            ? fn_.sources[static_cast<size_t>(m.src)]
+            : kUnknownSite;
+    sink_->add("peephole", "applied", name, site, detail);
+  }
+
+  static const std::string kUnknownSite;
+
   int resolve(int r) const {
     for (int guard = 0; guard < 64; ++guard) {
       if (!is_virtual(r)) return r;
@@ -412,6 +427,8 @@ class Peep {
       if (auto c = cval(a, t)) {
         // Branch on a constant: always or never taken.
         const bool taken = (m.op == Op::kBeq) == (*c == 0);
+        note(m, "peep.const-branch",
+             taken ? "branch on constant made unconditional" : "never-taken branch removed");
         if (taken) {
           m.op = Op::kJal;
           m.rd = 0;
@@ -436,6 +453,7 @@ class Peep {
       if (d.op == Op::kSltiu && d.imm == 1 && stable(d.rs1)) {
         // t = (s == 0); bne t -> beq s; beq t -> bne s.
         if (!window_safe(dp, pos, {d.rs1})) return;
+        note(m, "peep.fuse-branch", "== 0 test fused into branch");
         m.op = is_ne ? Op::kBeq : Op::kBne;
         m.rs1 = d.rs1;
         ++stats_.fused;
@@ -444,6 +462,7 @@ class Peep {
       if (d.op == Op::kSltu && d.rs1 == 0 && stable(d.rs2)) {
         // t = (s != 0): same branch sense on s directly.
         if (!window_safe(dp, pos, {d.rs2})) return;
+        note(m, "peep.fuse-branch", "!= 0 test fused into branch");
         m.rs1 = d.rs2;
         ++stats_.fused;
         continue;
@@ -453,6 +472,7 @@ class Peep {
         if (sp >= 0 && !deleted_[sp] && produces_bool(fn_.code[sp])) {
           // t = !s for a 0/1 s: invert the branch sense.
           if (!window_safe(dp, pos, {d.rs1})) return;
+          note(m, "peep.fuse-branch", "boolean negation fused into branch");
           m.op = is_ne ? Op::kBeq : Op::kBne;
           m.rs1 = d.rs1;
           ++stats_.fused;
@@ -463,6 +483,7 @@ class Peep {
       if (d.op == Op::kSub && stable(d.rs1) && stable(d.rs2)) {
         // t = a - b; bne t -> bne a, b; beq t -> beq a, b.
         if (!window_safe(dp, pos, {d.rs1, d.rs2})) return;
+        note(m, "peep.fuse-branch", "subtract-compare fused into branch");
         m.rs1 = d.rs1;
         m.rs2 = d.rs2;
         ++stats_.fused;
@@ -471,6 +492,7 @@ class Peep {
       if ((d.op == Op::kSlt || d.op == Op::kSltu) && stable(d.rs1) && stable(d.rs2)) {
         // t = (a < b); bne t -> blt(u) a, b; beq t -> bge(u) a, b.
         if (!window_safe(dp, pos, {d.rs1, d.rs2})) return;
+        note(m, "peep.fuse-branch", "ordered compare fused into branch");
         const bool uns = d.op == Op::kSltu;
         m.op = is_ne ? (uns ? Op::kBltu : Op::kBlt) : (uns ? Op::kBgeu : Op::kBge);
         m.rs1 = d.rs1;
@@ -548,6 +570,7 @@ class Peep {
           auto it = lvn.find(key);
           if (it != lvn.end() &&
               static_cast<int>(i) - it->second.second <= kLvnWindow) {
+            note(m, "peep.lvn", "recomputation replaced by earlier value");
             replace_[m.rd - kFirstVirtual] = it->second.first;
             deleted_[i] = true;
             ++stats_.numbered;
@@ -598,6 +621,7 @@ class Peep {
       if (m.is_li || m.is_la || m.is_label() || m.target < 0) continue;
       if (is_cond_branch(m.op)) {
         if (falls_through_to(static_cast<int>(i), m.target)) {
+          note(m, "peep.branch-fallthrough", "branch to next instruction removed");
           deleted_[i] = true;
           ++stats_.fused;
           continue;
@@ -619,12 +643,14 @@ class Peep {
                              ? target_pos - static_cast<int>(i)
                              : static_cast<int>(i) - target_pos;
         if (dist > kNearLimit) continue;
+        note(m, "peep.far-branch", "inverted-branch-over-jump collapsed to near branch");
         m.op = invert_branch(m.op);
         m.target = jmp.target;
         deleted_[j] = true;
         ++stats_.fused;
       } else if (m.op == Op::kJal && m.rd == 0) {
         if (falls_through_to(static_cast<int>(i), m.target)) {
+          note(m, "peep.jump-fallthrough", "jump to next instruction removed");
           deleted_[i] = true;
           ++stats_.fused;
         }
@@ -678,17 +704,20 @@ class Peep {
   MFunction& fn_;
   int opt_;
   PeepholeStats& stats_;
+  RemarkSink* sink_;
   std::vector<bool> deleted_;
   std::vector<int> replace_;
 };
 
+const std::string Peep::kUnknownSite = "<unknown>";
+
 }  // namespace
 
-PeepholeStats peephole(MFunction& fn, int opt_level) {
+PeepholeStats peephole(MFunction& fn, int opt_level, RemarkSink* sink) {
   PeepholeStats stats;
   if (opt_level <= 0) return stats;
   for (int round = 0; round < 4; ++round) {
-    Peep peep(fn, opt_level, stats);
+    Peep peep(fn, opt_level, stats, sink);
     if (!peep.round()) break;
   }
   return stats;

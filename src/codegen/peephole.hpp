@@ -14,6 +14,7 @@
 #pragma once
 
 #include "codegen/minstr.hpp"
+#include "codegen/remarks.hpp"
 
 namespace fgpu::codegen {
 
@@ -29,7 +30,9 @@ struct PeepholeStats {
 
 // Optimizes `fn` in place. `opt_level` <= 0 is a no-op; 1 enables the basic
 // rules; >= 2 the full set. Deterministic: the same input yields the same
-// output, independent of host state.
-PeepholeStats peephole(MFunction& fn, int opt_level);
+// output, independent of host state. A non-null `sink` receives site-level
+// remarks for the high-signal rewrites (LVN hits, branch fusions,
+// far-branch collapses); null is the exact pre-observability pipeline.
+PeepholeStats peephole(MFunction& fn, int opt_level, RemarkSink* sink = nullptr);
 
 }  // namespace fgpu::codegen

@@ -137,11 +137,42 @@ std::vector<Interval> compute_intervals(const MFunction& fn) {
   return intervals;
 }
 
-Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config) {
+Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config,
+                              RemarkSink* sink) {
   Allocation alloc;
   const auto intervals = compute_intervals(fn);
   const auto accesses = collect_accesses(fn);
   const auto back_edges = collect_back_edges(fn);
+
+  // Peak simultaneous liveness over both register classes (intervals are
+  // sorted by start): the `max_pressure` figure of the pass telemetry.
+  {
+    std::priority_queue<int, std::vector<int>, std::greater<int>> live_ends;
+    for (const auto& interval : intervals) {
+      while (!live_ends.empty() && live_ends.top() < interval.start) live_ends.pop();
+      live_ends.push(interval.end);
+      alloc.max_pressure =
+          std::max(alloc.max_pressure, static_cast<int>(live_ends.size()));
+    }
+  }
+
+  // Spill/split remark with the defining statement's provenance and the
+  // number of accesses the stack will serve (the decision's cost proxy).
+  const auto note = [&](const char* name, const char* detail, int vreg, int from_pos) {
+    if (sink == nullptr) return;
+    const auto& a = accesses.at(vreg);
+    const int64_t served = a.positions.end() - std::lower_bound(a.positions.begin(),
+                                                                a.positions.end(), from_pos);
+    std::string site = "<unknown>";
+    const int def = a.def_pos();
+    if (def >= 0 && static_cast<size_t>(def) < fn.code.size()) {
+      const int src = fn.code[static_cast<size_t>(def)].src;
+      if (src >= 0 && static_cast<size_t>(src) < fn.sources.size()) {
+        site = fn.sources[static_cast<size_t>(src)];
+      }
+    }
+    sink->add("regalloc", "applied", name, site, detail, served);
+  };
 
   // Splitting victim W at position P is safe only when W's register cannot
   // be observed stale: W is single-def (the def also refreshes the slot),
@@ -232,14 +263,19 @@ Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config)
         const int w = victim->interval.vreg;
         alloc.assignment.erase(w);
         if (split_safe(w, start)) {
+          note("ra.split", "evicted live range split: register until eviction, stack after",
+               w, start);
           alloc.split[w] = SplitAssign{encode(victim->phys), start, -1};
           requests.push_back({w, accesses.at(w).def_pos(), victim->interval.end, true});
         } else {
+          note("ra.spill", "evicted live range spilled whole", w, victim->interval.start);
           requests.push_back({w, victim->interval.start, victim->interval.end, false});
         }
         alloc.assignment[interval.vreg] = encode(victim->phys);
         victim->interval = interval;
       } else {
+        note("ra.spill", "no profitable eviction: interval spilled at definition",
+             interval.vreg, start);
         requests.push_back({interval.vreg, start, interval.end, false});
       }
     }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "codegen/minstr.hpp"
+#include "codegen/remarks.hpp"
 
 namespace fgpu::codegen {
 
@@ -38,6 +39,9 @@ struct Allocation {
   // vreg -> split live range. Disjoint from both maps above.
   std::unordered_map<int, SplitAssign> split;
   int num_spill_slots = 0;
+  // Peak number of simultaneously live intervals (both register classes) —
+  // the pressure figure of the per-pass telemetry (remarks.hpp IrSnapshot).
+  int max_pressure = 0;
 
   bool is_spilled(int vreg) const { return spill_slot.contains(vreg); }
   bool is_split(int vreg) const { return split.contains(vreg); }
@@ -55,8 +59,11 @@ struct RegAllocConfig {
 
 // Computes an allocation for `fn`. Float-ness of each vreg is inferred from
 // the operand slots it appears in (a vreg must be used consistently).
-// Deterministic: identical input produces an identical allocation.
-Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config = {});
+// Deterministic: identical input produces an identical allocation. A
+// non-null `sink` receives a remark per spill/split decision with the
+// defining statement's KIR provenance; null changes nothing.
+Allocation allocate_registers(const MFunction& fn, const RegAllocConfig& config = {},
+                              RemarkSink* sink = nullptr);
 
 // Live interval of each vreg (exposed for tests).
 struct Interval {

@@ -1,0 +1,92 @@
+// Structured compiler observability: optimization remarks and per-pass
+// telemetry (the fgpu.codegen.v1 data model — see OBSERVABILITY.md).
+//
+// A RemarkSink is threaded through the whole compile pipeline when
+// Options::collect_remarks is set. Every pass that transforms the IR
+// reports what it did (action "applied"), what it recognized but could not
+// do ("missed"), and what it dropped on purpose ("blocked"), each with a
+// machine-readable rule name and the KIR provenance of the site — the same
+// strings the PC source map carries, so remarks join against measured
+// per-PC cycles.
+//
+// Off by default and zero-cost when off: every instrumentation site is
+// guarded by a null check on the sink pointer, so the disabled pipeline
+// builds the same strings (none) and takes the same branches it did before
+// this layer existed. Byte-gated documents and cycle counts are identical
+// with the layer compiled in but disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fgpu::codegen {
+
+// One structured remark. Ordering is the pipeline's deterministic emission
+// order (passes run single-threaded per kernel), so a remark stream is
+// byte-stable across --jobs and replays byte-identically from the
+// KernelCache.
+struct Remark {
+  std::string pass;    // producing pass ("licm", "peephole", "regalloc", ...)
+  std::string action;  // "applied" | "missed" | "blocked"
+  // Machine-readable rule id, dot-scoped by pass ("licm.hoist",
+  // "sr.div-not-nonneg", "ra.spill", "ladder.relower").
+  std::string name;
+  // KIR provenance: the source-map rendering of the statement the remark
+  // attaches to (exactly the strings vasm::SourceMap carries, which is what
+  // makes the cycle join work), or a "<...>" scaffolding label for
+  // pipeline-level remarks.
+  std::string site;
+  std::string detail;  // human-readable specifics ("hoisted size-5 expr")
+  int64_t value = 0;   // rule-specific magnitude (expr size, spill cost, ...)
+};
+
+// IR-size/pressure snapshot at a pipeline stage boundary. -1 = the metric
+// does not exist at that stage (KIR stages have no MInstrs and vice versa);
+// the exporter skips negative fields.
+struct IrSnapshot {
+  int kir_nodes = -1;     // statements + expression nodes
+  int minstrs = -1;       // machine instructions (post-lowering stages)
+  int vregs = -1;         // virtual registers in the MFunction
+  int max_pressure = -1;  // peak simultaneously-live intervals (regalloc)
+  int stack_refs = -1;    // spill-slot touches in the emitted code
+};
+
+// One pipeline stage: IR size before/after and how many remarks the stage
+// emitted. Deltas telescope: stage i's `before` equals stage i-1's `after`
+// within the same metric domain (tests/test_remarks.cpp asserts this).
+struct PassTelemetry {
+  std::string pass;
+  IrSnapshot before;
+  IrSnapshot after;
+  int remarks = 0;
+  // Host wall time inside the pass. In-memory only — NEVER serialized into
+  // fgpu.codegen.v1 (the document is byte-gated across machines, and a
+  // KernelCache replay would carry the original compile's times).
+  double wall_ms = 0.0;
+};
+
+// The full observability record of one compile_kernel call. Stored inside
+// CompiledKernel, so it rides the process-wide KernelCache and warm pooled
+// runs replay the identical stream.
+struct CodegenReport {
+  bool collected = false;  // Options::collect_remarks was set
+  std::vector<PassTelemetry> passes;
+  std::vector<Remark> remarks;
+};
+
+// Collector handed (as a nullable pointer) to every pass. Null = remarks
+// off; instrumentation sites must check before building any strings.
+class RemarkSink {
+ public:
+  void add(std::string pass, std::string action, std::string name, std::string site,
+           std::string detail, int64_t value = 0) {
+    remarks.push_back(Remark{std::move(pass), std::move(action), std::move(name),
+                             std::move(site), std::move(detail), value});
+  }
+
+  std::vector<Remark> remarks;
+};
+
+}  // namespace fgpu::codegen

@@ -14,10 +14,86 @@
 #include <unordered_set>
 #include <vector>
 
+#include "codegen/remarks.hpp"
 #include "kir/build.hpp"
 #include "kir/passes.hpp"
 
 namespace fgpu::kir {
+
+// ---------------------------------------------------------------------------
+// provenance + size helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int stmt_size(const StmtPtr& s) {
+  int n = 1;
+  for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+    if (*e) n += expr_size(*e);
+  }
+  for (const auto& arg : s->print_args) n += expr_size(arg);
+  for (const auto& child : s->body) n += stmt_size(child);
+  for (const auto& child : s->else_body) n += stmt_size(child);
+  return n;
+}
+
+}  // namespace
+
+std::string stmt_summary(const Kernel& kernel, const Stmt& s) {
+  const auto buf_name = [&](int buffer, bool is_local) -> std::string {
+    if (is_local) {
+      return buffer >= 0 && buffer < static_cast<int>(kernel.locals.size())
+                 ? kernel.locals[static_cast<size_t>(buffer)].name
+                 : "<local>";
+    }
+    return buffer >= 0 && buffer < static_cast<int>(kernel.params.size())
+               ? kernel.params[static_cast<size_t>(buffer)].name
+               : "<buffer>";
+  };
+  std::string text;
+  switch (s.kind) {
+    case StmtKind::kLet:
+      text = "let " + s.var + " = " + expr_to_string(s.a);
+      break;
+    case StmtKind::kAssign:
+      text = s.var + " = " + expr_to_string(s.a);
+      break;
+    case StmtKind::kStore:
+      text = buf_name(s.buffer, s.is_local) + "[" + expr_to_string(s.a) +
+             "] = " + expr_to_string(s.b);
+      break;
+    case StmtKind::kIf:
+      text = "if (" + expr_to_string(s.a) + ")";
+      break;
+    case StmtKind::kFor:
+      text = "for (" + s.var + " = " + expr_to_string(s.a) + "; " + s.var + " < " +
+             expr_to_string(s.b) + "; " + s.var + " += " + expr_to_string(s.c) + ")";
+      break;
+    case StmtKind::kWhile:
+      text = "while (" + expr_to_string(s.a) + ")";
+      break;
+    case StmtKind::kBarrier:
+      text = "barrier()";
+      break;
+    case StmtKind::kAtomic:
+      text = (s.result_var.empty() ? std::string() : s.result_var + " = ") + "atomic(&" +
+             buf_name(s.buffer, s.is_local) + "[" + expr_to_string(s.a) + "], " +
+             expr_to_string(s.b) + ")";
+      break;
+    case StmtKind::kPrint:
+      text = "printf(\"" + s.text + "\", ...)";
+      break;
+  }
+  constexpr size_t kMaxLabel = 80;
+  if (text.size() > kMaxLabel) text = text.substr(0, kMaxLabel - 3) + "...";
+  return text;
+}
+
+int kernel_size(const Kernel& kernel) {
+  int n = 0;
+  for (const auto& s : kernel.body) n += stmt_size(s);
+  return n;
+}
 
 // ---------------------------------------------------------------------------
 // dead_code_elim
@@ -44,11 +120,12 @@ void collect_block_reads(const std::vector<StmtPtr>& block,
 
 // One sweep with a fixed read set. Reads inside statements removed this
 // sweep still count as live; the fixpoint driver below catches the chain.
-int dce_block(std::vector<StmtPtr>& block, const std::unordered_set<std::string>& reads) {
+int dce_block(const Kernel& kernel, std::vector<StmtPtr>& block,
+              const std::unordered_set<std::string>& reads, codegen::RemarkSink* sink) {
   int removed = 0;
   for (auto& s : block) {
-    removed += dce_block(s->body, reads);
-    removed += dce_block(s->else_body, reads);
+    removed += dce_block(kernel, s->body, reads, sink);
+    removed += dce_block(kernel, s->else_body, reads, sink);
   }
   const auto dead = [&](const StmtPtr& s) -> bool {
     switch (s->kind) {
@@ -69,6 +146,13 @@ int dce_block(std::vector<StmtPtr>& block, const std::unordered_set<std::string>
         return false;
     }
   };
+  if (sink != nullptr) {
+    for (const auto& s : block) {
+      if (!dead(s)) continue;
+      sink->add("dce", "applied", "dce.remove", stmt_summary(kernel, *s),
+                "statement has no observable effect", stmt_size(s));
+    }
+  }
   const auto before = block.size();
   std::erase_if(block, dead);
   removed += static_cast<int>(before - block.size());
@@ -77,12 +161,12 @@ int dce_block(std::vector<StmtPtr>& block, const std::unordered_set<std::string>
 
 }  // namespace
 
-int dead_code_elim(Kernel& kernel) {
+int dead_code_elim(Kernel& kernel, codegen::RemarkSink* sink) {
   int total = 0;
   for (int round = 0; round < 8; ++round) {
     std::unordered_set<std::string> reads;
     collect_block_reads(kernel.body, reads);
-    const int removed = dce_block(kernel.body, reads);
+    const int removed = dce_block(kernel, kernel.body, reads, sink);
     total += removed;
     if (removed == 0) break;
   }
@@ -152,9 +236,21 @@ bool nonneg(const ExprPtr& e) {
   }
 }
 
-ExprPtr reduce_expr(const ExprPtr& e, int& count) {
+// Remark plumbing for the rewriter: sink may be null (no remarks); `site`
+// is the enclosing statement's summary, computed once per statement.
+struct SrCtx {
+  int count = 0;
+  codegen::RemarkSink* sink = nullptr;
+  const std::string* site = nullptr;
+
+  void note(const char* action, const char* name, const char* detail, int64_t value) {
+    if (sink != nullptr) sink->add("strength-reduce", action, name, *site, detail, value);
+  }
+};
+
+ExprPtr reduce_expr(const ExprPtr& e, SrCtx& ctx) {
   auto node = std::make_shared<Expr>(*e);
-  for (auto& arg : node->args) arg = reduce_expr(arg, count);
+  for (auto& arg : node->args) arg = reduce_expr(arg, ctx);
   if (node->kind != ExprKind::kBinary || node->type != Scalar::kI32) return node;
   const auto cint = [](const ExprPtr& x) -> std::optional<int32_t> {
     if (x->kind == ExprKind::kConstInt) return x->ival;
@@ -164,34 +260,49 @@ ExprPtr reduce_expr(const ExprPtr& e, int& count) {
     case BinOp::kMul:
       // Two's-complement multiply by 2^k is exactly a left shift (mod 2^32).
       if (const auto c = cint(node->b()); c && is_pow2(*c) && *c > 1) {
-        ++count;
+        ++ctx.count;
+        ctx.note("applied", "sr.mul-to-shl", "multiply by power of two rewritten to shift", *c);
         return make_bin(BinOp::kShl, node->a(), make_ci32(log2_exact(*c)));
       }
       if (const auto c = cint(node->a()); c && is_pow2(*c) && *c > 1) {
-        ++count;
+        ++ctx.count;
+        ctx.note("applied", "sr.mul-to-shl", "multiply by power of two rewritten to shift", *c);
         return make_bin(BinOp::kShl, node->b(), make_ci32(log2_exact(*c)));
       }
       break;
     case BinOp::kDiv:
       if (const auto c = cint(node->b())) {
         if (*c == 1) {
-          ++count;
+          ++ctx.count;
+          ctx.note("applied", "sr.div-by-one", "division by one removed", 1);
           return node->a();
         }
         // Truncating signed division only equals the arithmetic shift for
         // non-negative dividends.
         if (is_pow2(*c) && nonneg(node->a())) {
-          ++count;
+          ++ctx.count;
+          ctx.note("applied", "sr.div-to-shr", "division by power of two rewritten to shift",
+                   *c);
           return make_bin(BinOp::kShr, node->a(), make_ci32(log2_exact(*c)));
+        }
+        if (is_pow2(*c)) {
+          ctx.note("missed", "sr.div-not-nonneg",
+                   "dividend not provably non-negative; signed division kept", *c);
         }
       }
       break;
     case BinOp::kRem:
       if (const auto c = cint(node->b())) {
         if (is_pow2(*c) && nonneg(node->a())) {
-          ++count;
+          ++ctx.count;
+          ctx.note("applied", "sr.rem-to-and", "remainder by power of two rewritten to mask",
+                   *c);
           if (*c == 1) return make_ci32(0);
           return make_bin(BinOp::kAnd, node->a(), make_ci32(*c - 1));
+        }
+        if (is_pow2(*c)) {
+          ctx.note("missed", "sr.rem-not-nonneg",
+                   "dividend not provably non-negative; signed remainder kept", *c);
         }
       }
       break;
@@ -201,23 +312,27 @@ ExprPtr reduce_expr(const ExprPtr& e, int& count) {
   return node;
 }
 
-void reduce_block(std::vector<StmtPtr>& block, int& count) {
+void reduce_block(const Kernel& kernel, std::vector<StmtPtr>& block, SrCtx& ctx) {
+  std::string site;
   for (auto& s : block) {
-    if (s->a) s->a = reduce_expr(s->a, count);
-    if (s->b) s->b = reduce_expr(s->b, count);
-    if (s->c) s->c = reduce_expr(s->c, count);
-    for (auto& arg : s->print_args) arg = reduce_expr(arg, count);
-    reduce_block(s->body, count);
-    reduce_block(s->else_body, count);
+    if (ctx.sink != nullptr) site = stmt_summary(kernel, *s);
+    ctx.site = &site;
+    if (s->a) s->a = reduce_expr(s->a, ctx);
+    if (s->b) s->b = reduce_expr(s->b, ctx);
+    if (s->c) s->c = reduce_expr(s->c, ctx);
+    for (auto& arg : s->print_args) arg = reduce_expr(arg, ctx);
+    reduce_block(kernel, s->body, ctx);
+    reduce_block(kernel, s->else_body, ctx);
   }
 }
 
 }  // namespace
 
-int strength_reduce(Kernel& kernel) {
-  int count = 0;
-  reduce_block(kernel.body, count);
-  return count;
+int strength_reduce(Kernel& kernel, codegen::RemarkSink* sink) {
+  SrCtx ctx;
+  ctx.sink = sink;
+  reduce_block(kernel, kernel.body, ctx);
+  return ctx.count;
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +430,8 @@ struct LicmContext {
   std::unordered_set<std::string> names;  // every name defined in the kernel
   int counter = 0;
   int hoisted = 0;
+  const Kernel* kernel = nullptr;
+  codegen::RemarkSink* sink = nullptr;
 
   std::string fresh_name() {
     std::string name;
@@ -330,6 +447,48 @@ struct LicmContext {
 // a long live range. Four covers the benchmarks' address products without
 // meaningfully raising register pressure.
 constexpr size_t kMaxHoistsPerLoop = 4;
+
+// Remarks only: pure hoistable-shaped expressions that stay in the loop
+// because they read loop-carried variables — the "why was this not hoisted"
+// answer, named with the blocking dependence. Top-down like the candidate
+// collector; a flagged node's subtrees are not re-flagged. Size >= 3 keeps
+// trivia like `i + 1` out of the stream.
+void note_loop_dependent(const ExprPtr& e, const std::unordered_set<std::string>& loop_defs,
+                         LicmContext& ctx, const std::string& site) {
+  if (hoistable_kind(e) && expr_is_pure(e) && expr_uses_vars(e, loop_defs) &&
+      expr_size(e) >= 3) {
+    std::string deps;
+    std::unordered_set<std::string> reads;
+    collect_var_reads(e, reads);
+    std::vector<std::string> blocking;
+    for (const auto& var : reads) {
+      if (loop_defs.contains(var)) blocking.push_back(var);
+    }
+    std::sort(blocking.begin(), blocking.end());
+    for (const auto& var : blocking) {
+      if (!deps.empty()) deps += ", ";
+      deps += var;
+    }
+    ctx.sink->add("licm", "missed", "licm.loop-dependent", site,
+                  "depends on loop-carried " + deps, expr_size(e));
+    return;
+  }
+  for (const auto& arg : e->args) note_loop_dependent(arg, loop_defs, ctx, site);
+}
+
+void note_loop_dependent_block(const std::vector<StmtPtr>& block,
+                               const std::unordered_set<std::string>& loop_defs,
+                               LicmContext& ctx) {
+  for (const auto& s : block) {
+    const std::string site = stmt_summary(*ctx.kernel, *s);
+    for (const ExprPtr* e : {&s->a, &s->b, &s->c}) {
+      if (*e) note_loop_dependent(*e, loop_defs, ctx, site);
+    }
+    for (const auto& arg : s->print_args) note_loop_dependent(arg, loop_defs, ctx, site);
+    note_loop_dependent_block(s->body, loop_defs, ctx);
+    note_loop_dependent_block(s->else_body, loop_defs, ctx);
+  }
+}
 
 void licm_block(std::vector<StmtPtr>& block, LicmContext& ctx) {
   for (size_t i = 0; i < block.size(); ++i) {
@@ -361,6 +520,17 @@ void licm_block(std::vector<StmtPtr>& block, LicmContext& ctx) {
                      [](const ExprPtr& a, const ExprPtr& b) {
                        return expr_size(a) > expr_size(b);
                      });
+    std::string loop_site;
+    if (ctx.sink != nullptr) {
+      loop_site = stmt_summary(*ctx.kernel, *s);
+      for (size_t c = kMaxHoistsPerLoop; c < candidates.size(); ++c) {
+        ctx.sink->add("licm", "blocked", "licm.hoist-budget", loop_site,
+                      "per-loop hoist budget (" + std::to_string(kMaxHoistsPerLoop) +
+                          ") exhausted: " + expr_to_string(candidates[c]),
+                      expr_size(candidates[c]));
+      }
+      note_loop_dependent_block(s->body, loop_defs, ctx);
+    }
     if (candidates.size() > kMaxHoistsPerLoop) candidates.resize(kMaxHoistsPerLoop);
 
     for (const auto& expr : candidates) {
@@ -379,14 +549,20 @@ void licm_block(std::vector<StmtPtr>& block, LicmContext& ctx) {
       block.insert(block.begin() + static_cast<std::ptrdiff_t>(i), let);
       ++i;  // keep pointing at the loop statement
       ++ctx.hoisted;
+      if (ctx.sink != nullptr) {
+        ctx.sink->add("licm", "applied", "licm.hoist", loop_site,
+                      "hoisted " + expr_to_string(expr) + " to " + name, expr_size(expr));
+      }
     }
   }
 }
 
 }  // namespace
 
-int licm(Kernel& kernel) {
+int licm(Kernel& kernel, codegen::RemarkSink* sink) {
   LicmContext ctx;
+  ctx.kernel = &kernel;
+  ctx.sink = sink;
   collect_all_names(kernel.body, ctx.names);
   licm_block(kernel.body, ctx);
   return ctx.hoisted;

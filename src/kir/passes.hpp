@@ -20,6 +20,10 @@
 #include "common/status.hpp"
 #include "kir/kir.hpp"
 
+namespace fgpu::codegen {
+class RemarkSink;  // codegen/remarks.hpp; passes only pass the pointer on
+}
+
 namespace fgpu::kir {
 
 // Deep-clones a kernel's statement tree (statements are shared_ptrs, so a
@@ -73,7 +77,12 @@ void analyze_divergence(Kernel& kernel, bool group_id_uniform);
 // with pure conditions, and empty for-loops with pure bounds and a
 // provably-terminating (positive constant) step. Iterates to fixpoint.
 // Returns the number of statements removed.
-int dead_code_elim(Kernel& kernel);
+//
+// All three -O2 passes take an optional codegen::RemarkSink and report
+// applied/missed/blocked rewrites with statement provenance. Null sink
+// (the default) is the exact pre-observability pipeline — no strings are
+// built, no branches change.
+int dead_code_elim(Kernel& kernel, codegen::RemarkSink* sink = nullptr);
 
 // Loop-invariant code motion over KIR for/while loops: hoists maximal pure
 // invariant subexpressions (e.g. the `row * size` address products inside
@@ -81,13 +90,28 @@ int dead_code_elim(Kernel& kernel);
 // rewrites the loop to reference them. Pure expressions cannot trap (the
 // ISA's div/rem never trap), so evaluating them on the zero-trip path is
 // safe. Returns the number of hoisted expressions.
-int licm(Kernel& kernel);
+int licm(Kernel& kernel, codegen::RemarkSink* sink = nullptr);
 
 // Strength reduction of integer arithmetic: x*2^k -> x<<k (exact mod 2^32);
 // x/2^k -> x>>k and x%2^k -> x & (2^k-1) only where x is provably
 // non-negative (signed division truncates toward zero, so the shift/mask
 // forms are only equivalent for non-negative dividends). Returns the number
 // of rewritten operations.
-int strength_reduce(Kernel& kernel);
+int strength_reduce(Kernel& kernel, codegen::RemarkSink* sink = nullptr);
+
+// ---------------------------------------------------------------------------
+// Provenance + size helpers shared by codegen's source map and the remark
+// layer (codegen/remarks.hpp).
+// ---------------------------------------------------------------------------
+
+// Short one-line rendering of a statement (nested bodies elided), truncated
+// to 80 chars. This is THE provenance string: codegen stamps it into the
+// PC source map and every remark carries it, which is what lets
+// fgpu.codegen.v1 join remarks against measured per-PC cycles.
+std::string stmt_summary(const Kernel& kernel, const Stmt& stmt);
+
+// KIR size metric for pass telemetry: statements + expression nodes over
+// the whole kernel body.
+int kernel_size(const Kernel& kernel);
 
 }  // namespace fgpu::kir

@@ -35,6 +35,10 @@ uint64_t options_digest(const codegen::Options& options) {
   h = fnv_mix(h, (options.ablate.kir_licm ? 1u : 0u) | (options.ablate.kir_strength_reduce ? 2u : 0u) |
                      (options.ablate.kir_dce ? 4u : 0u) | (options.ablate.peephole ? 8u : 0u) |
                      (options.ablate.pressure_ladder ? 16u : 0u));
+  // collect_remarks changes only CompiledKernel::report, never the binary,
+  // but a report-less cached entry must not satisfy a remark-collecting
+  // compile (and vice versa), so it is part of the key.
+  h = fnv_mix(h, options.collect_remarks ? 1 : 0);
   return h;
 }
 

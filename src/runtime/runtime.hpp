@@ -33,6 +33,10 @@
 #include "vortex/perf.hpp"
 #include "vortex/profile.hpp"
 
+namespace fgpu::codegen {
+struct CompiledKernel;
+}
+
 namespace fgpu::vcl {
 
 // Device buffer handle (device address + size; data lives device-side).
@@ -115,6 +119,11 @@ struct KernelBuildInfo {
   // profiles can be rendered as annotated disassembly after the run.
   vasm::Program binary;
   vasm::SourceMap source_map;
+  // Soft GPU: the full cached compile (null on HLS). Exposes the
+  // optimization-remark report (compiled->report) when the build ran with
+  // collect_remarks; shared with the KernelCache entry, so replays carry
+  // the byte-identical remark stream of the original compile.
+  std::shared_ptr<const codegen::CompiledKernel> compiled;
 };
 
 class Device {

@@ -87,6 +87,7 @@ Status TurboDevice::build(const kir::Module& module) {
                  ", " + std::to_string(compiled.spill_slots) + " spill slots)";
       info.binary = compiled.program;
       info.source_map = compiled.source_map;
+      info.compiled = entry.compiled;
       kernels_[kernel.name] = Built{entry.compiled, &kernel};
     } else {
       info.status = entry.status;

@@ -1,0 +1,65 @@
+#include "suite/flagcheck.hpp"
+
+namespace fgpu::suite {
+namespace {
+
+// --device spelling that selects the given tiers (for the error message).
+const char* device_spelling(const DeviceSelection& d) {
+  if (d.vortex && d.hls) return d.turbo ? "all" : "both";
+  if (d.vortex) return "vortex";
+  if (d.hls) return "hls";
+  return "turbo";
+}
+
+const char* required_spelling(const FlagRule& rule) {
+  if (rule.needs_vortex && rule.needs_hls) {
+    return rule.needs_all ? "both or --device=all" : "vortex, hls, both, or all";
+  }
+  return rule.needs_vortex ? "vortex, both, or all" : "hls, both, or all";
+}
+
+bool satisfied(const FlagRule& rule, const DeviceSelection& d) {
+  if (rule.needs_all) {
+    return (!rule.needs_vortex || d.vortex) && (!rule.needs_hls || d.hls);
+  }
+  return (rule.needs_vortex && d.vortex) || (rule.needs_hls && d.hls);
+}
+
+}  // namespace
+
+const std::vector<FlagRule>& flag_rules() {
+  // Each export needs the device(s) that produce its data. Turbo is
+  // functional-only: it never produces cycles, profiles, a memory
+  // hierarchy, or a codegen report of its own (DESIGN.md "Execution
+  // tiers"), so nothing here is satisfiable by turbo alone.
+  static const std::vector<FlagRule> rules = {
+      {&FlagRequests::compare, "--compare", "joins the vortex and hls flows",
+       /*needs_vortex=*/true, /*needs_hls=*/true, /*needs_all=*/true},
+      {&FlagRequests::profile, "--profile/--hotspots",
+       "collect the cycle-exact per-PC profile", /*needs_vortex=*/true,
+       /*needs_hls=*/false, /*needs_all=*/false},
+      {&FlagRequests::hlsprof, "--hlsprof", "collects the HLS per-site profile",
+       /*needs_vortex=*/false, /*needs_hls=*/true, /*needs_all=*/false},
+      {&FlagRequests::memprof, "--memprof/--mem-hotspots",
+       "observe the memory hierarchy", /*needs_vortex=*/true, /*needs_hls=*/true,
+       /*needs_all=*/false},
+      {&FlagRequests::remarks, "--remarks/--remark-hotspots",
+       "export the soft-GPU compiler's optimization remarks",
+       /*needs_vortex=*/true, /*needs_hls=*/false, /*needs_all=*/false},
+  };
+  return rules;
+}
+
+std::string check_flag_contradictions(const FlagRequests& requests,
+                                      const DeviceSelection& devices) {
+  for (const auto& rule : flag_rules()) {
+    if (!(requests.*rule.member)) continue;
+    if (satisfied(rule, devices)) continue;
+    return std::string("fgpu-run: ") + rule.flags + " " + rule.what +
+           "; conflicts with --device=" + device_spelling(devices) +
+           " (requires --device=" + required_spelling(rule) + ")";
+  }
+  return std::string();
+}
+
+}  // namespace fgpu::suite

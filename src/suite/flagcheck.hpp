@@ -1,0 +1,53 @@
+// Declarative flag/device consistency table for fgpu-run: every export or
+// collection flag that needs a specific device tier is one row, checked in
+// one place, so a contradictory --device is always a usage error (exit 2)
+// instead of a silently empty document. The table itself is exposed so the
+// unit test (tests/test_flagcheck.cpp) can enumerate every rule against
+// every device selection and prove each contradiction is rejected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fgpu::suite {
+
+// Which device tiers a run will drive (parsed from --device).
+struct DeviceSelection {
+  bool vortex = true;
+  bool hls = true;
+  bool turbo = false;
+};
+
+// The device-dependent requests parsed from the command line. One bool per
+// rule row; flags sharing a prerequisite (e.g. --profile and --hotspots)
+// share a field.
+struct FlagRequests {
+  bool compare = false;  // --compare=PATH
+  bool profile = false;  // --profile=PATH / --hotspots=K
+  bool hlsprof = false;  // --hlsprof=PATH
+  bool memprof = false;  // --memprof=PATH / --mem-hotspots=K
+  bool remarks = false;  // --remarks=PATH / --remark-hotspots=K
+};
+
+struct FlagRule {
+  bool FlagRequests::* member;  // which request this rule guards
+  const char* flags;            // user-facing spelling(s), for the message
+  const char* what;             // what the flag produces, for the message
+  bool needs_vortex = false;
+  bool needs_hls = false;
+  // true: every needed device must run (--compare joins vortex AND hls);
+  // false: any one of the needed devices satisfies the rule (--memprof
+  // observes either memory hierarchy).
+  bool needs_all = false;
+};
+
+// The full rule table, in fixed order (first violated rule wins).
+const std::vector<FlagRule>& flag_rules();
+
+// Empty string when every requested flag is satisfiable on `devices`;
+// otherwise a complete "fgpu-run: ..." usage-error line for the first
+// violated rule (the caller prints it and exits 2).
+std::string check_flag_contradictions(const FlagRequests& requests,
+                                      const DeviceSelection& devices);
+
+}  // namespace fgpu::suite

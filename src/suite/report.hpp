@@ -47,6 +47,13 @@ inline constexpr const char* kHlsProfSchema = "fgpu.hlsprof.v1";
 // histograms, and per-PC / per-AccessSite miss attribution.
 inline constexpr const char* kMemSchema = "fgpu.mem.v1";
 
+// Version tag of the compiler-observability export (fgpu-run --remarks; see
+// OBSERVABILITY.md "Codegen reports"): per-pass telemetry (IR-size and
+// pressure deltas, remark counts) plus the structured optimization-remark
+// stream with KIR provenance, optionally cycle-joined into a hotspot
+// ranking. Contains no wall-clock fields — per-pass times stay in memory.
+inline constexpr const char* kCodegenSchema = "fgpu.codegen.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls, kTurbo };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <regex>
 #include <string_view>
 #include <thread>
@@ -96,10 +97,16 @@ std::string pool_identity(const RunnerOptions& options) {
       options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
   const fpga::Board& hls_board =
       options.hls_board != nullptr ? *options.hls_board : fpga::stratix10_mx2100();
+  const unsigned ablate_bits = (options.ablate.kir_licm ? 1u : 0u) |
+                               (options.ablate.kir_strength_reduce ? 2u : 0u) |
+                               (options.ablate.kir_dce ? 4u : 0u) |
+                               (options.ablate.peephole ? 8u : 0u) |
+                               (options.ablate.pressure_ladder ? 16u : 0u);
   return options.vortex_config.to_string() + ":O" + std::to_string(options.opt_level) + ":p" +
          std::to_string(options.vortex_config.profile || options.capture_profile) + ":m" +
-         std::to_string(options.vortex_config.memprof || options.capture_memprof) + ":" +
-         vx_board.name + ":" + hls_board.name;
+         std::to_string(options.vortex_config.memprof || options.capture_memprof) + ":r" +
+         std::to_string(options.capture_remarks || options.remark_hotspots > 0) + ":a" +
+         std::to_string(ablate_bits) + ":" + vx_board.name + ":" + hls_board.name;
 }
 
 void run_one(const RunnerOptions& options, DevicePool* pool, const std::string& identity,
@@ -144,6 +151,8 @@ void run_one(const RunnerOptions& options, DevicePool* pool, const std::string& 
     config.memprof = config.memprof || options.capture_memprof;
     codegen::Options codegen_options;
     codegen_options.opt_level = options.opt_level;
+    codegen_options.collect_remarks = options.capture_remarks || options.remark_hotspots > 0;
+    codegen_options.ablate = options.ablate;
     const auto s0 = std::chrono::steady_clock::now();
     if (set.vortex == nullptr) {
       set.vortex = std::make_unique<vcl::VortexDevice>(config, board, codegen_options);
@@ -163,8 +172,12 @@ void run_one(const RunnerOptions& options, DevicePool* pool, const std::string& 
     // are comparable 1:1 against the cycle-exact run above.
     const fpga::Board& board =
         options.vortex_board != nullptr ? *options.vortex_board : fpga::stratix10_sx2800();
+    // Same codegen options as the vortex tier — they share KernelCache
+    // entries, and a diverging key would silently double-compile.
     codegen::Options codegen_options;
     codegen_options.opt_level = options.opt_level;
+    codegen_options.collect_remarks = options.capture_remarks || options.remark_hotspots > 0;
+    codegen_options.ablate = options.ablate;
     const auto s0 = std::chrono::steady_clock::now();
     if (set.turbo == nullptr) {
       set.turbo = std::make_unique<vcl::TurboDevice>(options.vortex_config, board, codegen_options);
@@ -443,6 +456,138 @@ void write_mem_json(std::ostream& os, const RunnerOptions& options,
       w.end_array();
       w.end_object();
     }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+// IrSnapshot fields are domain-dependent (-1 = not meaningful for that
+// pass); only meaningful fields are serialized, so a KIR pass shows
+// kir_nodes and a machine pass shows minstrs/vregs without null noise.
+void write_snapshot(trace::JsonWriter& w, const char* key,
+                    const codegen::IrSnapshot& snap) {
+  w.key(key).begin_object();
+  if (snap.kir_nodes >= 0) w.field("kir_nodes", static_cast<int64_t>(snap.kir_nodes));
+  if (snap.minstrs >= 0) w.field("minstrs", static_cast<int64_t>(snap.minstrs));
+  if (snap.vregs >= 0) w.field("vregs", static_cast<int64_t>(snap.vregs));
+  if (snap.max_pressure >= 0) w.field("max_pressure", static_cast<int64_t>(snap.max_pressure));
+  if (snap.stack_refs >= 0) w.field("stack_refs", static_cast<int64_t>(snap.stack_refs));
+  w.end_object();
+}
+
+void write_remark(trace::JsonWriter& w, const codegen::Remark& r) {
+  w.begin_object();
+  w.field("pass", r.pass);
+  w.field("action", r.action);
+  w.field("name", r.name);
+  w.field("site", r.site);
+  w.field("detail", r.detail);
+  w.field("value", static_cast<int64_t>(r.value));
+  w.end_object();
+}
+
+}  // namespace
+
+std::vector<RemarkHotspot> rank_remarks(const DeviceRun& run, const KernelCodegen& kc,
+                                        size_t top_k) {
+  // Attribute each measured issue-stage cycle to its KIR source (PC -> word
+  // index -> source-map string), then charge every remark the cycles of its
+  // provenance site.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> site_cycles;
+  for (const auto& kp : run.kernel_profiles) {
+    if (kp.kernel != kc.kernel) continue;
+    for (const auto& [pc, stat] : kp.profile.by_pc) {
+      if (pc < kp.binary.base) continue;
+      const size_t word = (pc - kp.binary.base) / 4;
+      const std::string& site = kp.source_map.source_for(word);
+      if (site.empty()) continue;
+      auto& entry = site_cycles[site];
+      entry.first += stat.issued + stat.total_stalls();
+      entry.second += stat.total_stalls();
+    }
+  }
+  const auto& remarks = kc.compiled->report.remarks;
+  std::vector<RemarkHotspot> ranked;
+  for (const auto& r : remarks) {
+    auto it = site_cycles.find(r.site);
+    if (it == site_cycles.end() || it->second.first == 0) continue;
+    ranked.push_back(RemarkHotspot{&r, it->second.first, it->second.second});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const RemarkHotspot& a,
+                                                    const RemarkHotspot& b) {
+    return a.cycles > b.cycles;  // stable: equal cycles keep emission order
+  });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+void write_codegen_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result) {
+  trace::JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.field("schema", kCodegenSchema);
+  write_suite_header(w, options, result);
+  w.key("benchmarks").begin_array();
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.ran_vortex) continue;
+    w.begin_object();
+    w.field("name", outcome.name);
+    w.field("device", outcome.vortex_device);
+    w.field("ok", outcome.vortex.ok());
+    w.key("kernels").begin_array();
+    for (const auto& kc : outcome.vortex.codegen) {
+      const codegen::CompiledKernel& compiled = *kc.compiled;
+      w.begin_object();
+      w.field("kernel", kc.kernel);
+      w.field("opt_level", static_cast<int64_t>(compiled.opt_level));
+      w.field("barrier_dispatch", compiled.barrier_dispatch);
+      w.field("code_words", static_cast<uint64_t>(compiled.instruction_count));
+      w.field("spill_slots", static_cast<int64_t>(compiled.spill_slots));
+      w.field("simt_instructions", static_cast<uint64_t>(compiled.simt_instructions));
+      w.field("mem_instructions", static_cast<uint64_t>(compiled.mem_instructions));
+      // Per-pass telemetry, pipeline order. wall_ms is intentionally NOT
+      // serialized: a KernelCache replay would carry the original compile's
+      // times and break the byte-identity contract.
+      w.key("passes").begin_array();
+      for (const auto& t : compiled.report.passes) {
+        w.begin_object();
+        w.field("pass", t.pass);
+        w.field("remarks", static_cast<int64_t>(t.remarks));
+        write_snapshot(w, "before", t.before);
+        write_snapshot(w, "after", t.after);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("remarks").begin_array();
+      for (const auto& r : compiled.report.remarks) write_remark(w, r);
+      w.end_array();
+      // Cycle-joined ranking: only remarks whose provenance site actually
+      // accrued measured cycles appear (see rank_remarks).
+      if (options.remark_hotspots > 0) {
+        const auto ranked =
+            rank_remarks(outcome.vortex, kc, static_cast<size_t>(options.remark_hotspots));
+        w.key("hotspots").begin_array();
+        for (size_t i = 0; i < ranked.size(); ++i) {
+          w.begin_object();
+          w.field("rank", static_cast<int64_t>(i + 1));
+          w.field("cycles", ranked[i].cycles);
+          w.field("stall_cycles", ranked[i].stall_cycles);
+          w.field("pass", ranked[i].remark->pass);
+          w.field("action", ranked[i].remark->action);
+          w.field("name", ranked[i].remark->name);
+          w.field("site", ranked[i].remark->site);
+          w.field("detail", ranked[i].remark->detail);
+          w.end_object();
+        }
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/codegen.hpp"
 #include "common/status.hpp"
 #include "suite/suite.hpp"
 #include "trace/json.hpp"
@@ -62,6 +63,21 @@ struct RunnerOptions {
   // (exported via write_mem_json; see mem/memprof.hpp). Observational
   // only: cycle counts are identical with it on or off.
   bool capture_memprof = false;
+  // Collect structured optimization remarks + per-pass telemetry from the
+  // soft-GPU compiler (exported via write_codegen_json as fgpu.codegen.v1;
+  // see codegen/remarks.hpp). Observational only: the emitted binaries and
+  // every cycle count are identical with it on or off (the sink changes the
+  // KernelCache key but never the compiled program).
+  bool capture_remarks = false;
+  // When > 0, write_codegen_json ranks each kernel's remarks by the
+  // measured cycles of their provenance site (PC -> KIR source join against
+  // the per-PC profile) and emits the top K as a "hotspots" array. Needs
+  // capture_profile for cycles to exist; 0 disables the join.
+  int remark_hotspots = 0;
+  // Per-pass ablation switches forwarded to the soft-GPU compiler (also
+  // part of the kernel-cache key). Used by the optimizer-regression
+  // experiments (fgpu-run --ablate=...).
+  codegen::Options::PassAblation ablate;
   // Opt-in: embed host wall-clock / simulated-MIPS fields into the stats
   // JSON. Default off because fgpu.stats.v1's determinism contract forbids
   // host-dependent bytes (byte-identical across --jobs, machines, and the
@@ -176,6 +192,33 @@ void write_hlsprof_json(std::ostream& os, const RunnerOptions& options,
 // byte-identical across --jobs.
 void write_mem_json(std::ostream& os, const RunnerOptions& options,
                     const SuiteRunResult& result);
+
+// One cycle-joined remark: `remark` points into kc.compiled->report (the
+// caller keeps the shared CompiledKernel alive); cycles/stall_cycles are
+// the measured issue-stage cycles of the remark's provenance site (every
+// PC whose source-map string equals remark->site, summed).
+struct RemarkHotspot {
+  const codegen::Remark* remark = nullptr;
+  uint64_t cycles = 0;
+  uint64_t stall_cycles = 0;
+};
+
+// Ranks the remarks of one kernel's codegen report by attributed cycle
+// impact (descending cycles, ties in emission order) against the kernel's
+// per-PC profile in `run`. Remarks whose site accrued no cycles are
+// dropped; at most `top_k` entries return. Deterministic: the profile and
+// the remark stream are both deterministic, and ties are ordered.
+std::vector<RemarkHotspot> rank_remarks(const DeviceRun& run, const KernelCodegen& kc,
+                                        size_t top_k);
+
+// Serializes the compiler-observability reports (per-pass telemetry +
+// optimization remarks, optionally cycle-joined hotspot rankings) to the
+// fgpu.codegen.v1 schema (OBSERVABILITY.md "Codegen reports"). Same
+// determinism contract: byte-identical across --jobs and fresh-vs-pooled
+// (remarks replay byte-identically out of the KernelCache); per-pass wall
+// times are deliberately never serialized.
+void write_codegen_json(std::ostream& os, const RunnerOptions& options,
+                        const SuiteRunResult& result);
 
 // Shared "suite" header object of every suite-level document (stats,
 // profile, hlsprof, compare): run configuration + benchmark count.

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "codegen/codegen.hpp"
 #include "kir/interp.hpp"
 #include "kir/passes.hpp"
 
@@ -230,6 +231,11 @@ DeviceRun run_benchmark(vcl::Device& device, const Benchmark& bench,
       HlsKernelProfile& hp = result.hls_profiles.emplace_back();
       hp.kernel = info.kernel;
       hp.synth = info.synth;
+    }
+    // Soft-GPU builds expose the full compile; keep it when remarks were
+    // collected so the runner can export fgpu.codegen.v1 (build order).
+    if (info.compiled && info.compiled->report.collected) {
+      result.codegen.push_back(KernelCodegen{info.kernel, info.compiled});
     }
   }
   if (!result.build.is_ok()) {

@@ -147,6 +147,15 @@ struct KernelMemProfile {
   std::vector<vcl::HlsSiteStats> sites;  // hls: site table for the tag join
 };
 
+// Compile-time observability of one built kernel: the shared CompiledKernel
+// whose `report` member holds the optimization remarks + per-pass telemetry
+// (exported as fgpu.codegen.v1). Captured in build order; only present when
+// the build ran with codegen::Options::collect_remarks.
+struct KernelCodegen {
+  std::string kernel;
+  std::shared_ptr<const codegen::CompiledKernel> compiled;
+};
+
 struct DeviceRun {
   Status build;          // program build (HLS synthesis can fail here)
   Status run;            // launch execution
@@ -185,6 +194,9 @@ struct DeviceRun {
   // Per-kernel memory-hierarchy profiles in first-launch order; filled only
   // when memory profiling is enabled (RunnerOptions::capture_memprof).
   std::vector<KernelMemProfile> mem_profiles;
+  // Per-kernel compile reports in build order; filled only when the device
+  // was constructed with collect_remarks (RunnerOptions::capture_remarks).
+  std::vector<KernelCodegen> codegen;
 
   bool ok() const { return build.is_ok() && run.is_ok() && verify.is_ok(); }
 };

@@ -1,0 +1,145 @@
+// Tests for the declarative flag/device contradiction table (flagcheck.hpp):
+// every rule is enumerated against every --device selection, and every
+// contradiction must yield a non-empty usage-error line — fgpu-run maps a
+// non-empty line to exit 2 in a single code path, so "non-empty message"
+// here is exactly "exits 2" there.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "suite/flagcheck.hpp"
+
+namespace fgpu::suite {
+namespace {
+
+struct NamedSelection {
+  const char* spelling;  // the --device value that produces it
+  DeviceSelection devices;
+};
+
+const std::vector<NamedSelection>& selections() {
+  static const std::vector<NamedSelection> all = {
+      {"vortex", {true, false, false}}, {"hls", {false, true, false}},
+      {"turbo", {false, false, true}},  {"both", {true, true, false}},
+      {"all", {true, true, true}},
+  };
+  return all;
+}
+
+// The truth table, restated independently of flagcheck.cpp's satisfied():
+// which --device spellings legitimately serve each rule.
+bool expect_ok(const FlagRule& rule, const DeviceSelection& d) {
+  if (rule.needs_all) {
+    return (!rule.needs_vortex || d.vortex) && (!rule.needs_hls || d.hls);
+  }
+  return (rule.needs_vortex && d.vortex) || (rule.needs_hls && d.hls);
+}
+
+FlagRequests request_only(const FlagRule& rule) {
+  FlagRequests requests;
+  requests.*rule.member = true;
+  return requests;
+}
+
+TEST(FlagRules, TableCoversEveryRequestField) {
+  // One rule per FlagRequests field, no duplicates — a new export flag
+  // must land in the table or this count breaks.
+  const auto& rules = flag_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      EXPECT_NE(rules[i].member, rules[j].member);
+    }
+    EXPECT_TRUE(rules[i].needs_vortex || rules[i].needs_hls) << rules[i].flags;
+  }
+}
+
+// The exhaustive sweep: every (rule, selection) pair either passes cleanly
+// or produces the complete usage-error line.
+TEST(FlagRules, EveryContradictionIsRejectedEverySatisfiableComboAccepted) {
+  for (const auto& rule : flag_rules()) {
+    int rejected = 0, accepted = 0;
+    for (const auto& sel : selections()) {
+      const std::string msg = check_flag_contradictions(request_only(rule), sel.devices);
+      if (expect_ok(rule, sel.devices)) {
+        EXPECT_TRUE(msg.empty()) << rule.flags << " on --device=" << sel.spelling
+                                 << " wrongly rejected: " << msg;
+        ++accepted;
+      } else {
+        EXPECT_FALSE(msg.empty())
+            << rule.flags << " on --device=" << sel.spelling << " wrongly accepted";
+        // The message is a complete, actionable usage error.
+        EXPECT_NE(msg.find("fgpu-run: "), std::string::npos) << msg;
+        EXPECT_NE(msg.find(rule.flags), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::string("conflicts with --device=") + sel.spelling),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("requires --device="), std::string::npos) << msg;
+        ++rejected;
+      }
+    }
+    // Every rule must be exercised both ways by the five selections.
+    EXPECT_GT(rejected, 0) << rule.flags;
+    EXPECT_GT(accepted, 0) << rule.flags;
+  }
+}
+
+// Spot checks of the semantics the ISSUE fixes in place (independent of
+// the table's own needs_* encoding).
+TEST(FlagRules, KnownSemantics) {
+  const DeviceSelection vortex_only{true, false, false};
+  const DeviceSelection hls_only{false, true, false};
+  const DeviceSelection turbo_only{false, false, true};
+  const DeviceSelection both{true, true, false};
+
+  FlagRequests r;
+  r.compare = true;  // joins both flows: only both/all work
+  EXPECT_FALSE(check_flag_contradictions(r, vortex_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, hls_only).empty());
+  EXPECT_TRUE(check_flag_contradictions(r, both).empty());
+
+  r = FlagRequests{};
+  r.remarks = true;  // soft-GPU compiler output: needs the vortex tier
+  EXPECT_TRUE(check_flag_contradictions(r, vortex_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, hls_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, turbo_only).empty());
+
+  r = FlagRequests{};
+  r.memprof = true;  // either memory hierarchy serves
+  EXPECT_TRUE(check_flag_contradictions(r, vortex_only).empty());
+  EXPECT_TRUE(check_flag_contradictions(r, hls_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, turbo_only).empty());
+}
+
+// Turbo is functional-only: no flag in the table is satisfiable by turbo
+// alone, so every request contradicts --device=turbo (exit 2).
+TEST(FlagRules, NothingIsSatisfiableOnTurboAlone) {
+  const DeviceSelection turbo_only{false, false, true};
+  for (const auto& rule : flag_rules()) {
+    EXPECT_FALSE(check_flag_contradictions(request_only(rule), turbo_only).empty())
+        << rule.flags;
+  }
+}
+
+TEST(FlagRules, NoRequestsNeverContradict) {
+  for (const auto& sel : selections()) {
+    EXPECT_TRUE(check_flag_contradictions(FlagRequests{}, sel.devices).empty())
+        << sel.spelling;
+  }
+}
+
+TEST(FlagRules, FirstViolatedRuleWins) {
+  // compare precedes remarks in the table; with both requested on an
+  // hls-only run the error names --compare.
+  FlagRequests r;
+  r.compare = true;
+  r.remarks = true;
+  const std::string msg = check_flag_contradictions(r, {false, true, false});
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("--compare"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("--remarks"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace fgpu::suite

@@ -76,12 +76,32 @@ with --compare-baseline/--compare-current (BENCH_compare.json in CI):
     fails: the Fig. 6 ratios are the paper's headline numbers, so both
     regressions AND unexplained improvements demand a baseline refresh.
 
+Codegen documents (fgpu.codegen.v1 from fgpu-run --remarks) are GATED
+with --codegen-baseline/--codegen-current (BENCH_codegen.json in CI):
+
+  * schema-tag and key-path drift, as for the stats document;
+  * the benchmark and kernel sets must match the baseline exactly;
+  * per-kernel static compiler metrics — code size, spill slots, SIMT and
+    memory instruction counts, dispatch style — must match EXACTLY;
+  * the per-pass pipeline (stage list, per-stage remark counts, and every
+    before/after IR-size snapshot) must match EXACTLY;
+  * remark counts per (pass, action) must match EXACTLY. Compilation is
+    deterministic, so any delta is a real compiler-behavior change that
+    demands a baseline refresh (and an EXPERIMENTS.md note if cycles moved).
+
+Schema lint (--schema-list FILE...): standalone mode, no positional
+arguments needed. Every listed document must carry a "schema" field whose
+value is one of the known exported versions (the OBSERVABILITY.md schema
+index). Catches a new exporter shipping an unregistered or typo'd tag.
+
 Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
                          [--max-cycles=N] [--exact-cycles]
                          [--host-baseline=H.json --host-current=H2.json]
                          [--mem-baseline=M.json --mem-current=M2.json]
                          [--compare-baseline=C.json --compare-current=C2.json
                           --speedup-tolerance=0.05]
+                         [--codegen-baseline=G.json --codegen-current=G2.json]
+       check_baseline.py --schema-list FILE [FILE...]
 
 Stdlib only — runs on a bare CI python3.
 """
@@ -334,6 +354,144 @@ def compare_compare(compare_baseline, compare_current, tolerance):
     return failures
 
 
+# Every schema version an fgpu tool exports (the OBSERVABILITY.md index).
+# A new exporter must register here AND in the index table, or the
+# --schema-list CI lint fails.
+KNOWN_SCHEMAS = (
+    "fgpu.stats.v1",
+    "fgpu.profile.v1",
+    "fgpu.hlsprof.v1",
+    "fgpu.mem.v1",
+    "fgpu.host.v1",
+    "fgpu.compare.v1",
+    "fgpu.codegen.v1",
+)
+
+
+def check_schema_list(paths):
+    """Lint: every document's schema tag is a registered version. Returns failures."""
+    failures = []
+    checked = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"schema-list: {path}: unreadable ({e})")
+            continue
+        tag = doc.get("schema") if isinstance(doc, dict) else None
+        if tag is None:
+            failures.append(f"schema-list: {path}: no 'schema' field")
+        elif tag not in KNOWN_SCHEMAS:
+            failures.append(f"schema-list: {path}: unknown schema {tag!r} "
+                            f"(known: {', '.join(KNOWN_SCHEMAS)})")
+        else:
+            checked += 1
+    if not failures:
+        print(f"schema-list: {checked} document(s), every schema tag is registered")
+    return failures
+
+
+def codegen_kernel_signatures(bench):
+    """Per-kernel static-metric / pipeline / remark-count signature."""
+    sig = {}
+    for kernel in bench.get("kernels", []):
+        remark_counts = {}
+        for r in kernel.get("remarks", []):
+            key = (r.get("pass"), r.get("action"))
+            remark_counts[key] = remark_counts.get(key, 0) + 1
+        sig[kernel.get("kernel")] = {
+            "static": {
+                "opt_level": kernel.get("opt_level"),
+                "barrier_dispatch": kernel.get("barrier_dispatch"),
+                "code_words": kernel.get("code_words"),
+                "spill_slots": kernel.get("spill_slots"),
+                "simt_instructions": kernel.get("simt_instructions"),
+                "mem_instructions": kernel.get("mem_instructions"),
+            },
+            # The whole pipeline shape: stage order, per-stage remark counts,
+            # and every before/after IR-size snapshot.
+            "passes": [(p.get("pass"), p.get("remarks"),
+                        tuple(sorted(p.get("before", {}).items())),
+                        tuple(sorted(p.get("after", {}).items())))
+                       for p in kernel.get("passes", [])],
+            "remarks": remark_counts,
+        }
+    return sig
+
+
+def compare_codegen(codegen_baseline, codegen_current):
+    """GATING comparison of two fgpu.codegen.v1 documents. Returns failures."""
+    failures = []
+    with open(codegen_baseline) as f:
+        base = json.load(f)
+    with open(codegen_current) as f:
+        cur = json.load(f)
+
+    for doc, path in ((base, codegen_baseline), (cur, codegen_current)):
+        if doc.get("schema") != "fgpu.codegen.v1":
+            failures.append(f"codegen doc {path} has schema {doc.get('schema')!r}, "
+                            "expected fgpu.codegen.v1")
+    if failures:
+        return failures
+
+    base_paths = schema_paths(base)
+    cur_paths = schema_paths(cur)
+    for path in sorted(base_paths - cur_paths):
+        failures.append(f"codegen schema drift: field '{path}' vanished")
+    for path in sorted(cur_paths - base_paths):
+        failures.append(f"codegen schema drift: new field '{path}' not in the baseline "
+                        "(regenerate BENCH_codegen.json and bump the schema tag if breaking)")
+
+    base_benchmarks = by_name(base)
+    cur_benchmarks = by_name(cur)
+    for name in sorted(set(base_benchmarks) - set(cur_benchmarks)):
+        failures.append(f"codegen: {name} present in baseline but missing from the run")
+    for name in sorted(set(cur_benchmarks) - set(base_benchmarks)):
+        failures.append(f"codegen: {name} ran but has no baseline entry")
+
+    kernels = 0
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        sig_b = codegen_kernel_signatures(base_benchmarks[name])
+        sig_c = codegen_kernel_signatures(cur_benchmarks[name])
+        for kernel in sorted(set(sig_b) - set(sig_c)):
+            failures.append(f"codegen: {name}/{kernel}: kernel vanished")
+        for kernel in sorted(set(sig_c) - set(sig_b)):
+            failures.append(f"codegen: {name}/{kernel}: new kernel not in baseline")
+        for kernel in sorted(set(sig_b) & set(sig_c)):
+            kernels += 1
+            b, c = sig_b[kernel], sig_c[kernel]
+            for field in b["static"]:
+                if b["static"][field] != c["static"][field]:
+                    failures.append(
+                        f"codegen: {name}/{kernel}: {field} drift "
+                        f"{b['static'][field]} -> {c['static'][field]}")
+            if b["passes"] != c["passes"]:
+                # Name the first diverging stage for a readable failure.
+                detail = "pipeline shape changed"
+                for sb, sc in zip(b["passes"], c["passes"]):
+                    if sb != sc:
+                        detail = (f"stage {sb[0]!r}: (remarks, before, after) "
+                                  f"{sb[1:]} -> {sc[1:]}")
+                        break
+                else:
+                    detail = (f"stage list changed "
+                              f"{[p[0] for p in b['passes']]} -> "
+                              f"{[p[0] for p in c['passes']]}")
+                failures.append(f"codegen: {name}/{kernel}: {detail}")
+            for key in sorted(set(b["remarks"]) | set(c["remarks"])):
+                want = b["remarks"].get(key, 0)
+                got = c["remarks"].get(key, 0)
+                if want != got:
+                    failures.append(
+                        f"codegen: {name}/{kernel}: remark count drift for "
+                        f"{key[0]}/{key[1]}: {want} -> {got}")
+    if not failures:
+        print(f"codegen: {len(base_benchmarks)} benchmarks / {kernels} kernels, every "
+              f"static metric, pipeline stage, and remark count matches the baseline")
+    return failures
+
+
 def mem_kernel_signature(bench):
     """Per-(device, kernel) map of per-level miss-class vectors."""
     sig = {}
@@ -411,8 +569,10 @@ def compare_mem(mem_baseline, mem_current):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?",
+                        help="golden stats document (unused with --schema-list)")
+    parser.add_argument("current", nargs="?",
+                        help="freshly generated stats document")
     parser.add_argument("--max-regression", type=float, default=0.10,
                         help="allowed fractional cycle growth (default 0.10)")
     parser.add_argument("--max-cycles", type=int, default=None,
@@ -428,6 +588,12 @@ def main():
     parser.add_argument("--compare-baseline",
                         help="fgpu.compare.v1 baseline (GATING, e.g. BENCH_compare.json)")
     parser.add_argument("--compare-current", help="fgpu.compare.v1 current run (GATING)")
+    parser.add_argument("--codegen-baseline",
+                        help="fgpu.codegen.v1 baseline (GATING, e.g. BENCH_codegen.json)")
+    parser.add_argument("--codegen-current", help="fgpu.codegen.v1 current run (GATING)")
+    parser.add_argument("--schema-list", nargs="+", metavar="FILE",
+                        help="standalone lint: every listed document's 'schema' "
+                             "field must be a registered version")
     parser.add_argument("--speedup-tolerance", type=float, default=0.05,
                         help="allowed fractional speedup-ratio drift, either "
                              "direction (default 0.05)")
@@ -447,6 +613,19 @@ def main():
                              "same file). Repeat runs must show cache hits "
                              "and device reuse")
     args = parser.parse_args()
+
+    if args.schema_list:
+        failures = check_schema_list(args.schema_list)
+        if failures:
+            print(f"check_baseline: {len(failures)} failure(s) in --schema-list:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        return 0
+
+    if not args.baseline or not args.current:
+        parser.error("BASELINE and CURRENT are required (except with --schema-list)")
 
     with open(args.baseline) as f:
         base = json.load(f)
@@ -536,6 +715,9 @@ def main():
     if args.compare_baseline and args.compare_current:
         failures.extend(compare_compare(args.compare_baseline, args.compare_current,
                                         args.speedup_tolerance))
+
+    if args.codegen_baseline and args.codegen_current:
+        failures.extend(compare_codegen(args.codegen_baseline, args.codegen_current))
 
     if failures:
         print(f"check_baseline: {len(failures)} failure(s) vs {args.baseline}:",

@@ -28,6 +28,7 @@
 #include "common/log.hpp"
 #include "suite/compare.hpp"
 #include "suite/device_pool.hpp"
+#include "suite/flagcheck.hpp"
 #include "suite/runner.hpp"
 #include "vortex/config.hpp"
 #include "vortex/profile.hpp"
@@ -58,6 +59,15 @@ void usage(const char* argv0) {
       "  --compare=PATH   write fgpu.compare.v1 vortex-vs-HLS comparison JSON\n"
       "                   (requires both devices, i.e. not --device=vortex/hls)\n"
       "  --hotspots=K     print top-K stalled PCs per kernel (implies profiling)\n"
+      "  --remarks=PATH   write fgpu.codegen.v1 compiler-observability JSON:\n"
+      "                   per-pass telemetry + structured optimization remarks\n"
+      "                   with KIR provenance (soft-GPU compiler only)\n"
+      "  --remark-hotspots=K\n"
+      "                   rank each kernel's remarks by the measured cycles of\n"
+      "                   their provenance site and print/export the top K\n"
+      "                   (implies --remarks collection and profiling)\n"
+      "  --ablate=LIST    disable compiler passes, comma-separated from\n"
+      "                   licm,sr,dce,peephole,ladder (pass-regression triage)\n"
       "  --seed=N         suite seed mixed into per-benchmark workload seeds\n"
       "  --repeat=N       run the suite N times; report min/median wall time.\n"
       "                   Repeats 2..N reuse pooled devices and hot caches\n"
@@ -251,7 +261,7 @@ int main(int argc, char** argv) {
   Log::level() = LogLevel::kOff;
   suite::RunnerOptions options;
   std::string json_path, trace_path, profile_path, hlsprof_path, memprof_path, compare_path,
-      host_json_path, value;
+      remarks_path, host_json_path, value;
   bool list_only = false, quiet = false;
   uint32_t hotspots = 0;
   uint32_t mem_hotspots = 0;
@@ -323,6 +333,39 @@ int main(int argc, char** argv) {
     } else if (flag_value(arg, "--hotspots", &value)) {
       hotspots = static_cast<uint32_t>(std::stoul(value));
       options.capture_profile = true;
+    } else if (flag_value(arg, "--remarks", &value)) {
+      remarks_path = value;
+      options.capture_remarks = true;
+    } else if (flag_value(arg, "--remark-hotspots", &value)) {
+      options.remark_hotspots = static_cast<int>(std::stoul(value));
+      options.capture_remarks = true;
+      options.capture_profile = true;  // the ranking joins against cycles
+    } else if (flag_value(arg, "--ablate", &value)) {
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t comma = value.find(',', start);
+        const std::string pass =
+            value.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (pass == "licm") {
+          options.ablate.kir_licm = true;
+        } else if (pass == "sr") {
+          options.ablate.kir_strength_reduce = true;
+        } else if (pass == "dce") {
+          options.ablate.kir_dce = true;
+        } else if (pass == "peephole") {
+          options.ablate.peephole = true;
+        } else if (pass == "ladder") {
+          options.ablate.pressure_ladder = true;
+        } else {
+          std::fprintf(stderr,
+                       "fgpu-run: bad --ablate pass '%s' (expected a comma-separated "
+                       "subset of licm,sr,dce,peephole,ladder)\n",
+                       pass.c_str());
+          return 2;
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (flag_value(arg, "--device", &value)) {
       if (value == "vortex") {
         options.run_hls = false;
@@ -359,37 +402,27 @@ int main(int argc, char** argv) {
 
   // Flag/device consistency: each export needs the device(s) that produce
   // its data, so a contradictory --device is a usage error (exit 2), not a
-  // silently empty document.
-  if (!compare_path.empty() && (!options.run_vortex || !options.run_hls)) {
-    std::fprintf(stderr,
-                 "fgpu-run: --compare joins the vortex and hls flows; it requires "
-                 "--device=both or --device=all (got --device=%s)\n",
-                 options.run_vortex ? "vortex" : (options.run_hls ? "hls" : "turbo"));
-    return 2;
-  }
-  if (options.capture_profile && !options.run_vortex) {
-    // Turbo is functional-only: it never produces a per-PC profile
-    // (fgpu.profile.v1 is exclusively a cycle-exact product — DESIGN.md).
-    std::fprintf(stderr,
-                 "fgpu-run: --profile/--hotspots collect the cycle-exact per-PC profile; "
-                 "they conflict with --device=%s\n",
-                 options.run_hls ? "hls" : "turbo");
-    return 2;
-  }
-  if (!hlsprof_path.empty() && !options.run_hls) {
-    std::fprintf(stderr,
-                 "fgpu-run: --hlsprof collects the HLS per-site profile; it conflicts "
-                 "with --device=%s\n",
-                 options.run_vortex ? "vortex" : "turbo");
-    return 2;
-  }
-  if (options.capture_memprof && !options.run_vortex && !options.run_hls) {
-    // Turbo has no memory hierarchy to observe — binary translation executes
-    // loads host-side with no cache/DRAM model behind them.
-    std::fprintf(stderr,
-                 "fgpu-run: --memprof/--mem-hotspots observe the memory hierarchy; "
-                 "they conflict with --device=turbo\n");
-    return 2;
+  // silently empty document. The rules live in one declarative table
+  // (suite/flagcheck.hpp) shared with tests/test_flagcheck.cpp.
+  {
+    suite::FlagRequests requests;
+    requests.compare = !compare_path.empty();
+    // Explicit --profile/--hotspots only: --remark-hotspots also turns on
+    // profile collection, but its contradiction should name the flag the
+    // user actually typed (the remarks rule has the same requirement).
+    requests.profile = !profile_path.empty() || hotspots > 0;
+    requests.hlsprof = !hlsprof_path.empty();
+    requests.memprof = options.capture_memprof;
+    requests.remarks = options.capture_remarks || options.remark_hotspots > 0;
+    suite::DeviceSelection devices;
+    devices.vortex = options.run_vortex;
+    devices.hls = options.run_hls;
+    devices.turbo = options.run_turbo;
+    const std::string contradiction = suite::check_flag_contradictions(requests, devices);
+    if (!contradiction.empty()) {
+      std::fprintf(stderr, "%s\n", contradiction.c_str());
+      return 2;
+    }
   }
 
   // Resolve the filter up front so both --list and the run path report a
@@ -549,6 +582,15 @@ int main(int argc, char** argv) {
     suite::write_mem_json(out, options, *result);
     if (!quiet) std::printf("memprof -> %s\n", memprof_path.c_str());
   }
+  if (!remarks_path.empty()) {
+    std::ofstream out(remarks_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", remarks_path.c_str());
+      return 2;
+    }
+    suite::write_codegen_json(out, options, *result);
+    if (!quiet) std::printf("remarks -> %s\n", remarks_path.c_str());
+  }
   if (!compare_path.empty()) {
     std::ofstream out(compare_path);
     if (!out) {
@@ -580,6 +622,23 @@ int main(int argc, char** argv) {
   }
   if (mem_hotspots > 0) {
     for (const auto& outcome : result->outcomes) print_mem_hotspots(outcome, mem_hotspots);
+  }
+  if (options.remark_hotspots > 0) {
+    for (const auto& outcome : result->outcomes) {
+      for (const auto& kc : outcome.vortex.codegen) {
+        const auto ranked = suite::rank_remarks(outcome.vortex, kc,
+                                                static_cast<size_t>(options.remark_hotspots));
+        std::printf("\n== %s / %s: top %d remarks by attributed cycles ==\n",
+                    outcome.name.c_str(), kc.kernel.c_str(), options.remark_hotspots);
+        for (size_t i = 0; i < ranked.size(); ++i) {
+          std::printf("  %8llu cyc (%llu stall)  %-7s %-20s %s\n",
+                      static_cast<unsigned long long>(ranked[i].cycles),
+                      static_cast<unsigned long long>(ranked[i].stall_cycles),
+                      ranked[i].remark->action.c_str(), ranked[i].remark->name.c_str(),
+                      ranked[i].remark->site.c_str());
+        }
+      }
+    }
   }
 
   // Soft-GPU and turbo failures are always unexpected (the paper's Table I:
