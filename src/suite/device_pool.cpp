@@ -6,26 +6,36 @@ namespace fgpu::suite {
 
 DeviceSet DevicePool::acquire(const std::string& identity) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (identity != identity_) {
-    free_.clear();
-    identity_ = identity;
-  }
-  if (free_.empty()) return {};
-  DeviceSet set = std::move(free_.back());
-  free_.pop_back();
+  auto it = free_.find(identity);
+  if (it == free_.end() || it->second.empty()) return {};
+  DeviceSet set = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) free_.erase(it);
   reuse_count_ += (set.vortex != nullptr) + (set.turbo != nullptr) + (set.hls != nullptr);
   return set;
 }
 
-void DevicePool::release(DeviceSet set) {
+void DevicePool::release(const std::string& identity, DeviceSet set) {
   if (set.vortex == nullptr && set.turbo == nullptr && set.hls == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  free_.push_back(std::move(set));
+  auto it = free_.find(identity);
+  if (it == free_.end()) {
+    // New identity: respect the retention cap (the set is simply dropped —
+    // observable only as a cold setup next time, never in simulated bytes).
+    if (max_identities_ != 0 && free_.size() >= max_identities_) return;
+    it = free_.emplace(identity, std::vector<DeviceSet>()).first;
+  }
+  it->second.push_back(std::move(set));
 }
 
 uint64_t DevicePool::reuse_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reuse_count_;
+}
+
+size_t DevicePool::identity_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
 }
 
 }  // namespace fgpu::suite

@@ -7,14 +7,18 @@
 // pooling is observable only in fgpu.host.v1 (setup_ms, device_reuse_count)
 // — never in the byte-gated suite documents.
 //
-// A pool is keyed by an identity string digesting everything that flows
-// into device construction (config, boards, opt level, profiling flags).
-// Acquiring under a different identity drops the pooled devices: reset()
-// restores construction-time state, it cannot change construction
-// parameters.
+// The pool is keyed by an identity string digesting everything that flows
+// into device construction (config, boards, opt level, profiling flags):
+// sets are only handed back out under the identity they were released with,
+// because reset() restores construction-time state — it cannot change
+// construction parameters. Keying (rather than a single current identity)
+// lets multi-configuration sweeps — the fig7 grid and the DSE cycle-exact
+// slice (suite/dse.hpp) — keep one warm set per grid point instead of
+// dropping the pool on every configuration switch.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,23 +41,34 @@ struct DeviceSet {
 
 class DevicePool {
  public:
-  // Checks a set out. Returns an empty set when the pool is empty or
-  // `identity` differs from the identity the pooled devices were
-  // constructed under (the old sets are discarded). Each non-null device
-  // handed out counts toward reuse_count().
+  DevicePool() = default;
+  // Bounds the number of distinct identities the pool retains: releasing a
+  // set under a new identity beyond the cap discards it instead of pooling
+  // it. A host-memory guard for wide multi-configuration sweeps (hundreds
+  // of simulator instances); pool contents never affect simulated results
+  // (the reset() contract), only setup wall time. 0 = unbounded.
+  explicit DevicePool(size_t max_identities) : max_identities_(max_identities) {}
+
+  // Checks a set out of `identity`'s bucket. Returns an empty set when no
+  // set was pooled under that identity. Each non-null device handed out
+  // counts toward reuse_count().
   DeviceSet acquire(const std::string& identity);
 
-  // Returns a set for later reuse. Devices come back dirty; acquire()'s
-  // caller re-arms them with Device::reset() before use.
-  void release(DeviceSet set);
+  // Returns a set for later reuse under the identity it was acquired (or
+  // constructed) with. Devices come back dirty; acquire()'s caller re-arms
+  // them with Device::reset() before use.
+  void release(const std::string& identity, DeviceSet set);
 
   // Total devices handed out warm (fgpu.host.v1 "reuse" metric).
   uint64_t reuse_count() const;
 
+  // Distinct identities currently holding pooled sets.
+  size_t identity_count() const;
+
  private:
   mutable std::mutex mu_;
-  std::string identity_;
-  std::vector<DeviceSet> free_;
+  size_t max_identities_ = 0;
+  std::map<std::string, std::vector<DeviceSet>> free_;
   uint64_t reuse_count_ = 0;
 };
 

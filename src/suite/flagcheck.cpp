@@ -46,6 +46,12 @@ const std::vector<FlagRule>& flag_rules() {
       {&FlagRequests::remarks, "--remarks/--remark-hotspots",
        "export the soft-GPU compiler's optimization remarks",
        /*needs_vortex=*/true, /*needs_hls=*/false, /*needs_all=*/false},
+      {&FlagRequests::predict, "--predict",
+       "compares the analytical model against measured soft-GPU cycles",
+       /*needs_vortex=*/true, /*needs_hls=*/false, /*needs_all=*/false},
+      {&FlagRequests::dse, "--dse",
+       "anchors the design-space funnel on cycle-exact soft-GPU runs",
+       /*needs_vortex=*/true, /*needs_hls=*/false, /*needs_all=*/false},
   };
   return rules;
 }

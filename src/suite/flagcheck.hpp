@@ -27,6 +27,8 @@ struct FlagRequests {
   bool hlsprof = false;  // --hlsprof=PATH
   bool memprof = false;  // --memprof=PATH / --mem-hotspots=K
   bool remarks = false;  // --remarks=PATH / --remark-hotspots=K
+  bool predict = false;  // --predict
+  bool dse = false;      // --dse=PATH
 };
 
 struct FlagRule {

@@ -54,6 +54,15 @@ inline constexpr const char* kMemSchema = "fgpu.mem.v1";
 // ranking. Contains no wall-clock fields — per-pass times stay in memory.
 inline constexpr const char* kCodegenSchema = "fgpu.codegen.v1";
 
+// Version tag of the design-space-exploration export (fgpu-run --dse; see
+// OBSERVABILITY.md "Design-space exploration"): three-stage funnel counts
+// (analytical prune -> turbo screen -> cycle-exact slice), the evaluated
+// slice with predicted vs simulated cycles, the (cycles, utilization)
+// Pareto frontier, and the Spearman rank correlation of the analytical
+// model. Byte-identical across --jobs and fresh-vs-pooled devices; host
+// throughput appears only under the host_in_stats opt-in.
+inline constexpr const char* kDseSchema = "fgpu.dse.v1";
+
 // Which sections of a LaunchStats/DeviceRun are meaningful.
 enum class DeviceKind { kVortex, kHls, kTurbo };
 

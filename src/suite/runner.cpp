@@ -218,7 +218,7 @@ void run_one(const RunnerOptions& options, DevicePool* pool, const std::string& 
     outcome.ran_hls = true;
   }
 
-  if (pool != nullptr) pool->release(std::move(set));
+  if (pool != nullptr) pool->release(identity, std::move(set));
 }
 
 }  // namespace

@@ -13,10 +13,20 @@
 //   memory — LSU line-request drain (one per cycle per core), with
 //            consecutive accesses amortized across a 16-byte line and a
 //            MSHR-saturation penalty at high W*T (the Fig. 7 effect),
+//   dram   — cluster-wide channel bandwidth: the lines that miss both cache
+//            levels drain at channels * requests_per_channel lines/cycle,
 //   latency— with few warps in flight, per-warp serial latency dominates.
 //
+// Cache geometry enters through the workload footprint (KernelProfile::
+// footprint_bytes): a first-order compulsory + capacity split decides what
+// fraction of line requests miss L1 (per-core working set vs l1d.size_bytes)
+// and, of those, what fraction miss the shared L2 (total footprint vs
+// l2.size_bytes) and pay DRAM latency/bandwidth. This makes the L1/L2-size
+// and DRAM-channel axes of a design-space sweep prunable analytically (the
+// fgpu.dse.v1 funnel, see suite/dse.hpp) — not just (C, W, T).
+//
 // It is intentionally cheap (microseconds per configuration) so a design-
-// space sweep over hundreds of configurations costs less than one
+// space sweep over thousands of configurations costs less than one
 // cycle-level simulation.
 #pragma once
 
@@ -36,6 +46,12 @@ struct KernelProfile {
   double local_accesses_per_item = 0.0;
   double consecutive_fraction = 1.0;  // of global accesses (coalescable)
   bool uses_barriers = false;
+  // Total bytes of the launch's buffer arguments — the first-order global
+  // working set behind the cache-geometry terms of predict_cycles. 0 (the
+  // default, e.g. for hand-built profiles) selects the legacy streaming
+  // assumption: every line request is a compulsory DRAM fill, so cache
+  // sizes drop out of the prediction.
+  uint64_t footprint_bytes = 0;
 };
 
 // Profiles a kernel launch by running the reference interpreter once with
@@ -50,7 +66,11 @@ struct Prediction {
   double issue_bound = 0.0;
   double memory_bound = 0.0;
   double latency_bound = 0.0;
+  // Cluster-wide DRAM channel bandwidth bound (lines that miss both cache
+  // levels over channels * requests_per_channel lines per cycle).
+  double dram_bound = 0.0;
   double overhead = 0.0;
+  // "issue" | "memory" | "dram" | "latency" — the binding bound above.
   const char* bottleneck = "";
 };
 

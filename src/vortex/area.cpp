@@ -14,6 +14,17 @@ constexpr fpga::AreaReport kCoreBase{41'000, 30'863, 444, 0};
 constexpr fpga::AreaReport kPerWarp{420, 1'056, 3, 0};
 constexpr fpga::AreaReport kPerLane{6'000, 8'000, 0, 28};
 
+// One M20K block stores 20 kbit = 2,560 bytes. The Table IV constants above
+// were fitted with the default cache geometry (16 KiB L1D + 8 KiB L1I per
+// core, 128 KiB L2), so cache resizing contributes only its M20K *delta*
+// relative to those defaults — the Table IV rows are reproduced exactly,
+// and the DSE cache-geometry axes (suite/dse.hpp) become area-visible.
+constexpr int64_t kM20kBytes = 2'560;
+
+int64_t cache_delta_blocks(uint32_t size_bytes, uint32_t default_bytes) {
+  return (static_cast<int64_t>(size_bytes) - static_cast<int64_t>(default_bytes)) / kM20kBytes;
+}
+
 }  // namespace
 
 fpga::AreaReport estimate_area(const Config& config) {
@@ -22,7 +33,15 @@ fpga::AreaReport estimate_area(const Config& config) {
   core += kPerWarp * config.warps;
   core.brams = kCoreBase.brams + kPerWarp.brams * std::min(config.warps, 8u);
   core += kPerLane * config.threads;
+  const Config defaults;
+  int64_t delta =
+      static_cast<int64_t>(config.cores) *
+          (cache_delta_blocks(config.l1d.size_bytes, defaults.l1d.size_bytes) +
+           cache_delta_blocks(config.l1i.size_bytes, defaults.l1i.size_bytes)) +
+      cache_delta_blocks(config.l2.size_bytes, defaults.l2.size_bytes);
   area += core * config.cores;
+  area.brams = static_cast<uint64_t>(
+      std::max<int64_t>(0, static_cast<int64_t>(area.brams) + delta));
   return area;
 }
 

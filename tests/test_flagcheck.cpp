@@ -46,7 +46,7 @@ TEST(FlagRules, TableCoversEveryRequestField) {
   // One rule per FlagRequests field, no duplicates — a new export flag
   // must land in the table or this count breaks.
   const auto& rules = flag_rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 7u);
   for (size_t i = 0; i < rules.size(); ++i) {
     for (size_t j = i + 1; j < rules.size(); ++j) {
       EXPECT_NE(rules[i].member, rules[j].member);
@@ -109,6 +109,18 @@ TEST(FlagRules, KnownSemantics) {
   r.memprof = true;  // either memory hierarchy serves
   EXPECT_TRUE(check_flag_contradictions(r, vortex_only).empty());
   EXPECT_TRUE(check_flag_contradictions(r, hls_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, turbo_only).empty());
+
+  r = FlagRequests{};
+  r.predict = true;  // analytical-vs-measured: needs cycle-exact cycles
+  EXPECT_TRUE(check_flag_contradictions(r, vortex_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, hls_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, turbo_only).empty());
+
+  r = FlagRequests{};
+  r.dse = true;  // the funnel's exact stage is the soft GPU
+  EXPECT_TRUE(check_flag_contradictions(r, vortex_only).empty());
+  EXPECT_FALSE(check_flag_contradictions(r, hls_only).empty());
   EXPECT_FALSE(check_flag_contradictions(r, turbo_only).empty());
 }
 

@@ -89,6 +89,24 @@ with --codegen-baseline/--codegen-current (BENCH_codegen.json in CI):
     deterministic, so any delta is a real compiler-behavior change that
     demands a baseline refresh (and an EXPERIMENTS.md note if cycles moved).
 
+DSE documents (fgpu.dse.v1 from fgpu-run --dse) are GATED with
+--dse-baseline/--dse-current (BENCH_dse.json in CI), a standalone mode
+like --schema-list:
+
+  * schema-tag and key-path drift, as for the stats document;
+  * funnel-count drift — every stage count (candidates, analytical
+    evaluated/infeasible/unfit/survivors, screen shapes/failed/survivors,
+    exact selected/ok) must match EXACTLY: the analytical pre-filter and
+    the turbo screen are deterministic, so any delta is a model or
+    pruning change that demands a baseline refresh;
+  * Pareto-frontier drift — the frontier membership (config labels) must
+    match exactly, as must each evaluated configuration's simulated
+    cycles (the document is byte-deterministic by contract);
+  * Spearman floor — the rank correlation of the analytical model over
+    the evaluated slice must stay >= --spearman-min (default 0.8, the
+    ISSUE acceptance floor; the quick grid at --dse-exact=64 sits at
+    ~0.89, the full grid at ~0.92).
+
 Schema lint (--schema-list FILE...): standalone mode, no positional
 arguments needed. Every listed document must carry a "schema" field whose
 value is one of the known exported versions (the OBSERVABILITY.md schema
@@ -101,6 +119,8 @@ Usage: check_baseline.py BASELINE CURRENT [--max-regression=0.10]
                          [--compare-baseline=C.json --compare-current=C2.json
                           --speedup-tolerance=0.05]
                          [--codegen-baseline=G.json --codegen-current=G2.json]
+       check_baseline.py --dse-baseline=D.json --dse-current=D2.json
+                         [--spearman-min=0.8]
        check_baseline.py --schema-list FILE [FILE...]
 
 Stdlib only — runs on a bare CI python3.
@@ -365,7 +385,105 @@ KNOWN_SCHEMAS = (
     "fgpu.host.v1",
     "fgpu.compare.v1",
     "fgpu.codegen.v1",
+    "fgpu.dse.v1",
+    "fgpu.fig7.v1",
 )
+
+
+def compare_dse(dse_baseline, dse_current, spearman_min):
+    """GATING comparison of two fgpu.dse.v1 documents. Returns failures."""
+    failures = []
+    with open(dse_baseline) as f:
+        base = json.load(f)
+    with open(dse_current) as f:
+        cur = json.load(f)
+
+    for doc, path in ((base, dse_baseline), (cur, dse_current)):
+        if doc.get("schema") != "fgpu.dse.v1":
+            failures.append(f"dse doc {path} has schema {doc.get('schema')!r}, "
+                            "expected fgpu.dse.v1")
+    if failures:
+        return failures
+
+    base_paths = schema_paths(base)
+    cur_paths = schema_paths(cur)
+    for path in sorted(base_paths - cur_paths):
+        failures.append(f"dse schema drift: field '{path}' vanished")
+    for path in sorted(cur_paths - base_paths):
+        failures.append(f"dse schema drift: new field '{path}' not in the baseline "
+                        "(regenerate BENCH_dse.json and bump the schema tag if breaking)")
+
+    for field in ("grid", "benchmarks", "opt_level", "exact_budget"):
+        if base.get(field) != cur.get(field):
+            failures.append(f"dse: sweep parameter {field!r} changed "
+                            f"{base.get(field)!r} -> {cur.get(field)!r} "
+                            "(baseline and run must use the same grid settings)")
+
+    # Funnel counts: the analytical pre-filter and turbo screen are
+    # deterministic, so every stage count must match exactly.
+    def flat_counts(doc):
+        counts = {}
+        funnel = doc.get("funnel", {})
+        for key, value in funnel.items():
+            if isinstance(value, dict):
+                for sub, n in value.items():
+                    counts[f"{key}.{sub}"] = n
+            else:
+                counts[key] = value
+        return counts
+
+    base_counts = flat_counts(base)
+    cur_counts = flat_counts(cur)
+    for key in sorted(set(base_counts) | set(cur_counts)):
+        want, got = base_counts.get(key), cur_counts.get(key)
+        if want != got:
+            failures.append(f"dse: funnel count drift at {key}: {want} -> {got}")
+
+    # Pareto membership is part of the paper-facing result: any change is a
+    # real ranking change that demands a refresh (and an EXPERIMENTS.md note).
+    base_pareto = list(base.get("pareto", []))
+    cur_pareto = list(cur.get("pareto", []))
+    for label in sorted(set(base_pareto) - set(cur_pareto)):
+        failures.append(f"dse: config {label!r} left the Pareto frontier")
+    for label in sorted(set(cur_pareto) - set(base_pareto)):
+        failures.append(f"dse: config {label!r} joined the Pareto frontier "
+                        "(not in the baseline)")
+
+    # The evaluated slice is byte-deterministic by contract: exact-match the
+    # simulated cycles per configuration.
+    base_eval = {e.get("config"): e for e in base.get("evaluated", [])}
+    cur_eval = {e.get("config"): e for e in cur.get("evaluated", [])}
+    for label in sorted(set(base_eval) - set(cur_eval)):
+        failures.append(f"dse: evaluated config {label!r} missing from the run")
+    for label in sorted(set(cur_eval) - set(base_eval)):
+        failures.append(f"dse: evaluated config {label!r} not in the baseline "
+                        "(selection drift)")
+    for label in sorted(set(base_eval) & set(cur_eval)):
+        b, c = base_eval[label], cur_eval[label]
+        if b.get("simulated_cycles") != c.get("simulated_cycles"):
+            failures.append(
+                f"dse: {label}: simulated cycles drift "
+                f"{b.get('simulated_cycles')} -> {c.get('simulated_cycles')}")
+        if b.get("ok") != c.get("ok"):
+            failures.append(f"dse: {label}: ok changed {b.get('ok')} -> {c.get('ok')}")
+
+    spearman = cur.get("spearman")
+    if not isinstance(spearman, (int, float)):
+        failures.append("dse: 'spearman' missing from the current document")
+    elif spearman < spearman_min:
+        failures.append(f"dse: Spearman {spearman:.4f} below the floor "
+                        f"{spearman_min} (--spearman-min): the analytical "
+                        "pre-filter no longer ranks the evaluated slice")
+
+    if not failures:
+        funnel = cur.get("funnel", {})
+        print(f"dse: {funnel.get('candidates')} candidates -> "
+              f"{funnel.get('analytical', {}).get('survivors')} analytical -> "
+              f"{funnel.get('screen', {}).get('survivors')} screened -> "
+              f"{funnel.get('exact', {}).get('ok')} cycle-exact; "
+              f"Spearman {spearman:.4f} >= {spearman_min}, "
+              f"{len(cur_pareto)} Pareto members match the baseline")
+    return failures
 
 
 def check_schema_list(paths):
@@ -591,6 +709,13 @@ def main():
     parser.add_argument("--codegen-baseline",
                         help="fgpu.codegen.v1 baseline (GATING, e.g. BENCH_codegen.json)")
     parser.add_argument("--codegen-current", help="fgpu.codegen.v1 current run (GATING)")
+    parser.add_argument("--dse-baseline",
+                        help="fgpu.dse.v1 baseline (GATING, standalone; "
+                             "e.g. BENCH_dse.json)")
+    parser.add_argument("--dse-current", help="fgpu.dse.v1 current run (GATING)")
+    parser.add_argument("--spearman-min", type=float, default=0.8,
+                        help="minimum Spearman rank correlation the DSE gate "
+                             "accepts over the evaluated slice (default 0.8)")
     parser.add_argument("--schema-list", nargs="+", metavar="FILE",
                         help="standalone lint: every listed document's 'schema' "
                              "field must be a registered version")
@@ -618,6 +743,18 @@ def main():
         failures = check_schema_list(args.schema_list)
         if failures:
             print(f"check_baseline: {len(failures)} failure(s) in --schema-list:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.dse_baseline or args.dse_current:
+        if not (args.dse_baseline and args.dse_current):
+            parser.error("--dse-baseline and --dse-current must be given together")
+        failures = compare_dse(args.dse_baseline, args.dse_current, args.spearman_min)
+        if failures:
+            print(f"check_baseline: {len(failures)} failure(s) in the DSE gate:",
                   file=sys.stderr)
             for failure in failures:
                 print(f"  - {failure}", file=sys.stderr)

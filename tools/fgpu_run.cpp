@@ -20,6 +20,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "common/log.hpp"
 #include "suite/compare.hpp"
 #include "suite/device_pool.hpp"
+#include "suite/dse.hpp"
 #include "suite/flagcheck.hpp"
 #include "suite/runner.hpp"
 #include "vortex/config.hpp"
@@ -68,6 +70,16 @@ void usage(const char* argv0) {
       "                   (implies --remarks collection and profiling)\n"
       "  --ablate=LIST    disable compiler passes, comma-separated from\n"
       "                   licm,sr,dce,peephole,ladder (pass-regression triage)\n"
+      "  --predict        print the analytical model's cycle prediction and\n"
+      "                   bottleneck breakdown beside each benchmark's measured\n"
+      "                   soft-GPU cycles (model fidelity at --config)\n"
+      "  --dse=PATH       run the design-space funnel (analytical prune ->\n"
+      "                   turbo screen -> cycle-exact slice) over the --filter\n"
+      "                   workloads and write fgpu.dse.v1 JSON; skips the\n"
+      "                   normal suite run (see EXPERIMENTS.md)\n"
+      "  --dse-grid=NAME  quick (216 configs, default) | full (12,000)\n"
+      "  --dse-exact=K    cycle-exact slice size (default 32)\n"
+      "  --dse-screen=K   cap on turbo-screened shapes (default 0 = all)\n"
       "  --seed=N         suite seed mixed into per-benchmark workload seeds\n"
       "  --repeat=N       run the suite N times; report min/median wall time.\n"
       "                   Repeats 2..N reuse pooled devices and hot caches\n"
@@ -268,6 +280,9 @@ int main(int argc, char** argv) {
   uint32_t repeat = 1;
   bool idle_skip = true;  // applied after parsing (--config rebuilds the Config)
   std::string dump_asm_bench;
+  bool predict = false;
+  std::string dse_path;
+  suite::DseOptions dse_options;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -340,6 +355,16 @@ int main(int argc, char** argv) {
       options.remark_hotspots = static_cast<int>(std::stoul(value));
       options.capture_remarks = true;
       options.capture_profile = true;  // the ranking joins against cycles
+    } else if (std::strcmp(arg, "--predict") == 0) {
+      predict = true;
+    } else if (flag_value(arg, "--dse", &value)) {
+      dse_path = value;
+    } else if (flag_value(arg, "--dse-grid", &value)) {
+      dse_options.grid = value;
+    } else if (flag_value(arg, "--dse-exact", &value)) {
+      dse_options.exact_budget = static_cast<size_t>(std::stoul(value));
+    } else if (flag_value(arg, "--dse-screen", &value)) {
+      dse_options.screen_budget = static_cast<size_t>(std::stoul(value));
     } else if (flag_value(arg, "--ablate", &value)) {
       size_t start = 0;
       while (start <= value.size()) {
@@ -414,6 +439,8 @@ int main(int argc, char** argv) {
     requests.hlsprof = !hlsprof_path.empty();
     requests.memprof = options.capture_memprof;
     requests.remarks = options.capture_remarks || options.remark_hotspots > 0;
+    requests.predict = predict;
+    requests.dse = !dse_path.empty();
     suite::DeviceSelection devices;
     devices.vortex = options.run_vortex;
     devices.hls = options.run_hls;
@@ -458,6 +485,47 @@ int main(int argc, char** argv) {
   // turbo translation retention land.
   suite::DevicePool pool;
   if (options.reuse_devices) options.pool = &pool;
+
+  // --dse: the design-space funnel replaces the suite run. The --filter
+  // selection is the funnel's workload set; --jobs/-O/--fresh/--host-stats
+  // carry their usual meanings.
+  if (!dse_path.empty()) {
+    dse_options.benchmarks = *names;
+    dse_options.jobs = options.jobs == 0 ? std::thread::hardware_concurrency() : options.jobs;
+    dse_options.opt_level = options.opt_level;
+    dse_options.reuse_devices = options.reuse_devices;
+    dse_options.host_in_stats = options.host_in_stats;
+    if (options.reuse_devices) dse_options.pool = &pool;
+    const suite::DseResult dse = suite::run_dse(dse_options);
+    if (!dse.error.empty()) {
+      std::fprintf(stderr, "fgpu-run: --dse: %s\n", dse.error.c_str());
+      return 2;
+    }
+    std::ofstream out(dse_path);
+    if (!out) {
+      std::fprintf(stderr, "fgpu-run: cannot write '%s'\n", dse_path.c_str());
+      return 2;
+    }
+    suite::write_dse_json(out, dse_options, dse);
+    if (!quiet) {
+      std::printf("dse: %zu candidates -> analytical %zu (%zu infeasible, %zu unfit) -> "
+                  "screen %zu (%zu/%zu shapes ok) -> exact %zu (%zu ok)\n",
+                  dse.grid_total, dse.analytical_survivors, dse.infeasible, dse.unfit,
+                  dse.screen_survivors, dse.shapes_screened - dse.shapes_failed,
+                  dse.shapes_screened, dse.exact_selected, dse.exact_ok);
+      std::printf("dse: spearman(predicted, simulated) = %.3f over the exact slice\n",
+                  dse.spearman);
+      for (const auto& cand : dse.candidates) {
+        if (cand.pareto) {
+          std::printf("  pareto: %-44s %10llu cycles  util %.2f\n", cand.label.c_str(),
+                      static_cast<unsigned long long>(cand.simulated_cycles),
+                      cand.utilization);
+        }
+      }
+      std::printf("dse    -> %s\n", dse_path.c_str());
+    }
+    return dse.exact_selected == dse.exact_ok ? 0 : 1;
+  }
 
   auto result = suite::run_all(options);
   if (!result.is_ok()) {
@@ -535,6 +603,40 @@ int main(int argc, char** argv) {
       std::printf("; hls %d/%zu pass", result->hls_passes(), result->outcomes.size());
     }
     std::printf("\n");
+  }
+
+  // --predict: the analytical model (vortex/analytical.hpp) against the
+  // cycle-exact measurement, per benchmark, at the active --config. The
+  // bottleneck column is what the model believes binds — the signal a
+  // design-space sweep prunes on.
+  if (predict) {
+    std::printf("\n%-16s | %12s | %12s | %6s | %-7s | %s\n", "benchmark", "predicted",
+                "measured", "ratio", "bound", "issue/memory/dram/latency");
+    std::printf(
+        "-----------------+--------------+--------------+--------+---------+--------------\n");
+    for (const auto& outcome : result->outcomes) {
+      if (!outcome.ran_vortex) continue;
+      const auto bench = suite::shared_benchmark(outcome.name);
+      const auto profiles = suite::profile_benchmark(*bench);
+      if (!profiles.is_ok()) {
+        std::printf("%-16s | %s\n", outcome.name.c_str(),
+                    profiles.status().message().c_str());
+        continue;
+      }
+      const vortex::Prediction p =
+          suite::predict_benchmark(*profiles, options.vortex_config);
+      char measured[24] = "-";
+      double ratio = 0.0;
+      if (outcome.vortex.ok() && outcome.vortex.total_cycles > 0) {
+        std::snprintf(measured, sizeof(measured), "%llu",
+                      static_cast<unsigned long long>(outcome.vortex.total_cycles));
+        ratio = p.cycles / static_cast<double>(outcome.vortex.total_cycles);
+      }
+      std::printf("%-16s | %12.0f | %12s | %6.2f | %-7s | %.0f/%.0f/%.0f/%.0f\n",
+                  outcome.name.c_str(), p.cycles, measured, ratio,
+                  p.bottleneck != nullptr ? p.bottleneck : "", p.issue_bound, p.memory_bound,
+                  p.dram_bound, p.latency_bound);
+    }
   }
 
   if (!json_path.empty()) {
